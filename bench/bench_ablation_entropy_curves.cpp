@@ -1,0 +1,131 @@
+// §6 ablation — the entropy mechanics behind rising multi-information.
+//
+// The paper: "In the beginning the sum of the marginal entropies H(W_i) is
+// as large as the overall entropy of the system because there is no
+// correlation between particles at all. Over time, the marginal entropies
+// decrease, however the overall entropy decreases even faster as the
+// variations of individual particles are correlated. This then leads to an
+// increase of multi-information over time."
+//
+// This bench draws all three curves for the Fig. 4 system: Σ h(W_i), h(W),
+// and I(t). Note the joint KL entropy of a 100-dimensional state is
+// estimated on the *coarse-grained* observers (12 dimensions) where the
+// small-sample bias is manageable.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header(
+      "Ablation (par. 6): marginal vs joint entropy during organization",
+      "marginal entropies decrease; the joint entropy decreases faster; the "
+      "difference (multi-information) rises",
+      args);
+
+  sim::SimulationConfig simulation = core::presets::fig4_three_type_collective();
+  simulation.steps = args.steps(250, 250);
+  simulation.record_stride = 25;
+
+  core::ExperimentConfig experiment(simulation);
+  experiment.samples = args.samples(150, 500);
+  const core::EnsembleSeries series = core::run_experiment(experiment);
+
+  // Coarse observers keep the joint-entropy estimate honest (12 dims).
+  core::AnalysisOptions options;
+  options.coarse_grain_above = 10;  // force coarse-graining (n = 50 > 10)
+  options.kmeans_per_type = 2;
+  options.compute_entropies = true;
+  const core::AnalysisResult result =
+      core::analyze_self_organization(series, options);
+
+  std::vector<io::Series> curves(3);
+  curves[0].label = "sum of marginal entropies [bits]";
+  curves[1].label = "joint entropy [bits]";
+  curves[2].label = "multi-information [bits]";
+  io::CsvTable table;
+  table.header = {"t", "marginal_entropy_sum", "joint_entropy",
+                  "multi_information"};
+  for (const auto& point : result.points) {
+    const double t = static_cast<double>(point.step);
+    curves[0].x.push_back(t);
+    curves[0].y.push_back(point.marginal_entropy_sum);
+    curves[1].x.push_back(t);
+    curves[1].y.push_back(point.joint_entropy);
+    curves[2].x.push_back(t);
+    curves[2].y.push_back(point.multi_information);
+    table.add_row({t, point.marginal_entropy_sum, point.joint_entropy,
+                   point.multi_information});
+  }
+
+  io::ChartOptions chart;
+  chart.y_label = "bits";
+  chart.y_from_zero = false;
+  std::cout << io::render_chart(curves, chart) << "\n";
+  bench::dump_csv("ablation_entropy_curves.csv", table);
+
+  const auto& first = result.points.front();
+  const auto& last = result.points.back();
+  const double marginal_drop =
+      first.marginal_entropy_sum - last.marginal_entropy_sum;
+  const double joint_drop = first.joint_entropy - last.joint_entropy;
+  std::cout << "Fig. 4 system:\n"
+            << "  marginal-entropy-sum drop: " << marginal_drop << " bits\n"
+            << "  joint-entropy drop:        " << joint_drop << " bits\n"
+            << "  multi-information rise:    "
+            << last.multi_information - first.multi_information << " bits\n"
+            << "  mechanism: "
+            << (marginal_drop > 0.0
+                    ? "both entropies fall, joint faster (par. 6 description)"
+                    : "marginals rise while the joint falls relative to them "
+                      "(the par. 6.1 alternative)")
+            << "\n\n";
+
+  // A contracting system reproduces the par.-6 description verbatim: the
+  // Fig. 12 enclosure starts diffuse (init radius 4) and condenses into a
+  // compact core+ring, so per-observer spread falls too.
+  sim::SimulationConfig contracting = core::presets::fig12_enclosed_structure();
+  contracting.steps = args.steps(250, 250);
+  contracting.record_stride = 25;
+  core::ExperimentConfig contracting_experiment(contracting);
+  contracting_experiment.samples = args.samples(150, 500);
+  core::AnalysisOptions contracting_options;
+  contracting_options.compute_entropies = true;
+  const core::AnalysisResult contracting_result = core::analyze_self_organization(
+      core::run_experiment(contracting_experiment), contracting_options);
+  const auto& c_first = contracting_result.points.front();
+  const auto& c_last = contracting_result.points.back();
+  const double c_marginal_drop =
+      c_first.marginal_entropy_sum - c_last.marginal_entropy_sum;
+  const double c_joint_drop = c_first.joint_entropy - c_last.joint_entropy;
+  std::cout << "contracting (Fig. 12 enclosure) system:\n"
+            << "  marginal-entropy-sum drop: " << c_marginal_drop << " bits\n"
+            << "  joint-entropy drop:        " << c_joint_drop << " bits\n"
+            << "  multi-information rise:    "
+            << c_last.multi_information - c_first.multi_information
+            << " bits\n\n";
+
+  bool all = true;
+  // The general par.-6.1 statement, which subsumes both mechanisms: the gap
+  // Σh(W_i) − h(W) widens, i.e. the joint falls faster than the marginals
+  // (equivalently I rises).
+  all &= bench::check(joint_drop > marginal_drop,
+                      "Fig. 4: joint entropy falls faster than the marginal "
+                      "sum (the gap that IS the multi-information widens)");
+  all &= bench::check(last.multi_information > first.multi_information,
+                      "Fig. 4: multi-information rises");
+  all &= bench::check(
+      first.multi_information < 0.5 * last.multi_information,
+      "Fig. 4: initially the system carries (almost) no multi-information");
+  // The verbatim par.-6 description on the contracting system.
+  all &= bench::check(c_marginal_drop > 0.0,
+                      "contracting system: marginal entropies decrease");
+  all &= bench::check(c_joint_drop > c_marginal_drop,
+                      "contracting system: the joint entropy decreases faster");
+  all &= bench::check(
+      c_last.multi_information > c_first.multi_information,
+      "contracting system: multi-information rises");
+
+  std::cout << (all ? "RESULT: paragraph-6 entropy mechanics reproduced\n"
+                    : "RESULT: MISMATCH against paper claim\n");
+  return 0;
+}

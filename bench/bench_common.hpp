@@ -1,0 +1,82 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Every bench binary reproduces one table/figure of Harder & Polani (2012):
+// it runs the figure's workload, prints the same series/rows the paper
+// reports (ASCII chart + CSV dump), and evaluates explicit CHECK lines that
+// compare the measured *shape* (orderings, crossovers, signs) against the
+// paper's qualitative claim. Absolute values are expected to differ — the
+// substrate is a reimplementation, not the authors' machine.
+//
+// Modes: `--fast` (default; CI-sized ensembles) and `--full` (paper-sized,
+// m = 500+). `SOPS_BENCH_FAST=0` also selects full mode.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "core/sops.hpp"
+
+namespace sops::bench {
+
+/// Parsed command line of a figure bench.
+struct BenchArgs {
+  bool fast = true;
+
+  /// Scales an ensemble size: full mode gets the paper-sized count.
+  [[nodiscard]] std::size_t samples(std::size_t fast_m,
+                                    std::size_t full_m) const noexcept {
+    return fast ? fast_m : full_m;
+  }
+  [[nodiscard]] std::size_t steps(std::size_t fast_t,
+                                  std::size_t full_t) const noexcept {
+    return fast ? fast_t : full_t;
+  }
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  if (const char* env = std::getenv("SOPS_BENCH_FAST")) {
+    args.fast = std::string_view(env) != "0";
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--fast") args.fast = true;
+    if (arg == "--full") args.fast = false;
+  }
+  return args;
+}
+
+inline void print_header(std::string_view bench, std::string_view claim,
+                         const BenchArgs& args) {
+  std::cout << "==============================================================\n"
+            << bench << (args.fast ? "   [fast mode; --full for paper-sized m]"
+                                   : "   [full mode]")
+            << "\n"
+            << "paper claim: " << claim << "\n"
+            << "==============================================================\n";
+}
+
+/// Prints a CHECK line; returns ok so callers can aggregate.
+inline bool check(bool ok, std::string_view what) {
+  std::cout << "CHECK " << (ok ? "[PASS] " : "[FAIL] ") << what << "\n";
+  return ok;
+}
+
+/// Directory for CSV dumps (created on demand next to the CWD).
+inline std::string out_path(std::string_view file) {
+  const std::filesystem::path dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return (dir / file).string();
+}
+
+/// Writes a table and tells the user where it went.
+inline void dump_csv(std::string_view file, const io::CsvTable& table) {
+  const std::string path = out_path(file);
+  io::write_csv_file(path, table);
+  std::cout << "series written to " << path << "\n";
+}
+
+}  // namespace sops::bench

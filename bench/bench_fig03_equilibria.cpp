@@ -1,0 +1,132 @@
+// Fig. 3 — example equilibrium states for 1, 2, and 3 particle types.
+//
+// Runs three collectives to (near-)equilibrium and renders the final
+// configurations. Checks the single-type claim: the equilibrium is a
+// disc-shaped, evenly spaced arrangement ("regular grid ... always in the
+// form of a disc", §6), and multi-type systems segregate by type.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sops;
+
+// Mean nearest-neighbor distance and its relative spread (regularity proxy).
+struct SpacingStats {
+  double mean = 0.0;
+  double rel_spread = 0.0;
+};
+
+SpacingStats nn_spacing(const std::vector<geom::Vec2>& points) {
+  std::vector<double> nn(points.size(), 1e18);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i != j) nn[i] = std::min(nn[i], geom::dist(points[i], points[j]));
+    }
+  }
+  SpacingStats stats;
+  for (const double d : nn) stats.mean += d;
+  stats.mean /= static_cast<double>(nn.size());
+  double var = 0.0;
+  for (const double d : nn) var += (d - stats.mean) * (d - stats.mean);
+  stats.rel_spread = std::sqrt(var / static_cast<double>(nn.size())) / stats.mean;
+  return stats;
+}
+
+// How round the hull is: ratio of bounding-box short/long side.
+double roundness(const std::vector<geom::Vec2>& points) {
+  const geom::Aabb box = geom::bounding_box(points);
+  const double long_side = std::max(box.width(), box.height());
+  const double short_side = std::min(box.width(), box.height());
+  return long_side > 0 ? short_side / long_side : 1.0;
+}
+
+// Type segregation: mean same-type NN distance vs mean cross-type NN.
+double segregation_index(const std::vector<geom::Vec2>& points,
+                         const std::vector<sim::TypeId>& types) {
+  double same = 0.0;
+  double cross = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double best_same = 1e18;
+    double best_cross = 1e18;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      const double d = geom::dist(points[i], points[j]);
+      if (types[i] == types[j]) {
+        best_same = std::min(best_same, d);
+      } else {
+        best_cross = std::min(best_cross, d);
+      }
+    }
+    if (best_same < 1e17 && best_cross < 1e17) {
+      same += best_same;
+      cross += best_cross;
+      ++count;
+    }
+  }
+  return count == 0 ? 1.0 : cross / same;  // > 1 means types separate
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header(
+      "Fig. 3: equilibrium configurations for different type counts",
+      "single type -> regular disc-shaped grid; multiple types -> segregated "
+      "clusters",
+      args);
+
+  // Single-type F² (the paper's rightmost panel).
+  sim::SimulationConfig single = core::presets::fig3_single_type_grid();
+  single.steps = args.steps(400, 800);
+  const sim::Trajectory t1 = sim::run_simulation(single);
+
+  // Two-type enclosed structure.
+  sim::SimulationConfig two = core::presets::fig12_enclosed_structure();
+  two.steps = args.steps(400, 800);
+  const sim::Trajectory t2 = sim::run_simulation(two);
+
+  // Three-type Fig. 4 system.
+  sim::SimulationConfig three = core::presets::fig4_three_type_collective();
+  three.steps = args.steps(400, 800);
+  const sim::Trajectory t3 = sim::run_simulation(three);
+
+  io::ScatterOptions scatter;
+  scatter.width = 56;
+  scatter.height = 24;
+  std::cout << "l = 1 (F2, single type):\n"
+            << io::render_scatter(t1.frames.back(), t1.types, scatter)
+            << "\nl = 2:\n"
+            << io::render_scatter(t2.frames.back(), t2.types, scatter)
+            << "\nl = 3 (Fig. 4 system):\n"
+            << io::render_scatter(t3.frames.back(), t3.types, scatter) << "\n";
+
+  for (const auto& [name, trajectory] :
+       {std::pair{"fig03_l1.svg", &t1}, {"fig03_l2.svg", &t2},
+        {"fig03_l3.svg", &t3}}) {
+    io::write_text_file(
+        bench::out_path(name),
+        io::render_svg(trajectory->frames.back(), trajectory->types));
+  }
+  std::cout << "SVG snapshots in bench_out/\n\n";
+
+  const SpacingStats spacing = nn_spacing(t1.frames.back());
+  bool all = true;
+  all &= bench::check(spacing.rel_spread < 0.35,
+                      "single-type F2 spacing is regular (NN spread < 35%)");
+  all &= bench::check(roundness(t1.frames.back()) > 0.7,
+                      "single-type F2 collective is disc-shaped");
+  all &= bench::check(t1.residual_norms.back() < t1.residual_norms.front(),
+                      "single-type system relaxed toward equilibrium");
+  all &= bench::check(segregation_index(t2.frames.back(), t2.types) > 1.2,
+                      "two-type system segregates by type");
+  all &= bench::check(segregation_index(t3.frames.back(), t3.types) > 1.0,
+                      "three-type system shows type clustering");
+
+  std::cout << (all ? "RESULT: figure shape reproduced\n"
+                    : "RESULT: MISMATCH against paper claim\n");
+  return 0;
+}

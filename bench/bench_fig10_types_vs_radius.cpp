@@ -1,0 +1,97 @@
+// Fig. 10 — multi-information over time for 20 particles, comparing
+// l = 20 types vs l = 5 types at r_c ∈ {10, 15, ∞} (F¹, random r_αβ ∈ [2,8],
+// k = 1).
+//
+// The paper's claim: with *local* interactions (finite r_c), fewer types
+// organize MORE than l = n types; with unbounded interactions the diverse
+// system catches up (long-range information spread compensates).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+  const auto args = bench::parse_args(argc, argv);
+  bench::print_header(
+      "Fig. 10: I(t) for l in {20, 5} x r_c in {10, 15, inf}",
+      "at finite r_c fewer types organize more; long range lifts everyone",
+      args);
+
+  struct Variant {
+    std::size_t types;
+    double rc;
+  };
+  const std::vector<Variant> variants{
+      {20, 10.0}, {20, 15.0}, {20, sim::kUnboundedRadius},
+      {5, 10.0},  {5, 15.0},  {5, sim::kUnboundedRadius}};
+  const std::size_t matrices = args.fast ? 4 : 10;
+  const std::size_t samples = args.samples(250, 500);
+  const std::size_t steps = args.steps(250, 250);
+
+  io::CsvTable table;
+  table.header = {"t"};
+  std::vector<io::Series> curves;
+  std::vector<std::vector<double>> averaged;
+
+  for (const Variant& variant : variants) {
+    std::vector<double> mi_sum;
+    std::vector<double> steps_axis;
+    for (std::size_t matrix = 0; matrix < matrices; ++matrix) {
+      sim::SimulationConfig simulation =
+          core::presets::fig9_random_types(variant.types, variant.rc, matrix);
+      simulation.steps = steps;
+      simulation.record_stride = 25;
+      core::ExperimentConfig experiment(simulation);
+      experiment.samples = samples;
+      const core::AnalysisResult result =
+          core::analyze_self_organization(core::run_experiment(experiment));
+      if (mi_sum.empty()) {
+        mi_sum.assign(result.points.size(), 0.0);
+        steps_axis = result.steps();
+      }
+      for (std::size_t f = 0; f < result.points.size(); ++f) {
+        mi_sum[f] += result.points[f].multi_information;
+      }
+    }
+    for (double& v : mi_sum) v /= static_cast<double>(matrices);
+    averaged.push_back(mi_sum);
+
+    const std::string label =
+        "l=" + std::to_string(variant.types) + ", r_c=" +
+        (std::isfinite(variant.rc) ? std::to_string(variant.rc).substr(0, 4)
+                                   : "inf");
+    curves.push_back({label, steps_axis, mi_sum});
+    table.header.push_back(label);
+    std::cout << label << ": final I = " << mi_sum.back() << " bits\n";
+  }
+
+  for (std::size_t f = 0; f < curves.front().x.size(); ++f) {
+    std::vector<double> row{curves.front().x[f]};
+    for (const auto& mi : averaged) row.push_back(mi[f]);
+    table.add_row(std::move(row));
+  }
+
+  io::ChartOptions chart;
+  chart.y_label = "multi-information (bits), averaged over matrices";
+  std::cout << "\n" << io::render_chart(curves, chart) << "\n";
+  bench::dump_csv("fig10_types_vs_radius.csv", table);
+
+  // Index map: 0:(20,10) 1:(20,15) 2:(20,inf) 3:(5,10) 4:(5,15) 5:(5,inf).
+  bool all = true;
+  all &= bench::check(averaged[3].back() > averaged[0].back(),
+                      "at r_c = 10, l = 5 organizes more than l = 20");
+  all &= bench::check(averaged[4].back() > averaged[1].back(),
+                      "at r_c = 15, l = 5 organizes more than l = 20");
+  // With n = 20 and r_αβ ∈ [2, 8] the collective diameter rarely exceeds 10,
+  // so r_c ∈ {10, 15, ∞} give near-identical neighbor sets (the paper's own
+  // r_c = 15 and ∞ curves overlap); the genuine radius gradient is the
+  // r_c ≤ 7.5 regime covered by the Fig. 9 bench.
+  all &= bench::check(averaged[2].back() >= 0.95 * averaged[0].back(),
+                      "for l = 20, unbounded radius is never worse than "
+                      "r_c = 10");
+  all &= bench::check(averaged[2].back() > 0.5 * averaged[5].back(),
+                      "with r_c = inf the l = 20 system is competitive "
+                      "(long-range spread compensates type diversity)");
+
+  std::cout << (all ? "RESULT: figure shape reproduced\n"
+                    : "RESULT: MISMATCH against paper claim\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Performance micro-benchmarks (google-benchmark): the hot paths of the
+// pipeline — pair-force accumulation (grid vs all-pairs), the KSG
+// estimator, k-d tree queries, and ICP alignment. These back the complexity
+// claims in DESIGN.md §7.
+#include <benchmark/benchmark.h>
+
+#include "core/sops.hpp"
+
+namespace {
+
+using namespace sops;
+
+sim::ParticleSystem random_system(std::size_t n, double radius,
+                                  std::size_t types, std::uint64_t seed) {
+  rng::Xoshiro256 engine(seed);
+  std::vector<geom::Vec2> positions;
+  std::vector<sim::TypeId> type_ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back(rng::uniform_disc(engine, radius));
+    type_ids.push_back(static_cast<sim::TypeId>(i % types));
+  }
+  return {std::move(positions), std::move(type_ids)};
+}
+
+sim::InteractionModel default_model(std::size_t types) {
+  return sim::InteractionModel(sim::ForceLawKind::kSpring, types,
+                               sim::PairParams{1.0, 2.0, 1.0, 1.0});
+}
+
+void BM_DriftAllPairs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // Density held constant: radius grows with √n.
+  const auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5,
+                                    3, 42);
+  const auto model = default_model(3);
+  std::vector<geom::Vec2> drift;
+  for (auto _ : state) {
+    sim::accumulate_drift(system, model, 3.0, drift,
+                          sim::NeighborMode::kAllPairs);
+    benchmark::DoNotOptimize(drift.data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DriftAllPairs)->Range(32, 2048)->Complexity(benchmark::oNSquared);
+
+void BM_DriftCellGrid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5,
+                                    3, 42);
+  const auto model = default_model(3);
+  std::vector<geom::Vec2> drift;
+  for (auto _ : state) {
+    sim::accumulate_drift(system, model, 3.0, drift,
+                          sim::NeighborMode::kCellGrid);
+    benchmark::DoNotOptimize(drift.data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DriftCellGrid)->Range(32, 2048)->Complexity(benchmark::oN);
+
+void BM_SimulationStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5, 3, 7);
+  const auto model = default_model(3);
+  sim::IntegratorParams params;
+  rng::Xoshiro256 engine(1);
+  std::vector<geom::Vec2> scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::euler_maruyama_step(system, model, 3.0,
+                                                      params, engine, scratch));
+  }
+}
+BENCHMARK(BM_SimulationStep)->Range(64, 1024);
+
+void BM_KsgMultiInformation(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  rng::Xoshiro256 engine(3);
+  const std::size_t n_blocks = 20;
+  info::SampleMatrix samples(m, 2 * n_blocks);
+  for (std::size_t s = 0; s < m; ++s) {
+    for (std::size_t d = 0; d < 2 * n_blocks; ++d) {
+      samples(s, d) = rng::standard_normal(engine);
+    }
+  }
+  info::KsgOptions options;
+  options.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(info::multi_information_ksg(samples, 2, options));
+  }
+  state.SetComplexityN(static_cast<int64_t>(m));
+}
+BENCHMARK(BM_KsgMultiInformation)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_KdTreeKnn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Xoshiro256 engine(5);
+  std::vector<double> points(n * 3);
+  for (double& v : points) v = rng::uniform(engine, -10.0, 10.0);
+  const geom::KdTree tree(points, 3);
+  std::size_t query = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.k_nearest({points.data() + (query % n) * 3, 3}, 5));
+    ++query;
+  }
+}
+BENCHMARK(BM_KdTreeKnn)->Range(256, 16384);
+
+void BM_IcpAlign(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto target = random_system(n, 8.0, 3, 11);
+  const geom::RigidTransform2 pose{1.2, {3.0, -1.0}};
+  const auto source = pose.apply(target.positions);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::align_icp(source, target.types,
+                                              target.positions, target.types));
+  }
+}
+BENCHMARK(BM_IcpAlign)->Range(20, 320);
+
+void BM_KMeans(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto system = random_system(n, 10.0, 1, 13);
+  for (auto _ : state) {
+    rng::Xoshiro256 engine(17);
+    benchmark::DoNotOptimize(cluster::kmeans(system.positions, 4, engine));
+  }
+}
+BENCHMARK(BM_KMeans)->Range(64, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Cell sorting by differential adhesion — the biological motivation of the
+// paper's introduction: "differential cell adhesion prevents areas
+// consisting of different tissues to mix and starts an automatic sorting
+// process ... if cells have been forced to mix in a solution" [Wolpert].
+//
+// Two cell types start uniformly mixed in a disc; same-type adhesion is
+// stronger (smaller preferred distance) than cross-type adhesion. The demo
+// tracks a mixing index (fraction of cross-type nearest neighbors) and the
+// multi-information of the ensemble while the tissue un-mixes.
+//
+//   ./cell_sorting [samples] [steps]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sops.hpp"
+
+namespace {
+
+using namespace sops;
+
+// Fraction of particles whose nearest neighbor has the other type
+// (0.5 ≈ fully mixed for balanced types, → 0 as the tissue sorts).
+double mixing_index(const std::vector<geom::Vec2>& points,
+                    const std::vector<sim::TypeId>& types) {
+  std::size_t cross = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double best = 1e300;
+    std::size_t nearest = i;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      const double d = geom::dist_sq(points[i], points[j]);
+      if (d < best) {
+        best = d;
+        nearest = j;
+      }
+    }
+    if (types[nearest] != types[i]) ++cross;
+  }
+  return static_cast<double>(cross) / static_cast<double>(points.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t samples = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
+  const std::size_t steps = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
+
+  // Differential adhesion: tight same-type packing, looser cross-type.
+  sim::InteractionModel model(sim::ForceLawKind::kSpring, 2,
+                              sim::PairParams{1.0, 1.0, 1.0, 1.0});
+  model.set_r(0, 0, 1.2);
+  model.set_r(1, 1, 1.2);
+  model.set_r(0, 1, 2.2);  // the two tissues tolerate, but do not mix
+
+  sim::SimulationConfig simulation(std::move(model));
+  simulation.types = sim::evenly_distributed_types(40, 2);
+  simulation.cutoff_radius = 5.0;
+  simulation.init_disc_radius = 3.5;
+  simulation.steps = steps;
+  simulation.record_stride = std::max<std::size_t>(steps / 10, 1);
+  simulation.seed = 0xCE11;
+
+  core::ExperimentConfig experiment(simulation);
+  experiment.samples = samples;
+  const core::EnsembleSeries series = core::run_experiment(experiment);
+  const core::AnalysisResult result = core::analyze_self_organization(series);
+
+  std::cout << "Cell sorting by differential adhesion (n = 40, 2 tissues)\n\n";
+  std::cout << "   t    mixing-index   I(W1..Wn) [bits]\n";
+  for (std::size_t f = 0; f < series.frame_count(); ++f) {
+    std::cout << "  " << series.frame_steps[f] << "\t"
+              << mixing_index(series.frames[f][0], series.types) << "\t\t"
+              << result.points[f].multi_information << "\n";
+  }
+
+  std::cout << "\nmixed initial state (sample 0):\n"
+            << io::render_scatter(series.frames.front()[0], series.types)
+            << "\nsorted final state (sample 0):\n"
+            << io::render_scatter(series.frames.back()[0], series.types);
+
+  const double initial_mix = mixing_index(series.frames.front()[0], series.types);
+  const double final_mix = mixing_index(series.frames.back()[0], series.types);
+  std::cout << "\nmixing index " << initial_mix << " -> " << final_mix
+            << (final_mix < initial_mix ? "  (tissue sorted)" : "")
+            << "\nDelta-I = " << result.delta_mi() << " bits; self-organizing: "
+            << (result.self_organizing() ? "yes" : "no") << "\n";
+  return 0;
+}

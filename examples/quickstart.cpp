@@ -1,0 +1,51 @@
+// Quickstart: measure self-organization of the paper's Fig. 4 collective.
+//
+// Builds the three-type differential-adhesion system, runs an ensemble of
+// stochastic simulations, reduces each time step to shape space, estimates
+// the observer multi-information with the KSG estimator, and prints the
+// I(t) curve plus the final configuration of one sample.
+//
+//   ./quickstart [samples] [steps]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sops.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sops;
+
+  const std::size_t samples = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
+  const std::size_t steps = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 100;
+
+  // 1. The system: n = 50 particles, 3 types, r_c = 5 (paper Fig. 4).
+  sim::SimulationConfig simulation = core::presets::fig4_three_type_collective();
+  simulation.steps = steps;
+  simulation.record_stride = 10;
+
+  // 2. The ensemble: m independent stochastic runs.
+  core::ExperimentConfig experiment(simulation);
+  experiment.samples = samples;
+  const core::EnsembleSeries series = core::run_experiment(experiment);
+
+  // 3. The measure: shape-space reduction + KSG multi-information per step.
+  const core::AnalysisResult result = core::analyze_self_organization(series);
+
+  // 4. Report.
+  std::vector<io::Series> chart{{"I(W1..Wn) [bits]", result.steps(),
+                                 result.mi_values()}};
+  io::ChartOptions chart_options;
+  chart_options.y_label = "multi-information (bits)";
+  std::cout << "Fig. 4 collective: n = " << series.particle_count()
+            << ", samples = " << series.sample_count() << "\n\n"
+            << io::render_chart(chart, chart_options) << '\n';
+
+  std::cout << "Final configuration of sample 0:\n"
+            << io::render_scatter(series.frames.back().front(), series.types)
+            << '\n';
+
+  std::cout << "Delta I over the run: " << result.delta_mi() << " bits\n"
+            << "Verdict: the system "
+            << (result.self_organizing() ? "IS" : "is NOT")
+            << " self-organizing by the paper's criterion.\n";
+  return 0;
+}

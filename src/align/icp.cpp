@@ -1,0 +1,172 @@
+#include "align/icp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "geom/aabb.hpp"
+#include "geom/kdtree.hpp"
+#include "support/error.hpp"
+
+namespace sops::align {
+namespace {
+
+// Flat 3-D array of type-lifted points: (x, y, type · lift).
+std::vector<double> lift(std::span<const geom::Vec2> points,
+                         std::span<const sim::TypeId> types, double lift_scale) {
+  std::vector<double> out;
+  out.reserve(points.size() * 3);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.push_back(points[i].x);
+    out.push_back(points[i].y);
+    out.push_back(static_cast<double>(types[i]) * lift_scale);
+  }
+  return out;
+}
+
+void check_type_histograms(std::span<const sim::TypeId> a,
+                           std::span<const sim::TypeId> b) {
+  sim::TypeId max_type = 0;
+  for (const sim::TypeId t : a) max_type = std::max(max_type, t);
+  for (const sim::TypeId t : b) max_type = std::max(max_type, t);
+  const auto ha = sim::type_histogram(a, max_type + 1);
+  const auto hb = sim::type_histogram(b, max_type + 1);
+  support::expect(ha == hb, "align: type histograms differ");
+}
+
+// One ICP descent from the given initial rotation (about the source
+// centroid). Returns the final transform and MSE.
+IcpResult icp_descent(std::span<const geom::Vec2> source,
+                      std::span<const sim::TypeId> source_types,
+                      std::span<const geom::Vec2> target,
+                      const geom::KdTree& target_tree, double lift_scale,
+                      double initial_angle, const IcpOptions& options) {
+  const geom::Vec2 source_centroid = geom::centroid(source);
+  geom::RigidTransform2 current{
+      initial_angle,
+      source_centroid - geom::rotated(source_centroid, initial_angle)};
+
+  IcpResult result;
+  result.mean_squared_error = std::numeric_limits<double>::infinity();
+
+  std::vector<geom::Vec2> moved(source.size());
+  std::vector<geom::Vec2> matched(source.size());
+  double query[3];
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      moved[i] = current.apply(source[i]);
+    }
+
+    // NN correspondences in the lifted space (type never crosses).
+    double mse = 0.0;
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      query[0] = moved[i].x;
+      query[1] = moved[i].y;
+      query[2] = static_cast<double>(source_types[i]) * lift_scale;
+      const geom::Neighbor nn = target_tree.nearest({query, 3});
+      matched[i] = target[nn.index];
+      mse += geom::dist_sq(moved[i], matched[i]);
+    }
+    mse /= static_cast<double>(source.size());
+
+    if (mse >= result.mean_squared_error - options.convergence_tolerance) {
+      result.mean_squared_error = std::min(mse, result.mean_squared_error);
+      break;
+    }
+    result.mean_squared_error = mse;
+
+    // Best rigid motion of the *original* source onto the matched targets —
+    // fitting from the original (not the moved) points avoids compounding
+    // round-off across iterations.
+    current = geom::fit_rigid(source, matched);
+  }
+  result.transform = current;
+  return result;
+}
+
+}  // namespace
+
+IcpResult align_icp(std::span<const geom::Vec2> source,
+                    std::span<const sim::TypeId> source_types,
+                    std::span<const geom::Vec2> target,
+                    std::span<const sim::TypeId> target_types,
+                    const IcpOptions& options) {
+  support::expect(!source.empty() && source.size() == source_types.size() &&
+                      target.size() == target_types.size(),
+                  "align_icp: invalid inputs");
+  support::expect(source.size() == target.size(), "align_icp: size mismatch");
+  support::expect(options.rotation_restarts >= 1,
+                  "align_icp: need at least one restart");
+  check_type_histograms(source_types, target_types);
+
+  // Lift scale: one order of magnitude above the larger collective diameter
+  // (paper §5.2), floored to keep degenerate single-point clouds valid.
+  const double diameter =
+      std::max({geom::bounding_box(target).diagonal(),
+                geom::bounding_box(source).diagonal(), 1.0});
+  const double lift_scale = options.type_lift_scale * diameter;
+
+  const std::vector<double> lifted_target = lift(target, target_types, lift_scale);
+  const geom::KdTree target_tree(lifted_target, 3);
+
+  IcpResult best;
+  best.mean_squared_error = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.rotation_restarts; ++r) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(r) /
+                         static_cast<double>(options.rotation_restarts);
+    IcpResult candidate = icp_descent(source, source_types, target, target_tree,
+                                      lift_scale, angle, options);
+    if (candidate.mean_squared_error < best.mean_squared_error) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> match_by_type(std::span<const geom::Vec2> source,
+                                       std::span<const sim::TypeId> source_types,
+                                       std::span<const geom::Vec2> target,
+                                       std::span<const sim::TypeId> target_types) {
+  support::expect(source.size() == target.size() &&
+                      source.size() == source_types.size() &&
+                      target.size() == target_types.size(),
+                  "match_by_type: invalid inputs");
+  check_type_histograms(source_types, target_types);
+
+  // All same-type pairs sorted by distance; greedily commit closest pairs.
+  struct Pair {
+    double dist_sq;
+    std::uint32_t s;
+    std::uint32_t t;
+  };
+  std::vector<Pair> pairs;
+  for (std::uint32_t s = 0; s < source.size(); ++s) {
+    for (std::uint32_t t = 0; t < target.size(); ++t) {
+      if (source_types[s] != target_types[t]) continue;
+      pairs.push_back({geom::dist_sq(source[s], target[t]), s, t});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.dist_sq != b.dist_sq) return a.dist_sq < b.dist_sq;
+    if (a.s != b.s) return a.s < b.s;  // deterministic tie-break
+    return a.t < b.t;
+  });
+
+  const std::size_t n = source.size();
+  std::vector<std::size_t> match(n, n);
+  std::vector<char> target_used(n, 0);
+  std::size_t committed = 0;
+  for (const Pair& p : pairs) {
+    if (match[p.s] != n || target_used[p.t]) continue;
+    match[p.s] = p.t;
+    target_used[p.t] = 1;
+    if (++committed == n) break;
+  }
+  support::expect(committed == n, "match_by_type: incomplete matching");
+  return match;
+}
+
+}  // namespace sops::align

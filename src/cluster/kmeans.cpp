@@ -1,0 +1,142 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "rng/samplers.hpp"
+#include "support/error.hpp"
+
+namespace sops::cluster {
+namespace {
+
+// Index of the centroid nearest to p.
+std::size_t nearest_centroid(geom::Vec2 p, std::span<const geom::Vec2> centroids) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d = geom::dist_sq(p, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KMeansResult kmeans_single(std::span<const geom::Vec2> points, std::size_t k,
+                           rng::Xoshiro256& engine,
+                           const KMeansOptions& options) {
+  KMeansResult result;
+  result.centroids = kmeans_plus_plus_seeds(points, k, engine);
+  result.assignment.assign(points.size(), 0);
+
+  std::vector<geom::Vec2> sums(k);
+  std::vector<std::size_t> counts(k);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = nearest_centroid(points[i], result.centroids);
+      if (c != result.assignment[i]) {
+        result.assignment[i] = c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) {
+      result.converged = true;
+      break;
+    }
+
+    std::fill(sums.begin(), sums.end(), geom::Vec2{});
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[result.assignment[i]] += points[i];
+      ++counts[result.assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        result.centroids[c] = sums[c] / static_cast<double>(counts[c]);
+      } else {
+        // Reseed an empty cluster at the point farthest from its centroid:
+        // guarantees every centroid owns at least one point next round.
+        std::size_t worst_point = 0;
+        double worst_d = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d =
+              geom::dist_sq(points[i], result.centroids[result.assignment[i]]);
+          if (d > worst_d) {
+            worst_d = d;
+            worst_point = i;
+          }
+        }
+        result.centroids[c] = points[worst_point];
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia +=
+        geom::dist_sq(points[i], result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<geom::Vec2> kmeans_plus_plus_seeds(std::span<const geom::Vec2> points,
+                                               std::size_t k,
+                                               rng::Xoshiro256& engine) {
+  support::expect(k >= 1 && k <= points.size(),
+                  "kmeans_plus_plus_seeds: need 1 <= k <= point count");
+  std::vector<geom::Vec2> seeds;
+  seeds.reserve(k);
+  seeds.push_back(points[rng::uniform_index(engine, points.size())]);
+
+  std::vector<double> dist_sq(points.size());
+  while (seeds.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const geom::Vec2 s : seeds) best = std::min(best, geom::dist_sq(points[i], s));
+      dist_sq[i] = best;
+      total += best;
+    }
+    if (total == 0.0) {
+      // All points coincide with existing seeds (duplicates); any point works.
+      seeds.push_back(points[rng::uniform_index(engine, points.size())]);
+      continue;
+    }
+    double target = rng::uniform01(engine) * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= dist_sq[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    seeds.push_back(points[chosen]);
+  }
+  return seeds;
+}
+
+KMeansResult kmeans(std::span<const geom::Vec2> points, std::size_t k,
+                    rng::Xoshiro256& engine, const KMeansOptions& options) {
+  support::expect(k >= 1 && k <= points.size(),
+                  "kmeans: need 1 <= k <= point count");
+  support::expect(options.restarts >= 1, "kmeans: restarts must be >= 1");
+  KMeansResult best;
+  double best_inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    KMeansResult candidate = kmeans_single(points, k, engine, options);
+    if (candidate.inertia < best_inertia) {
+      best_inertia = candidate.inertia;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace sops::cluster

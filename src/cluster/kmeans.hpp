@@ -1,0 +1,48 @@
+// Lloyd's k-means with k-means++ seeding over 2-D points.
+//
+// Backs the paper's §5.3.1 approximation: for collectives with n > 60
+// particles, per-type k-means centroids become the coarse "mean observer"
+// variables Ŵ, reducing the dimensionality of the multi-information
+// estimate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "rng/engine.hpp"
+
+namespace sops::cluster {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<geom::Vec2> centroids;     ///< k cluster centers
+  std::vector<std::size_t> assignment;   ///< per-point cluster index
+  double inertia = 0.0;                  ///< Σ_i ‖p_i − c_{a(i)}‖²
+  std::size_t iterations = 0;            ///< Lloyd iterations performed
+  bool converged = false;                ///< true if assignments stabilized
+};
+
+/// k-means options.
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  /// Stop when no assignment changes (exact) — tolerance-free because the
+  /// downstream estimator needs deterministic centroids, not speed.
+  std::size_t restarts = 1;  ///< best-of-N inertia over independent seedings
+};
+
+/// Clusters `points` into k groups. Requires 1 ≤ k ≤ points.size().
+/// Deterministic given the engine state. Empty clusters are reseeded to the
+/// point currently farthest from its centroid.
+[[nodiscard]] KMeansResult kmeans(std::span<const geom::Vec2> points,
+                                  std::size_t k, rng::Xoshiro256& engine,
+                                  const KMeansOptions& options = {});
+
+/// k-means++ seeding only (exposed for tests): k distinct initial centers,
+/// each chosen with probability proportional to squared distance from the
+/// nearest already-chosen center.
+[[nodiscard]] std::vector<geom::Vec2> kmeans_plus_plus_seeds(
+    std::span<const geom::Vec2> points, std::size_t k, rng::Xoshiro256& engine);
+
+}  // namespace sops::cluster

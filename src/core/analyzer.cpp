@@ -1,0 +1,113 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+
+#include "support/parallel_for.hpp"
+
+namespace sops::core {
+
+double AnalysisResult::peak_delta_mi() const noexcept {
+  if (points.empty()) return 0.0;
+  double peak = points.front().multi_information;
+  for (const TimePoint& p : points) {
+    peak = std::max(peak, p.multi_information);
+  }
+  return peak - points.front().multi_information;
+}
+
+std::vector<double> AnalysisResult::steps() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const TimePoint& p : points) out.push_back(static_cast<double>(p.step));
+  return out;
+}
+
+std::vector<double> AnalysisResult::mi_values() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const TimePoint& p : points) out.push_back(p.multi_information);
+  return out;
+}
+
+AnalysisResult analyze_self_organization(const EnsembleSeries& series,
+                                         const AnalysisOptions& options) {
+  support::expect(series.frame_count() >= 1, "analyze: empty series");
+  support::expect(series.sample_count() >= options.ksg.k + 1,
+                  "analyze: need more samples than the estimator's k");
+  support::expect(series.particle_count() >= 2,
+                  "analyze: need at least two particles");
+
+  const std::size_t frame_count = series.frame_count();
+  const bool coarse =
+      series.particle_count() > options.coarse_grain_above;
+
+  AnalysisResult result;
+  result.coarse_grained = coarse;
+  result.points.resize(frame_count);
+
+  // Inner stages run single-threaded; parallelism is across frames.
+  align::EnsembleOptions ensemble_options = options.ensemble;
+  ensemble_options.threads = 1;
+  info::KsgOptions ksg_options = options.ksg;
+  ksg_options.threads = 1;
+
+  std::vector<std::size_t> observer_counts(frame_count, 0);
+
+  support::parallel_for(
+      0, frame_count,
+      [&](std::size_t f) {
+        align::AlignedEnsemble aligned =
+            align::align_ensemble(series.frames[f], series.types, ensemble_options);
+        if (coarse) {
+          // Seeded per frame so frames are independent of evaluation order.
+          rng::Xoshiro256 engine =
+              rng::make_stream(options.kmeans_seed, static_cast<std::uint64_t>(f));
+          aligned = align::coarse_grain_ensemble(aligned, options.kmeans_per_type,
+                                                 engine);
+        }
+        observer_counts[f] = aligned.observer_count();
+
+        TimePoint& point = result.points[f];
+        point.step = series.frame_steps[f];
+        point.multi_information =
+            info::multi_information_ksg(aligned.samples, aligned.blocks, ksg_options);
+
+        if (options.compute_entropies) {
+          point.joint_entropy =
+              info::entropy_kl(aligned.samples, ksg_options.k, 1);
+          point.marginal_entropy_sum = 0.0;
+          for (const info::Block& block : aligned.blocks) {
+            point.marginal_entropy_sum +=
+                info::entropy_kl_block(aligned.samples, block, ksg_options.k, 1);
+          }
+        }
+        if (options.compute_decomposition) {
+          sim::TypeId max_type = 0;
+          for (const sim::TypeId t : aligned.block_types) {
+            max_type = std::max(max_type, t);
+          }
+          const info::ObserverGrouping grouping = info::group_blocks_by_type(
+              aligned.block_types, static_cast<std::size_t>(max_type) + 1);
+          if (grouping.size() >= 2) {
+            point.decomposition = info::decompose_multi_information(
+                aligned.samples, aligned.blocks, grouping, ksg_options);
+          } else {
+            point.decomposition.total = point.multi_information;
+            point.decomposition.between_groups = 0.0;
+            point.decomposition.within_group = {point.multi_information};
+          }
+        }
+      },
+      options.threads);
+
+  result.observer_count = observer_counts.front();
+  return result;
+}
+
+AnalysisResult measure_experiment(const ExperimentConfig& config,
+                                  const AnalysisOptions& options) {
+  const EnsembleSeries series = run_experiment(config);
+  return analyze_self_organization(series, options);
+}
+
+}  // namespace sops::core

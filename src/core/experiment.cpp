@@ -1,0 +1,58 @@
+#include "core/experiment.hpp"
+
+#include "support/parallel_for.hpp"
+
+namespace sops::core {
+
+double EnsembleSeries::equilibrium_fraction() const noexcept {
+  if (equilibrium_steps.empty()) return 0.0;
+  std::size_t reached = 0;
+  for (const auto& step : equilibrium_steps) {
+    if (step.has_value()) ++reached;
+  }
+  return static_cast<double>(reached) /
+         static_cast<double>(equilibrium_steps.size());
+}
+
+EnsembleSeries run_experiment(const ExperimentConfig& config) {
+  support::expect(config.samples >= 1, "run_experiment: need at least 1 sample");
+  support::expect(!config.simulation.stop_at_equilibrium,
+                  "run_experiment: ensembles need a fixed recording grid; "
+                  "disable stop_at_equilibrium");
+
+  const std::size_t m = config.samples;
+  std::vector<sim::Trajectory> trajectories(m);
+
+  support::parallel_for(
+      0, m,
+      [&](std::size_t s) {
+        sim::SimulationConfig sample_config = config.simulation;
+        sample_config.stream = s;
+        trajectories[s] = sim::run_simulation(sample_config);
+      },
+      config.threads);
+
+  EnsembleSeries series;
+  series.types = config.simulation.types;
+  series.frame_steps = trajectories.front().frame_steps;
+  const std::size_t frame_count = series.frame_steps.size();
+  for (const sim::Trajectory& trajectory : trajectories) {
+    support::expect(trajectory.frame_steps == series.frame_steps,
+                    "run_experiment: recording grids diverged");
+  }
+
+  series.frames.resize(frame_count);
+  for (std::size_t f = 0; f < frame_count; ++f) {
+    series.frames[f].reserve(m);
+    for (std::size_t s = 0; s < m; ++s) {
+      series.frames[f].push_back(std::move(trajectories[s].frames[f]));
+    }
+  }
+  series.equilibrium_steps.reserve(m);
+  for (const sim::Trajectory& trajectory : trajectories) {
+    series.equilibrium_steps.push_back(trajectory.equilibrium_step);
+  }
+  return series;
+}
+
+}  // namespace sops::core

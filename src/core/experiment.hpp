@@ -1,0 +1,51 @@
+// Ensemble experiments: m independent stochastic runs of one collective
+// (paper §5.1). The ensemble at a fixed recorded step is the sample set
+// z⁽ᵗ⁾ from which the self-organization measure is estimated.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace sops::core {
+
+/// Specification of a full experiment: one simulation config replicated over
+/// m RNG streams. Everything is deterministic in (config, samples).
+struct ExperimentConfig {
+  explicit ExperimentConfig(sim::SimulationConfig simulation_config)
+      : simulation(std::move(simulation_config)) {}
+
+  sim::SimulationConfig simulation;
+  std::size_t samples = 500;  ///< m
+  std::size_t threads = 0;    ///< worker threads across samples (0 = auto)
+};
+
+/// The recorded ensemble: frames[f][s] is sample s at step frame_steps[f].
+struct EnsembleSeries {
+  std::vector<sim::TypeId> types;
+  std::vector<std::size_t> frame_steps;
+  /// Indexed [frame][sample][particle].
+  std::vector<std::vector<std::vector<geom::Vec2>>> frames;
+  /// Per-sample equilibrium step (if the criterion held during the run).
+  std::vector<std::optional<std::size_t>> equilibrium_steps;
+
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames.size(); }
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return frames.empty() ? 0 : frames.front().size();
+  }
+  [[nodiscard]] std::size_t particle_count() const noexcept {
+    return types.size();
+  }
+
+  /// Fraction of samples whose equilibrium criterion held by the last step.
+  [[nodiscard]] double equilibrium_fraction() const noexcept;
+};
+
+/// Runs the experiment: samples stream s ∈ [0, m) are simulated in parallel
+/// and their recorded frames regrouped per time step. All samples share the
+/// recording grid, so the regrouping is rectangular by construction.
+[[nodiscard]] EnsembleSeries run_experiment(const ExperimentConfig& config);
+
+}  // namespace sops::core

@@ -1,0 +1,101 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "cluster/kmeans.hpp"
+
+namespace sops::core {
+
+double HierarchicalDecomposition::reconstructed() const noexcept {
+  double total = by_type.between_groups;
+  // Types split at level 2 contribute their reconstructed split; types not
+  // split contribute their level-1 within term directly.
+  for (const TypeLevelDecomposition& type_level : within_types) {
+    total += type_level.by_cluster.reconstructed();
+  }
+  // Level-1 within terms for types that were not split (fewer than two
+  // particles): within_types entries exist only for split types, and the
+  // grouping order matches by_type.within_group order for those; unsplit
+  // types carry zero within-information by definition, so nothing to add.
+  return total;
+}
+
+HierarchicalDecomposition decompose_two_level(
+    const align::AlignedEnsemble& ensemble, std::size_t clusters_per_type,
+    const info::KsgOptions& options, std::uint64_t cluster_seed) {
+  support::expect(clusters_per_type >= 1,
+                  "decompose_two_level: need at least one cluster per type");
+  const std::size_t n = ensemble.observer_count();
+  support::expect(n >= 2, "decompose_two_level: need at least two observers");
+
+  sim::TypeId max_type = 0;
+  for (const sim::TypeId t : ensemble.block_types) {
+    max_type = std::max(max_type, t);
+  }
+  const std::size_t type_count = static_cast<std::size_t>(max_type) + 1;
+
+  HierarchicalDecomposition result;
+
+  // Level 1: by type.
+  const info::ObserverGrouping type_grouping =
+      info::group_blocks_by_type(ensemble.block_types, type_count);
+  result.by_type = info::decompose_multi_information(
+      ensemble.samples, ensemble.blocks, type_grouping, options);
+
+  // Level 2: within each type, cluster the reference-sample positions.
+  rng::Xoshiro256 engine = rng::make_stream(cluster_seed, 0);
+  for (const auto& members : type_grouping) {
+    if (members.size() < 2) continue;
+    const sim::TypeId type = ensemble.block_types[members.front()];
+
+    // Reference positions of this type's particles.
+    std::vector<geom::Vec2> reference;
+    reference.reserve(members.size());
+    for (const std::size_t b : members) {
+      reference.push_back({ensemble.samples(0, ensemble.blocks[b].offset),
+                           ensemble.samples(0, ensemble.blocks[b].offset + 1)});
+    }
+    const std::size_t k = std::min(clusters_per_type, members.size());
+    const cluster::KMeansResult clusters =
+        cluster::kmeans(reference, k, engine);
+
+    // Gather this type's columns into a compact matrix; group by cluster.
+    info::SampleMatrix type_samples(ensemble.sample_count(),
+                                    2 * members.size());
+    for (std::size_t s = 0; s < ensemble.sample_count(); ++s) {
+      for (std::size_t local = 0; local < members.size(); ++local) {
+        const info::Block& block = ensemble.blocks[members[local]];
+        type_samples(s, 2 * local) = ensemble.samples(s, block.offset);
+        type_samples(s, 2 * local + 1) =
+            ensemble.samples(s, block.offset + 1);
+      }
+    }
+    info::ObserverGrouping cluster_grouping(k);
+    for (std::size_t local = 0; local < members.size(); ++local) {
+      cluster_grouping[clusters.assignment[local]].push_back(local);
+    }
+    std::erase_if(cluster_grouping,
+                  [](const auto& group) { return group.empty(); });
+
+    TypeLevelDecomposition type_level;
+    type_level.type = type;
+    for (const auto& group : cluster_grouping) {
+      type_level.cluster_sizes.push_back(group.size());
+    }
+    if (cluster_grouping.size() >= 2) {
+      type_level.by_cluster = info::decompose_multi_information(
+          type_samples, info::uniform_blocks(members.size(), 2),
+          cluster_grouping, options);
+    } else {
+      // Single cluster: the whole within-type term is within-cluster.
+      type_level.by_cluster.total = info::multi_information_ksg(
+          type_samples, info::uniform_blocks(members.size(), 2), options);
+      type_level.by_cluster.between_groups = 0.0;
+      type_level.by_cluster.within_group = {type_level.by_cluster.total};
+    }
+    result.within_types.push_back(std::move(type_level));
+  }
+  return result;
+}
+
+}  // namespace sops::core

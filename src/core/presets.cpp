@@ -1,0 +1,135 @@
+#include "core/presets.hpp"
+
+namespace sops::core::presets {
+namespace {
+
+// Shared experiment-wide seeds: one namespace per figure so changing the
+// sample count of one bench never shifts another's draws.
+constexpr std::uint64_t kFig4Seed = 0x0F04;
+constexpr std::uint64_t kFig5Seed = 0x0F05;
+constexpr std::uint64_t kFig3Seed = 0x0F03;
+constexpr std::uint64_t kFig8Seed = 0x0F08;
+constexpr std::uint64_t kFig9Seed = 0x0F09;
+constexpr std::uint64_t kFig12Seed = 0x0F12;
+
+}  // namespace
+
+sim::SimulationConfig fig4_three_type_collective() {
+  sim::InteractionModel model(sim::ForceLawKind::kSpring, 3,
+                              sim::PairParams{1.0, 1.0, 1.0, 1.0});
+  const double r[3][3] = {
+      {2.5, 5.0, 4.0}, {5.0, 2.5, 2.0}, {4.0, 2.0, 3.5}};
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a; b < 3; ++b) model.set_r(a, b, r[a][b]);
+  }
+  sim::SimulationConfig config(std::move(model));
+  config.types = sim::evenly_distributed_types(50, 3);
+  config.cutoff_radius = 5.0;
+  config.init_disc_radius = 5.0;
+  config.steps = 250;
+  config.seed = kFig4Seed;
+  return config;
+}
+
+sim::SimulationConfig fig5_single_type_rings() {
+  sim::InteractionModel model(sim::ForceLawKind::kSpring, 1,
+                              sim::PairParams{1.0, 2.0, 1.0, 1.0});
+  sim::SimulationConfig config(std::move(model));
+  config.types = sim::evenly_distributed_types(20, 1);
+  config.cutoff_radius = sim::kUnboundedRadius;  // r_c > 2·r_αα
+  config.init_disc_radius = 3.0;
+  config.steps = 250;
+  config.seed = kFig5Seed;
+  return config;
+}
+
+sim::SimulationConfig fig3_single_type_grid() {
+  // Literal F² (σ = 1 < τ): decaying repulsion; the collective spreads into
+  // a regular disc-shaped grid and keeps expanding slowly (paper §6).
+  sim::InteractionModel model(sim::ForceLawKind::kDoubleGaussian, 1,
+                              sim::PairParams{5.0, 1.0, 1.0, 4.0});
+  sim::SimulationConfig config(std::move(model));
+  config.types = sim::evenly_distributed_types(40, 1);
+  config.cutoff_radius = 5.0;
+  config.init_disc_radius = 3.0;
+  config.steps = 250;
+  config.seed = kFig3Seed;
+  return config;
+}
+
+sim::SimulationConfig fig9_random_types(std::size_t type_count,
+                                        double cutoff_radius,
+                                        std::uint64_t matrix_index) {
+  rng::Xoshiro256 engine = rng::make_stream(kFig9Seed, matrix_index);
+  sim::RandomModelRanges ranges;
+  ranges.k_min = ranges.k_max = 1.0;  // caption: k_αβ = 1
+  ranges.r_min = 2.0;
+  ranges.r_max = 8.0;  // caption: r_αβ ∈ [2, 8]
+  sim::SimulationConfig config(
+      sim::random_spring_model(type_count, ranges, engine));
+  config.types = sim::evenly_distributed_types(20, type_count);
+  config.cutoff_radius = cutoff_radius;
+  config.init_disc_radius = 5.0;
+  config.steps = 250;
+  config.seed = kFig9Seed ^ (matrix_index << 8);
+  return config;
+}
+
+sim::SimulationConfig fig8_f2_random_types(std::size_t particle_count,
+                                           std::size_t type_count,
+                                           std::uint64_t matrix_index) {
+  rng::Xoshiro256 engine =
+      rng::make_stream(kFig8Seed, matrix_index * 64 + type_count);
+  sim::RandomModelRanges ranges;
+  // The caption fixes only the preferred-distance range; k is drawn from
+  // the paper's general k_αβ ∈ [1, 10] (§4.1) — F²'s bounded scaling needs
+  // k well above 1 for the drift to beat the noise within 250 steps.
+  ranges.k_min = 2.0;
+  ranges.k_max = 8.0;
+  ranges.r_min = 1.0;
+  ranges.r_max = 5.0;  // caption: r_αβ ∈ [1, 5]
+  ranges.tau_min = 1.0;
+  ranges.tau_max = 3.0;
+  sim::SimulationConfig config(
+      sim::random_double_gaussian_model(type_count, ranges, engine));
+  config.types = sim::evenly_distributed_types(particle_count, type_count);
+  config.cutoff_radius = 10.0;
+  config.init_disc_radius = 4.0;
+  config.steps = 250;
+  config.seed = kFig8Seed ^ (matrix_index << 8) ^ (type_count << 20);
+  return config;
+}
+
+sim::SimulationConfig fig12_enclosed_structure() {
+  sim::InteractionModel model(sim::ForceLawKind::kSpring, 2,
+                              sim::PairParams{1.0, 1.0, 1.0, 1.0});
+  // Differential-adhesion engulfment: type 0 packs tightly (small r_00,
+  // strong k), type 1 spreads loosely (large r_11), and the cross distance
+  // is intermediate — type 1 cannot enter the dense core and wraps around
+  // it as an enclosing ring (Fig. 12 middle/right).
+  model.set_r(0, 0, 1.0);
+  model.set_k(0, 0, 4.0);
+  model.set_r(1, 1, 3.0);
+  model.set_r(0, 1, 2.0);
+  sim::SimulationConfig config(std::move(model));
+  config.types = sim::evenly_distributed_types(40, 2);
+  config.cutoff_radius = 6.0;
+  config.init_disc_radius = 4.0;
+  config.steps = 250;
+  config.seed = kFig12Seed;
+  return config;
+}
+
+sim::SimulationConfig noninteracting_control(std::size_t n) {
+  sim::InteractionModel model(sim::ForceLawKind::kSpring, 1,
+                              sim::PairParams{0.0, 1.0, 1.0, 1.0});
+  sim::SimulationConfig config(std::move(model));
+  config.types = sim::evenly_distributed_types(n, 1);
+  config.cutoff_radius = 5.0;
+  config.init_disc_radius = 5.0;
+  config.steps = 250;
+  config.seed = 0xC0917801;
+  return config;
+}
+
+}  // namespace sops::core::presets

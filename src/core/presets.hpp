@@ -1,0 +1,52 @@
+// Named experiment presets — the exact systems of the paper's figures.
+//
+// Centralizing them here keeps benches, examples, and integration tests in
+// agreement about what "the Fig. 4 system" is. Every preset documents the
+// figure caption it encodes and the choices the caption leaves open.
+#pragma once
+
+#include <cstdint>
+
+#include "core/experiment.hpp"
+#include "sim/generators.hpp"
+
+namespace sops::core::presets {
+
+/// Fig. 4 / Fig. 6: n = 50, l = 3, r_c = 5.0,
+/// r_αβ = {{2.5, 5.0, 4.0}, {5.0, 2.5, 2.0}, {4.0, 2.0, 3.5}}.
+/// The caption does not name the force law; we use F¹ with k_αβ = 1 (the
+/// r_αβ matrix is the directly-specifiable F¹ preferred-distance matrix).
+[[nodiscard]] sim::SimulationConfig fig4_three_type_collective();
+
+/// Fig. 5 / Fig. 7: F¹, 20 particles of one type, r_c > 2·r_αα so two
+/// concentric regular polygons form with a free mutual rotation.
+/// We use r_αα = 2, k = 1, r_c = ∞.
+[[nodiscard]] sim::SimulationConfig fig5_single_type_rings();
+
+/// Fig. 3 (right): single-type F² collective that settles into a regular
+/// disc-shaped grid (the paper's literal σ = 1 F² regime).
+[[nodiscard]] sim::SimulationConfig fig3_single_type_grid();
+
+/// Fig. 9 / Fig. 10 systems: 20 particles, l types (20 or 5), F¹ with
+/// random r_αβ ∈ [2, 8], k_αβ = 1, for a given cut-off radius.
+/// `matrix_index` selects one of the "10 samples of random types".
+[[nodiscard]] sim::SimulationConfig fig9_random_types(
+    std::size_t type_count, double cutoff_radius, std::uint64_t matrix_index);
+
+/// Fig. 8 system: n particles, l types, F² interactions specified by random
+/// preferred-distance radii r_αβ ∈ [1, 5] (k = 1, τ ∈ [1, 3]).
+[[nodiscard]] sim::SimulationConfig fig8_f2_random_types(
+    std::size_t particle_count, std::size_t type_count,
+    std::uint64_t matrix_index);
+
+/// Fig. 12-style emergent structures: two-type collective at small r_c whose
+/// cross-type preferred distance exceeds the within-type ones, producing a
+/// ball of one type enclosed by a ring of the other.
+[[nodiscard]] sim::SimulationConfig fig12_enclosed_structure();
+
+/// A control system with interactions disabled (k_αβ = 0): pure diffusion,
+/// the "completely random process" of §3.1 that must show no
+/// self-organization.
+[[nodiscard]] sim::SimulationConfig noninteracting_control(std::size_t n);
+
+}  // namespace sops::core::presets

@@ -1,0 +1,62 @@
+// Axis-aligned bounding box over 2-D point sets.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "geom/vec2.hpp"
+
+namespace sops::geom {
+
+/// Axis-aligned bounding box in the plane. An empty box has min > max.
+struct Aabb {
+  Vec2 min{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity()};
+  Vec2 max{-std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+
+  /// True if no point has been added.
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return min.x > max.x || min.y > max.y;
+  }
+
+  /// Expands the box to contain `p`.
+  constexpr void include(Vec2 p) noexcept {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  /// True if `p` lies inside or on the boundary.
+  [[nodiscard]] constexpr bool contains(Vec2 p) const noexcept {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// Box width (0 for empty boxes).
+  [[nodiscard]] constexpr double width() const noexcept {
+    return empty() ? 0.0 : max.x - min.x;
+  }
+  /// Box height (0 for empty boxes).
+  [[nodiscard]] constexpr double height() const noexcept {
+    return empty() ? 0.0 : max.y - min.y;
+  }
+  /// Center of the box; origin for empty boxes.
+  [[nodiscard]] constexpr Vec2 center() const noexcept {
+    return empty() ? Vec2{} : Vec2{(min.x + max.x) / 2, (min.y + max.y) / 2};
+  }
+  /// Length of the box diagonal.
+  [[nodiscard]] double diagonal() const noexcept {
+    return empty() ? 0.0 : norm(max - min);
+  }
+};
+
+/// Bounding box of a point set.
+[[nodiscard]] inline Aabb bounding_box(std::span<const Vec2> points) noexcept {
+  Aabb box;
+  for (const Vec2 p : points) box.include(p);
+  return box;
+}
+
+}  // namespace sops::geom

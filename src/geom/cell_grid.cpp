@@ -1,0 +1,34 @@
+#include "geom/cell_grid.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace sops::geom {
+
+CellGrid::CellGrid(std::span<const Vec2> points, double cell_size)
+    : points_(points), cell_size_(cell_size) {
+  support::expect(cell_size > 0.0 && std::isfinite(cell_size),
+                  "CellGrid: cell size must be positive and finite");
+  cells_.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    cells_[key_of(points[i])].push_back(i);
+  }
+}
+
+CellGrid::CellKey CellGrid::key_of(Vec2 p) const noexcept {
+  return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+          static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+}
+
+std::vector<std::size_t> CellGrid::neighbors_of(std::size_t i,
+                                                double radius) const {
+  support::expect(i < points_.size(), "CellGrid::neighbors_of: index out of range");
+  support::expect(radius <= cell_size_ * (1.0 + 1e-12),
+                  "CellGrid::neighbors_of: radius exceeds cell size");
+  std::vector<std::size_t> out;
+  for_each_neighbor(i, radius, [&](std::size_t j) { out.push_back(j); });
+  return out;
+}
+
+}  // namespace sops::geom

@@ -1,0 +1,92 @@
+// Uniform hashed cell grid for fixed-radius neighbor queries in the plane.
+//
+// This is the O(n)-per-step neighbor structure behind the particle
+// simulation's cut-off radius r_c: cells have side length r_c, so all
+// neighbors of a point lie in its own cell and the 8 surrounding ones.
+// The domain is unbounded (the paper's particles live in all of R²), hence
+// cells are stored in a hash map keyed by integer cell coordinates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace sops::geom {
+
+/// Fixed-radius neighbor index over a point set. Rebuild per time step.
+class CellGrid {
+ public:
+  /// Indexes `points` with cell side `cell_size` (use the query radius).
+  /// The span must stay valid while the grid is queried.
+  CellGrid(std::span<const Vec2> points, double cell_size);
+
+  /// Number of indexed points.
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+  /// Invokes `fn(j)` for every point j ≠ i with ‖p_j − p_i‖ < radius.
+  /// Requires radius ≤ cell_size (enforced).
+  template <typename Fn>
+  void for_each_neighbor(std::size_t i, double radius, Fn&& fn) const {
+    for_each_candidate(points_[i], [&](std::size_t j) {
+      if (j != i && dist_sq(points_[j], points_[i]) < radius * radius) fn(j);
+    });
+  }
+
+  /// Invokes `fn(j)` for every point j with ‖p_j − q‖ < radius, where q is an
+  /// arbitrary query location (j may be any indexed point).
+  template <typename Fn>
+  void for_each_within(Vec2 q, double radius, Fn&& fn) const {
+    for_each_candidate(q, [&](std::size_t j) {
+      if (dist_sq(points_[j], q) < radius * radius) fn(j);
+    });
+  }
+
+  /// Indices of all neighbors of point i within `radius` (convenience form).
+  [[nodiscard]] std::vector<std::size_t> neighbors_of(std::size_t i,
+                                                      double radius) const;
+
+  /// Cell side length the grid was built with.
+  [[nodiscard]] double cell_size() const noexcept { return cell_size_; }
+
+ private:
+  struct CellKey {
+    std::int64_t x;
+    std::int64_t y;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct CellKeyHash {
+    std::size_t operator()(const CellKey& k) const noexcept {
+      // 2-D variant of the classic 64-bit mix; cells are sparse so quality
+      // of mixing matters more than speed here.
+      std::uint64_t h = static_cast<std::uint64_t>(k.x) * 0x9E3779B97F4A7C15ull;
+      h ^= static_cast<std::uint64_t>(k.y) * 0xC2B2AE3D27D4EB4Full;
+      h ^= h >> 29;
+      h *= 0xBF58476D1CE4E5B9ull;
+      h ^= h >> 32;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  [[nodiscard]] CellKey key_of(Vec2 p) const noexcept;
+
+  template <typename Fn>
+  void for_each_candidate(Vec2 q, Fn&& fn) const {
+    const CellKey center = key_of(q);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cells_.find(CellKey{center.x + dx, center.y + dy});
+        if (it == cells_.end()) continue;
+        for (const std::size_t j : it->second) fn(j);
+      }
+    }
+  }
+
+  std::span<const Vec2> points_;
+  double cell_size_;
+  std::unordered_map<CellKey, std::vector<std::size_t>, CellKeyHash> cells_;
+};
+
+}  // namespace sops::geom

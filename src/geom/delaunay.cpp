@@ -1,0 +1,194 @@
+#include "geom/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "geom/aabb.hpp"
+#include "support/error.hpp"
+
+namespace sops::geom {
+namespace {
+
+// Signed twice-area of the triangle (a, b, c): positive if counterclockwise.
+double orient(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  return cross(b - a, c - a);
+}
+
+// Internal triangle over the working point array (input points plus the
+// three super-triangle vertices at the end).
+struct WorkTriangle {
+  std::array<std::size_t, 3> v;
+  bool alive = true;
+};
+
+// Undirected edge key with canonical ordering.
+struct Edge {
+  std::size_t a;
+  std::size_t b;
+  Edge(std::size_t x, std::size_t y) : a(std::min(x, y)), b(std::max(x, y)) {}
+  bool operator<(const Edge& o) const {
+    return a != o.a ? a < o.a : b < o.b;
+  }
+};
+
+}  // namespace
+
+bool in_circumcircle(Vec2 a, Vec2 b, Vec2 c, Vec2 p) {
+  // Ensure counterclockwise orientation so the determinant sign is stable.
+  if (orient(a, b, c) < 0.0) std::swap(b, c);
+  const double ax = a.x - p.x;
+  const double ay = a.y - p.y;
+  const double bx = b.x - p.x;
+  const double by = b.y - p.y;
+  const double cx = c.x - p.x;
+  const double cy = c.y - p.y;
+  const double det =
+      (ax * ax + ay * ay) * (bx * cy - by * cx) -
+      (bx * bx + by * by) * (ax * cy - ay * cx) +
+      (cx * cx + cy * cy) * (ax * by - ay * bx);
+  return det > 0.0;
+}
+
+std::vector<Triangle> delaunay_triangulation(std::span<const Vec2> points) {
+  const std::size_t n = points.size();
+  if (n < 3) return {};
+
+  // Deduplicate: only the first occurrence of a coordinate participates.
+  std::vector<std::size_t> active;
+  {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+      if (points[i].x != points[j].x) return points[i].x < points[j].x;
+      if (points[i].y != points[j].y) return points[i].y < points[j].y;
+      return i < j;
+    });
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k > 0 && points[order[k]] == points[order[k - 1]]) continue;
+      active.push_back(order[k]);
+    }
+    std::sort(active.begin(), active.end());
+  }
+  if (active.size() < 3) return {};
+
+  // Reject fully collinear sets (no triangulation exists).
+  {
+    bool any_area = false;
+    for (std::size_t k = 2; k < active.size() && !any_area; ++k) {
+      any_area = std::abs(orient(points[active[0]], points[active[1]],
+                                 points[active[k]])) > 1e-12;
+    }
+    if (!any_area) return {};
+  }
+
+  // Working points: the originals plus a super-triangle big enough that its
+  // circumcircles dwarf the data.
+  Aabb box;
+  for (const std::size_t i : active) box.include(points[i]);
+  const Vec2 center = box.center();
+  const double span = std::max(box.diagonal(), 1.0) * 64.0;
+  std::vector<Vec2> work(points.begin(), points.end());
+  const std::size_t s0 = work.size();
+  work.push_back(center + Vec2{0.0, span});
+  work.push_back(center + Vec2{-span, -span});
+  work.push_back(center + Vec2{span, -span});
+
+  std::vector<WorkTriangle> triangles;
+  triangles.push_back({{s0, s0 + 1, s0 + 2}, true});
+
+  for (const std::size_t p : active) {
+    // Collect triangles whose circumcircle contains the new point and the
+    // boundary edges of that cavity.
+    std::map<Edge, int> edge_count;
+    for (WorkTriangle& triangle : triangles) {
+      if (!triangle.alive) continue;
+      if (in_circumcircle(work[triangle.v[0]], work[triangle.v[1]],
+                          work[triangle.v[2]], work[p])) {
+        triangle.alive = false;
+        ++edge_count[Edge(triangle.v[0], triangle.v[1])];
+        ++edge_count[Edge(triangle.v[1], triangle.v[2])];
+        ++edge_count[Edge(triangle.v[2], triangle.v[0])];
+      }
+    }
+    // Re-triangulate the cavity: one new triangle per boundary edge (edges
+    // shared by two removed triangles are interior and vanish).
+    for (const auto& [edge, count] : edge_count) {
+      if (count != 1) continue;
+      triangles.push_back({{edge.a, edge.b, p}, true});
+    }
+    // Compact occasionally to keep the scan linear-ish.
+    if (triangles.size() > 4 * active.size()) {
+      std::erase_if(triangles,
+                    [](const WorkTriangle& t) { return !t.alive; });
+    }
+  }
+
+  std::vector<Triangle> result;
+  for (const WorkTriangle& triangle : triangles) {
+    if (!triangle.alive) continue;
+    if (triangle.v[0] >= s0 || triangle.v[1] >= s0 || triangle.v[2] >= s0) {
+      continue;  // touches the super-triangle
+    }
+    result.push_back({triangle.v});
+  }
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> delaunay_adjacency(
+    std::span<const Vec2> points) {
+  const std::size_t n = points.size();
+  std::vector<std::vector<std::size_t>> neighbors(n);
+
+  const std::vector<Triangle> triangles = delaunay_triangulation(points);
+  for (const Triangle& triangle : triangles) {
+    for (int e = 0; e < 3; ++e) {
+      const std::size_t a = triangle.vertices[e];
+      const std::size_t b = triangle.vertices[(e + 1) % 3];
+      neighbors[a].push_back(b);
+      neighbors[b].push_back(a);
+    }
+  }
+
+  // Duplicates: link each repeated coordinate to the representative that
+  // participated in the triangulation (and vice versa) so force exchange
+  // still reaches them.
+  std::map<std::pair<double, double>, std::size_t> first_at;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto key = std::make_pair(points[i].x, points[i].y);
+    const auto [it, inserted] = first_at.try_emplace(key, i);
+    if (!inserted) {
+      neighbors[i].push_back(it->second);
+      neighbors[it->second].push_back(i);
+      // The duplicate inherits the representative's triangulation edges.
+      for (const std::size_t other : neighbors[it->second]) {
+        if (other != i) neighbors[i].push_back(other);
+      }
+    }
+  }
+
+  // Collinear fallback: no triangles but ≥ 2 distinct points — connect the
+  // chain in coordinate order (each point to its predecessor/successor).
+  if (triangles.empty() && n >= 2) {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+      if (points[i].x != points[j].x) return points[i].x < points[j].x;
+      return points[i].y < points[j].y;
+    });
+    for (std::size_t k = 1; k < n; ++k) {
+      if (points[order[k]] == points[order[k - 1]]) continue;  // handled above
+      neighbors[order[k]].push_back(order[k - 1]);
+      neighbors[order[k - 1]].push_back(order[k]);
+    }
+  }
+
+  for (auto& list : neighbors) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return neighbors;
+}
+
+}  // namespace sops::geom

@@ -1,0 +1,50 @@
+// Delaunay triangulation of planar point sets (Bowyer–Watson).
+//
+// The paper's base model [10] (Doursat's embryomorphic engineering)
+// restricts interactions to "direct neighbors of the tessellation"; Harder
+// & Polani deliberately drop that in favor of a cut-off radius (§4.1). This
+// module restores the tessellation as an *extension*, so the ablation bench
+// can compare tessellation-limited against radius-limited interactions.
+//
+// The implementation is the classic incremental Bowyer–Watson algorithm
+// with a super-triangle, O(n²) worst case — ample for collectives of a few
+// hundred particles re-triangulated per step.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace sops::geom {
+
+/// One triangle of the triangulation, as indices into the input point set.
+struct Triangle {
+  std::array<std::size_t, 3> vertices;
+};
+
+/// Computes the Delaunay triangulation of `points`.
+///
+/// Degenerate inputs: fewer than 3 points, or all points collinear, yield
+/// an empty triangle list (the adjacency helper below still connects
+/// collinear chains). Exactly duplicated points are kept out of the
+/// triangulation; `delaunay_adjacency` links each duplicate to its twin so
+/// no particle is silently isolated.
+[[nodiscard]] std::vector<Triangle> delaunay_triangulation(
+    std::span<const Vec2> points);
+
+/// Undirected adjacency lists of the Delaunay graph: neighbors[i] holds the
+/// indices sharing a triangulation edge with point i (sorted, unique).
+/// Collinear point sets fall back to nearest-neighbor chain adjacency;
+/// duplicates are linked to their twin.
+[[nodiscard]] std::vector<std::vector<std::size_t>> delaunay_adjacency(
+    std::span<const Vec2> points);
+
+/// True if `p` lies strictly inside the circumcircle of (a, b, c).
+/// Exposed for tests; uses the standard 3×3 determinant predicate with the
+/// orientation factored in.
+[[nodiscard]] bool in_circumcircle(Vec2 a, Vec2 b, Vec2 c, Vec2 p);
+
+}  // namespace sops::geom

@@ -1,0 +1,245 @@
+#include "geom/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace sops::geom {
+namespace {
+
+// Max-heap entry for k-NN search: the heap top is the current worst of the
+// best-k candidates, so it can be popped when a closer point arrives.
+struct HeapEntry {
+  double dist_sq;
+  std::size_t index;
+  bool operator<(const HeapEntry& o) const noexcept { return dist_sq < o.dist_sq; }
+};
+
+}  // namespace
+
+KdTree::KdTree(std::span<const double> points, std::size_t dim)
+    : points_(points), dim_(dim), count_(dim == 0 ? 0 : points.size() / dim) {
+  support::expect(dim > 0, "KdTree: dimension must be positive");
+  support::expect(points.size() % dim == 0,
+                  "KdTree: point array size not a multiple of dim");
+  order_.resize(count_);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  if (count_ > 0) {
+    nodes_.reserve(2 * count_ / kLeafSize + 2);
+    root_ = build(0, count_);
+  }
+}
+
+double KdTree::dist_sq_to(std::size_t i,
+                          std::span<const double> query) const noexcept {
+  const double* p = point(i);
+  double sum = 0.0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    const double diff = p[d] - query[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+int KdTree::build(std::size_t begin, std::size_t end) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  const std::size_t count = end - begin;
+  if (count <= kLeafSize) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  // Split on the axis of largest spread at the median point.
+  std::size_t best_axis = 0;
+  double best_spread = -1.0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double v = point(order_[i])[d];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_axis = d;
+    }
+  }
+  if (best_spread == 0.0) {
+    // All points identical along every axis: keep as (possibly large) leaf.
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  const std::size_t mid = begin + count / 2;
+  std::nth_element(order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   order_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   order_.begin() + static_cast<std::ptrdiff_t>(end),
+                   [this, best_axis](std::size_t a, std::size_t b) {
+                     return point(a)[best_axis] < point(b)[best_axis];
+                   });
+  node.axis = best_axis;
+  node.split = point(order_[mid])[best_axis];
+
+  const std::size_t self = nodes_.size();
+  nodes_.push_back(node);
+  const int left = build(begin, mid);
+  const int right = build(mid, end);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return static_cast<int>(self);
+}
+
+Neighbor KdTree::nearest(std::span<const double> query) const {
+  auto result = k_nearest(query, 1);
+  support::expect(!result.empty(), "KdTree::nearest: empty tree");
+  return result.front();
+}
+
+std::vector<Neighbor> KdTree::k_nearest(std::span<const double> query,
+                                        std::size_t k,
+                                        std::size_t skip_index) const {
+  support::expect(query.size() == dim_, "KdTree::k_nearest: wrong query dim");
+  std::vector<Neighbor> result;
+  if (count_ == 0 || k == 0) return result;
+
+  std::priority_queue<HeapEntry> best;  // max-heap of current best k
+  auto worst = [&]() noexcept {
+    return best.size() < k ? std::numeric_limits<double>::infinity()
+                           : best.top().dist_sq;
+  };
+
+  // Iterative traversal with an explicit stack; visit the near child first
+  // and prune the far child against the current worst candidate.
+  std::vector<int> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const int node_id = stack.back();
+    stack.pop_back();
+    if (node_id < 0) continue;
+    const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+    if (node.is_leaf()) {
+      for (std::size_t i = node.begin; i < node.end; ++i) {
+        const std::size_t idx = order_[i];
+        if (idx == skip_index) continue;
+        const double d2 = dist_sq_to(idx, query);
+        if (d2 < worst()) {
+          best.push({d2, idx});
+          if (best.size() > k) best.pop();
+        }
+      }
+      continue;
+    }
+    const double delta = query[node.axis] - node.split;
+    const int near_child = delta < 0.0 ? node.left : node.right;
+    const int far_child = delta < 0.0 ? node.right : node.left;
+    if (delta * delta < worst()) stack.push_back(far_child);
+    stack.push_back(near_child);
+  }
+
+  result.resize(best.size());
+  for (std::size_t i = result.size(); i-- > 0;) {
+    result[i] = {best.top().index, best.top().dist_sq};
+    best.pop();
+  }
+  return result;
+}
+
+std::size_t KdTree::count_within(std::span<const double> query, double radius,
+                                 std::size_t skip_index) const {
+  support::expect(query.size() == dim_, "KdTree::count_within: wrong query dim");
+  if (count_ == 0 || radius <= 0.0) return 0;
+  const double radius_sq = radius * radius;
+  std::size_t count = 0;
+
+  std::vector<int> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const int node_id = stack.back();
+    stack.pop_back();
+    if (node_id < 0) continue;
+    const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+    if (node.is_leaf()) {
+      for (std::size_t i = node.begin; i < node.end; ++i) {
+        const std::size_t idx = order_[i];
+        if (idx == skip_index) continue;
+        if (dist_sq_to(idx, query) < radius_sq) ++count;
+      }
+      continue;
+    }
+    const double delta = query[node.axis] - node.split;
+    const int near_child = delta < 0.0 ? node.left : node.right;
+    const int far_child = delta < 0.0 ? node.right : node.left;
+    if (delta * delta < radius_sq) stack.push_back(far_child);
+    stack.push_back(near_child);
+  }
+  return count;
+}
+
+BruteForceSearcher::BruteForceSearcher(std::span<const double> points,
+                                       std::size_t dim)
+    : points_(points), dim_(dim), count_(dim == 0 ? 0 : points.size() / dim) {
+  support::expect(dim > 0, "BruteForceSearcher: dimension must be positive");
+  support::expect(points.size() % dim == 0,
+                  "BruteForceSearcher: point array size not a multiple of dim");
+}
+
+Neighbor BruteForceSearcher::nearest(std::span<const double> query) const {
+  auto result = k_nearest(query, 1);
+  support::expect(!result.empty(), "BruteForceSearcher::nearest: empty set");
+  return result.front();
+}
+
+std::vector<Neighbor> BruteForceSearcher::k_nearest(
+    std::span<const double> query, std::size_t k, std::size_t skip_index) const {
+  support::expect(query.size() == dim_,
+                  "BruteForceSearcher::k_nearest: wrong query dim");
+  std::vector<Neighbor> all;
+  all.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (i == skip_index) continue;
+    const double* p = points_.data() + i * dim_;
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double diff = p[d] - query[d];
+      d2 += diff * diff;
+    }
+    all.push_back({i, d2});
+  }
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(take),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      return a.dist_sq < b.dist_sq;
+                    });
+  all.resize(take);
+  return all;
+}
+
+std::size_t BruteForceSearcher::count_within(std::span<const double> query,
+                                             double radius,
+                                             std::size_t skip_index) const {
+  support::expect(query.size() == dim_,
+                  "BruteForceSearcher::count_within: wrong query dim");
+  if (radius <= 0.0) return 0;
+  const double radius_sq = radius * radius;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (i == skip_index) continue;
+    const double* p = points_.data() + i * dim_;
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double diff = p[d] - query[d];
+      d2 += diff * diff;
+    }
+    if (d2 < radius_sq) ++count;
+  }
+  return count;
+}
+
+}  // namespace sops::geom

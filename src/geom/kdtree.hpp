@@ -1,0 +1,103 @@
+// Generic-dimension k-d tree over points stored as a flat row-major array.
+//
+// Used by the ICP aligner (3-D type-lifted points), the Kozachenko–Leonenko
+// entropy estimator, and the marginal neighbor counts of the KSG
+// multi-information estimator (2-D per-particle marginals). The tree stores
+// indices into the caller's point array; the array must outlive the tree.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sops::geom {
+
+/// Result of a nearest-neighbor query: point index and squared distance.
+struct Neighbor {
+  std::size_t index = 0;
+  double dist_sq = 0.0;
+};
+
+/// Static k-d tree (build once, query many times) with Euclidean metric.
+class KdTree {
+ public:
+  /// Builds a tree over `count` points of dimension `dim`, where point i
+  /// occupies points[i*dim .. i*dim+dim). The span must stay valid for the
+  /// lifetime of the tree. `count == 0` produces an empty tree.
+  KdTree(std::span<const double> points, std::size_t dim);
+
+  /// Number of indexed points.
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  /// Point dimension.
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Nearest neighbor of `query` (dimension `dim()`); precondition: non-empty.
+  [[nodiscard]] Neighbor nearest(std::span<const double> query) const;
+
+  /// The k nearest neighbors of `query`, sorted by ascending distance.
+  /// Returns fewer than k if the tree holds fewer points. When
+  /// `skip_index` is a valid point index, that point is excluded — used for
+  /// leave-one-out queries where the query is itself an indexed point.
+  [[nodiscard]] std::vector<Neighbor> k_nearest(
+      std::span<const double> query, std::size_t k,
+      std::size_t skip_index = static_cast<std::size_t>(-1)) const;
+
+  /// Number of indexed points with distance to `query` strictly less than
+  /// `radius` (Euclidean). `skip_index` as in k_nearest.
+  [[nodiscard]] std::size_t count_within(
+      std::span<const double> query, double radius,
+      std::size_t skip_index = static_cast<std::size_t>(-1)) const;
+
+ private:
+  struct Node {
+    // Leaves hold a contiguous range of `order_`; internal nodes split on
+    // axis `axis` at coordinate `split`.
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t axis = 0;
+    double split = 0.0;
+    int left = -1;
+    int right = -1;
+    [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
+  };
+
+  static constexpr std::size_t kLeafSize = 16;
+
+  [[nodiscard]] const double* point(std::size_t i) const noexcept {
+    return points_.data() + i * dim_;
+  }
+  [[nodiscard]] double dist_sq_to(std::size_t i,
+                                  std::span<const double> query) const noexcept;
+  int build(std::size_t begin, std::size_t end);
+
+  std::span<const double> points_;
+  std::size_t dim_;
+  std::size_t count_;
+  std::vector<std::size_t> order_;  // permutation of point indices
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+/// Brute-force reference searcher with the same interface subset as KdTree;
+/// used as an oracle in tests and for tiny inputs.
+class BruteForceSearcher {
+ public:
+  BruteForceSearcher(std::span<const double> points, std::size_t dim);
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  [[nodiscard]] Neighbor nearest(std::span<const double> query) const;
+  [[nodiscard]] std::vector<Neighbor> k_nearest(
+      std::span<const double> query, std::size_t k,
+      std::size_t skip_index = static_cast<std::size_t>(-1)) const;
+  [[nodiscard]] std::size_t count_within(
+      std::span<const double> query, double radius,
+      std::size_t skip_index = static_cast<std::size_t>(-1)) const;
+
+ private:
+  std::span<const double> points_;
+  std::size_t dim_;
+  std::size_t count_;
+};
+
+}  // namespace sops::geom

@@ -1,0 +1,94 @@
+// 2-D vector arithmetic used throughout the particle model and shape code.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace sops::geom {
+
+/// A point or displacement in the Euclidean plane.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2& operator+=(Vec2 o) noexcept {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr Vec2& operator/=(double s) noexcept {
+    x /= s;
+    y /= s;
+    return *this;
+  }
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double s) noexcept {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 a) noexcept {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr Vec2 operator/(Vec2 a, double s) noexcept {
+    return {a.x / s, a.y / s};
+  }
+  friend constexpr Vec2 operator-(Vec2 a) noexcept { return {-a.x, -a.y}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Dot product.
+[[nodiscard]] constexpr double dot(Vec2 a, Vec2 b) noexcept {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// Scalar z-component of the 3-D cross product of plane vectors.
+[[nodiscard]] constexpr double cross(Vec2 a, Vec2 b) noexcept {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Squared Euclidean norm (no sqrt; preferred in hot loops).
+[[nodiscard]] constexpr double norm_sq(Vec2 a) noexcept { return dot(a, a); }
+
+/// Euclidean norm.
+[[nodiscard]] inline double norm(Vec2 a) noexcept { return std::sqrt(norm_sq(a)); }
+
+/// Squared distance between two points.
+[[nodiscard]] constexpr double dist_sq(Vec2 a, Vec2 b) noexcept {
+  return norm_sq(a - b);
+}
+
+/// Distance between two points.
+[[nodiscard]] inline double dist(Vec2 a, Vec2 b) noexcept {
+  return std::sqrt(dist_sq(a, b));
+}
+
+/// Rotates `a` counterclockwise by `angle` radians about the origin.
+[[nodiscard]] inline Vec2 rotated(Vec2 a, double angle) noexcept {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return {c * a.x - s * a.y, s * a.x + c * a.y};
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace sops::geom

@@ -1,0 +1,49 @@
+// 3-D vector, used for the type-lifted embedding of 2-D configurations
+// during ICP alignment (the particle type becomes a scaled 3rd coordinate,
+// see Harder & Polani §5.2).
+#pragma once
+
+#include <cmath>
+
+namespace sops::geom {
+
+/// A point in R³.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) noexcept {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) noexcept {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(Vec3 a, double s) noexcept {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend constexpr bool operator==(Vec3 a, Vec3 b) noexcept {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+/// Dot product.
+[[nodiscard]] constexpr double dot(Vec3 a, Vec3 b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/// Squared Euclidean norm.
+[[nodiscard]] constexpr double norm_sq(Vec3 a) noexcept { return dot(a, a); }
+
+/// Euclidean norm.
+[[nodiscard]] inline double norm(Vec3 a) noexcept { return std::sqrt(norm_sq(a)); }
+
+/// Squared distance between two points.
+[[nodiscard]] constexpr double dist_sq(Vec3 a, Vec3 b) noexcept {
+  return norm_sq(a - b);
+}
+
+}  // namespace sops::geom

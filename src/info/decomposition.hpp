@@ -1,0 +1,53 @@
+// Multi-information decomposition over coarse-grained observers (paper
+// §3.1, Eqs. 4–5):
+//
+//   I(W₁,…,W_n) = I(W̃₁,…,W̃_g) + Σ_j I(members of group j)
+//
+// where each W̃_j is the joint variable of a group of fine observers. The
+// identity is exact for the true quantities; for estimates each term is
+// computed by its own KSG run, so the residual (total − sum of terms) is an
+// estimator-bias diagnostic that the tests bound.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "info/ksg.hpp"
+
+namespace sops::info {
+
+/// A grouping: group[g] lists the indices (into the fine block list) that
+/// form coarse observer g. Every fine block must appear in exactly one group.
+using ObserverGrouping = std::vector<std::vector<std::size_t>>;
+
+/// The decomposition's terms, all in bits.
+struct Decomposition {
+  double total = 0.0;             ///< I(W₁,…,W_n)
+  double between_groups = 0.0;    ///< I(W̃₁,…,W̃_g)
+  std::vector<double> within_group;  ///< I inside each group (0 for singletons)
+
+  /// Sum of between + within terms; equals `total` up to estimator bias.
+  [[nodiscard]] double reconstructed() const noexcept {
+    double sum = between_groups;
+    for (const double w : within_group) sum += w;
+    return sum;
+  }
+};
+
+/// Validates that `grouping` is a partition of {0, …, block_count−1}.
+void validate_grouping(const ObserverGrouping& grouping, std::size_t block_count);
+
+/// Computes the Eq. (5) decomposition. Groups of size one contribute zero
+/// within-group information by definition. The between-groups term treats
+/// each group's concatenated coordinates as one block of the max-metric.
+[[nodiscard]] Decomposition decompose_multi_information(
+    const SampleMatrix& samples, std::span<const Block> blocks,
+    const ObserverGrouping& grouping, const KsgOptions& options = {});
+
+/// Groups per-particle blocks by particle type: group t collects the blocks
+/// of all particles with type t (the paper's Fig. 11 coarse-graining).
+[[nodiscard]] ObserverGrouping group_blocks_by_type(
+    std::span<const std::uint32_t> types, std::size_t type_count);
+
+}  // namespace sops::info

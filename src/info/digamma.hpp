@@ -1,0 +1,15 @@
+// Digamma function ψ(x) = d/dx ln Γ(x), the workhorse of the KSG estimator.
+#pragma once
+
+namespace sops::info {
+
+/// ψ(x) for x > 0, via upward recurrence to x ≥ 6 followed by the standard
+/// asymptotic series. Absolute error < 1e-12 on x ∈ [1e-3, 1e6].
+[[nodiscard]] double digamma(double x);
+
+/// ψ(n) for positive integers via ψ(1) = −γ and ψ(n+1) = ψ(n) + 1/n;
+/// exact to double rounding and cheaper than the real-argument path for the
+/// small n the estimators use. Falls back to digamma(n) for large n.
+[[nodiscard]] double digamma_int(unsigned long long n);
+
+}  // namespace sops::info

@@ -1,0 +1,56 @@
+// Kraskov–Stögbauer–Grassberger multi-information estimator (paper §5.3,
+// Eqs. 18–20):
+//
+//   I(W₁,…,W_n) ≈ ψ(k) + (n−1)ψ(m) − ⟨ Σ_i ψ(c_i) ⟩,
+//
+// where the joint metric is the max over observer blocks of the block L2
+// norm, ε_s is the distance to the k-th neighbor of sample s under that
+// metric, and c_i counts samples whose block-i marginal lies strictly
+// within ε_s.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "info/sample_matrix.hpp"
+
+namespace sops::info {
+
+/// Which ψ-argument convention to use for the marginal counts.
+enum class KsgConvention {
+  /// Standard KSG-1: ψ(c_i + 1), where c_i excludes the sample itself.
+  /// This is the convention of Kraskov et al. (2004) and the default.
+  kStandard,
+  /// The paper's Eq. (18)/(20) literally: ψ(c_i), with c_i floored at 1
+  /// because ψ(0) diverges (c_i = 0 occurs when no other sample is strictly
+  /// closer in marginal i than the k-th joint neighbor).
+  kPaperLiteral,
+};
+
+/// Options of the estimator.
+struct KsgOptions {
+  std::size_t k = 4;  ///< neighbor order (paper §6 uses 4; §5.3 mentions 5)
+  KsgConvention convention = KsgConvention::kStandard;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Estimates the multi-information between the observer blocks of `samples`,
+/// in bits (the digamma formula is evaluated in nats and converted).
+///
+/// Requirements: at least k+1 samples, at least two blocks, blocks valid for
+/// the sample dimension. Complexity O(m² · D) with D = total dimension;
+/// parallel over samples; the result is independent of the thread count
+/// (per-sample contributions are reduced in a fixed order).
+///
+/// Exact ties in the joint metric (possible with duplicated samples) are
+/// resolved by index order, matching a stable sort over (distance, index).
+[[nodiscard]] double multi_information_ksg(const SampleMatrix& samples,
+                                           std::span<const Block> blocks,
+                                           const KsgOptions& options = {});
+
+/// Convenience overload: n equal-width blocks of `block_dim` coordinates.
+[[nodiscard]] double multi_information_ksg(const SampleMatrix& samples,
+                                           std::size_t block_dim,
+                                           const KsgOptions& options = {});
+
+}  // namespace sops::info

@@ -1,0 +1,127 @@
+#include "io/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "geom/aabb.hpp"
+#include "support/error.hpp"
+
+namespace sops::io {
+namespace {
+
+char series_glyph(std::size_t index) {
+  constexpr char kGlyphs[] = "123456789abcdefghijklmnopqrstuvwxyz";
+  return kGlyphs[index % (sizeof(kGlyphs) - 1)];
+}
+
+char type_glyph(sim::TypeId type) {
+  if (type < 10) return static_cast<char>('0' + type);
+  return static_cast<char>('a' + (type - 10) % 26);
+}
+
+}  // namespace
+
+std::string render_chart(std::span<const Series> series,
+                         const ChartOptions& options) {
+  support::expect(!series.empty(), "render_chart: no series");
+  support::expect(options.width >= 8 && options.height >= 4,
+                  "render_chart: canvas too small");
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = options.y_from_zero ? 0.0 : std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  bool any_point = false;
+  for (const Series& s : series) {
+    support::expect(s.x.size() == s.y.size(), "render_chart: x/y size mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (std::isnan(s.y[i])) continue;
+      any_point = true;
+      x_min = std::min(x_min, s.x[i]);
+      x_max = std::max(x_max, s.x[i]);
+      y_min = std::min(y_min, s.y[i]);
+      y_max = std::max(y_max, s.y[i]);
+    }
+  }
+  support::expect(any_point, "render_chart: all values NaN/empty");
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> canvas(options.height,
+                                  std::string(options.width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const Series& s = series[si];
+    const char glyph = series_glyph(si);
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (std::isnan(s.y[i])) continue;
+      const double fx = (s.x[i] - x_min) / (x_max - x_min);
+      const double fy = (s.y[i] - y_min) / (y_max - y_min);
+      const auto col = static_cast<std::size_t>(
+          std::round(fx * static_cast<double>(options.width - 1)));
+      const auto row = static_cast<std::size_t>(
+          std::round((1.0 - fy) * static_cast<double>(options.height - 1)));
+      canvas[row][col] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.y_label.empty()) out << options.y_label << '\n';
+  char label[32];
+  for (std::size_t row = 0; row < options.height; ++row) {
+    const double y = y_max - (y_max - y_min) * static_cast<double>(row) /
+                                 static_cast<double>(options.height - 1);
+    std::snprintf(label, sizeof(label), "%8.2f |", y);
+    out << label << canvas[row] << '\n';
+  }
+  out << std::string(9, ' ') << '+' << std::string(options.width, '-') << '\n';
+  std::snprintf(label, sizeof(label), "%10.6g", x_min);
+  out << label << std::string(options.width > 20 ? options.width - 12 : 1, ' ');
+  std::snprintf(label, sizeof(label), "%-10.6g", x_max);
+  out << label << "  [" << options.x_label << "]\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << series_glyph(si) << " = " << series[si].label << '\n';
+  }
+  return out.str();
+}
+
+std::string render_scatter(std::span<const geom::Vec2> points,
+                           std::span<const sim::TypeId> types,
+                           const ScatterOptions& options) {
+  support::expect(points.size() == types.size(),
+                  "render_scatter: points/types size mismatch");
+  support::expect(options.width >= 4 && options.height >= 4,
+                  "render_scatter: canvas too small");
+  if (points.empty()) return "(empty configuration)\n";
+
+  geom::Aabb box = geom::bounding_box(points);
+  // Pad so border particles are visible and degenerate boxes render.
+  const double pad = std::max(box.diagonal() * 0.05, 1e-6);
+  box.include(box.min - geom::Vec2{pad, pad});
+  box.include(box.max + geom::Vec2{pad, pad});
+
+  std::vector<std::string> canvas(options.height,
+                                  std::string(options.width, ' '));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double fx = (points[i].x - box.min.x) / box.width();
+    const double fy = (points[i].y - box.min.y) / box.height();
+    const auto col = static_cast<std::size_t>(
+        std::round(fx * static_cast<double>(options.width - 1)));
+    const auto row = static_cast<std::size_t>(
+        std::round((1.0 - fy) * static_cast<double>(options.height - 1)));
+    canvas[row][col] = type_glyph(types[i]);
+  }
+
+  std::ostringstream out;
+  if (options.show_axes) {
+    out << '+' << std::string(options.width, '-') << "+\n";
+    for (const std::string& line : canvas) out << '|' << line << "|\n";
+    out << '+' << std::string(options.width, '-') << "+\n";
+  } else {
+    for (const std::string& line : canvas) out << line << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sops::io

@@ -1,0 +1,48 @@
+// Terminal rendering of the paper's figures: multi-series line charts
+// (multi-information vs time) and scatter plots (particle configurations).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "sim/particle_system.hpp"
+
+namespace sops::io {
+
+/// One named series of a line chart.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Line-chart options.
+struct ChartOptions {
+  std::size_t width = 72;    ///< plot columns (excluding the axis gutter)
+  std::size_t height = 20;   ///< plot rows
+  std::string x_label = "t";
+  std::string y_label;
+  bool y_from_zero = true;   ///< anchor the y range at zero (paper style)
+};
+
+/// Renders series as an ASCII chart with a legend; each series is drawn with
+/// its own glyph (1-9, a-z). NaN y-values are skipped.
+[[nodiscard]] std::string render_chart(std::span<const Series> series,
+                                       const ChartOptions& options = {});
+
+/// Scatter-plot options.
+struct ScatterOptions {
+  std::size_t width = 60;
+  std::size_t height = 28;
+  bool show_axes = true;
+};
+
+/// Renders a particle configuration; each particle prints its type digit
+/// (types ≥ 10 wrap to letters), matching the paper's figure style.
+[[nodiscard]] std::string render_scatter(std::span<const geom::Vec2> points,
+                                         std::span<const sim::TypeId> types,
+                                         const ScatterOptions& options = {});
+
+}  // namespace sops::io

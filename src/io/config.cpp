@@ -1,0 +1,145 @@
+#include "io/config.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sops::io {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  // std::from_chars for doubles is incomplete on some libstdc++ versions for
+  // special values; strtod with full-consumption check is portable here.
+  const std::string trimmed = trim(value);
+  if (trimmed == "inf" || trimmed == "infinity") {
+    return std::numeric_limits<double>::infinity();
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size() || trimmed.empty()) {
+    throw Error("config: key '" + key + "' has non-numeric value '" + value +
+                "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  std::map<std::string, std::string> values;
+  std::stringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto equals = trimmed.find('=');
+    if (equals == std::string::npos) {
+      throw Error("config: line " + std::to_string(line_number) +
+                  " has no '=': '" + trimmed + "'");
+    }
+    const std::string key = trim(trimmed.substr(0, equals));
+    const std::string value = trim(trimmed.substr(equals + 1));
+    if (key.empty()) {
+      throw Error("config: line " + std::to_string(line_number) +
+                  " has an empty key");
+    }
+    values[key] = value;
+  }
+  return Config(std::move(values));
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw Error("config: cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return parse(buffer.str());
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  return parse_double(key, *value);
+}
+
+std::size_t Config::get_size(const std::string& key, std::size_t fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  const double parsed = parse_double(key, *value);
+  if (parsed < 0 || parsed != std::floor(parsed)) {
+    throw Error("config: key '" + key + "' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  if (*value == "true" || *value == "1" || *value == "yes") return true;
+  if (*value == "false" || *value == "0" || *value == "no") return false;
+  throw Error("config: key '" + key + "' must be a boolean, got '" + *value +
+              "'");
+}
+
+std::vector<double> Config::get_list(const std::string& key) const {
+  const auto value = raw(key);
+  std::vector<double> out;
+  if (!value) return out;
+  std::stringstream stream(*value);
+  std::string token;
+  while (stream >> token) out.push_back(parse_double(key, token));
+  return out;
+}
+
+std::vector<std::vector<double>> Config::get_matrix(
+    const std::string& key) const {
+  const auto value = raw(key);
+  std::vector<std::vector<double>> out;
+  if (!value) return out;
+  std::stringstream rows(*value);
+  std::string row;
+  while (std::getline(rows, row, ';')) {
+    std::vector<double> entries;
+    std::stringstream stream(row);
+    std::string token;
+    while (stream >> token) entries.push_back(parse_double(key, token));
+    if (!entries.empty()) out.push_back(std::move(entries));
+  }
+  return out;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
+}  // namespace sops::io

@@ -1,0 +1,56 @@
+// Minimal key=value configuration files for the experiment CLI.
+//
+// Format: one `key = value` per line; `#` starts a comment; blank lines
+// ignored; keys are case-sensitive; later duplicates override earlier ones.
+// Values keep internal whitespace (lists are whitespace-separated, matrix
+// rows are separated by ';').
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sops::io {
+
+/// A parsed configuration: flat string map plus typed accessors.
+class Config {
+ public:
+  Config() = default;
+  explicit Config(std::map<std::string, std::string> values)
+      : values_(std::move(values)) {}
+
+  /// Parses from text; throws sops::Error on malformed lines.
+  static Config parse(const std::string& text);
+  /// Reads and parses a file; throws sops::Error on I/O failure.
+  static Config load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+  /// Raw value or nullopt.
+  [[nodiscard]] std::optional<std::string> raw(const std::string& key) const;
+
+  /// Typed getters with defaults; throw sops::Error when present but
+  /// unparseable (silent fallback would hide typos in experiment setups).
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Whitespace-separated list of doubles (empty if absent).
+  [[nodiscard]] std::vector<double> get_list(const std::string& key) const;
+  /// Matrix: rows separated by ';', entries by whitespace. Empty if absent.
+  [[nodiscard]] std::vector<std::vector<double>> get_matrix(
+      const std::string& key) const;
+
+  /// All keys (for unknown-key warnings in the CLI).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sops::io

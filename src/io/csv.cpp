@@ -1,0 +1,77 @@
+#include "io/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sops::io {
+
+void CsvTable::add_row(std::vector<double> row) {
+  support::expect(row.size() == header.size(), "CsvTable: row width mismatch");
+  rows.push_back(std::move(row));
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == name) return c;
+  }
+  throw Error("CsvTable: no column named '" + name + "'");
+}
+
+void write_csv(std::ostream& os, const CsvTable& table) {
+  for (std::size_t c = 0; c < table.header.size(); ++c) {
+    if (c) os << ',';
+    os << table.header[c];
+  }
+  os << '\n';
+  os << std::setprecision(17);
+  for (const auto& row : table.rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream file(path);
+  if (!file) throw Error("write_csv_file: cannot open " + path);
+  write_csv(file, table);
+  if (!file) throw Error("write_csv_file: write failed for " + path);
+}
+
+CsvTable read_csv(std::istream& is) {
+  CsvTable table;
+  std::string line;
+  if (!std::getline(is, line)) throw Error("read_csv: empty input");
+  std::stringstream header_stream(line);
+  std::string cell;
+  while (std::getline(header_stream, cell, ',')) table.header.push_back(cell);
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream row_stream(line);
+    while (std::getline(row_stream, cell, ',')) {
+      double value = 0.0;
+      const auto* begin = cell.data();
+      const auto* end = cell.data() + cell.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, value);
+      if (ec != std::errc{} || ptr != end) {
+        throw Error("read_csv: non-numeric cell '" + cell + "'");
+      }
+      row.push_back(value);
+    }
+    if (row.size() != table.header.size()) {
+      throw Error("read_csv: ragged row");
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace sops::io

@@ -1,0 +1,36 @@
+// Minimal CSV table writing/reading for experiment outputs.
+//
+// The bench harnesses emit every figure's series as CSV next to the ASCII
+// chart so results can be re-plotted externally; the reader exists so tests
+// can round-trip and tools can post-process.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sops::io {
+
+/// A rectangular table of doubles with named columns.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<double> row);
+
+  /// Column index by name; throws if absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+};
+
+/// Writes the table as RFC-4180-style CSV (numeric cells, max precision).
+void write_csv(std::ostream& os, const CsvTable& table);
+
+/// Writes to a file path; throws sops::Error on I/O failure.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+/// Parses a CSV of doubles with a header row. Throws on ragged rows or
+/// non-numeric cells.
+[[nodiscard]] CsvTable read_csv(std::istream& is);
+
+}  // namespace sops::io

@@ -1,0 +1,70 @@
+#include "io/svg.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "geom/aabb.hpp"
+#include "support/error.hpp"
+
+namespace sops::io {
+namespace {
+
+constexpr std::array<const char*, 8> kPalette = {
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb", "#222222",
+};
+
+}  // namespace
+
+std::string render_svg(std::span<const geom::Vec2> points,
+                       std::span<const sim::TypeId> types,
+                       const SvgOptions& options) {
+  support::expect(points.size() == types.size(),
+                  "render_svg: points/types size mismatch");
+  const double size = options.canvas_size;
+
+  geom::Aabb box = geom::bounding_box(points);
+  const double pad =
+      points.empty() ? 1.0 : std::max(box.diagonal() * 0.05, 1e-6);
+  if (!points.empty()) {
+    box.include(box.min - geom::Vec2{pad, pad});
+    box.include(box.max + geom::Vec2{pad, pad});
+  } else {
+    box.include({-1.0, -1.0});
+    box.include({1.0, 1.0});
+  }
+  const double scale = size / std::max(box.width(), box.height());
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << size
+      << "\" height=\"" << size << "\" viewBox=\"0 0 " << size << ' ' << size
+      << "\">\n";
+  svg << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double x = (points[i].x - box.min.x) * scale;
+    // SVG y grows downward; flip to keep the math orientation.
+    const double y = size - (points[i].y - box.min.y) * scale;
+    const char* color = kPalette[types[i] % kPalette.size()];
+    svg << "  <circle cx=\"" << x << "\" cy=\"" << y << "\" r=\""
+        << options.particle_radius << "\" fill=\"" << color
+        << "\" fill-opacity=\"0.8\" stroke=\"black\" stroke-width=\"0.5\"/>\n";
+    if (options.label_types) {
+      svg << "  <text x=\"" << x << "\" y=\"" << y + options.particle_radius / 2.5
+          << "\" font-size=\"" << options.particle_radius
+          << "\" text-anchor=\"middle\" fill=\"white\">" << types[i]
+          << "</text>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path);
+  if (!file) throw Error("write_text_file: cannot open " + path);
+  file << text;
+  if (!file) throw Error("write_text_file: write failed for " + path);
+}
+
+}  // namespace sops::io

@@ -1,0 +1,30 @@
+// SVG rendering of particle configurations — the publication-quality
+// counterpart of the ASCII scatter, used by the gallery example and the
+// figure benches to dump inspectable snapshots.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "geom/vec2.hpp"
+#include "sim/particle_system.hpp"
+
+namespace sops::io {
+
+/// SVG options.
+struct SvgOptions {
+  double canvas_size = 480.0;   ///< square canvas side in px
+  double particle_radius = 4.0; ///< marker radius in px
+  bool label_types = true;      ///< print the type digit inside each marker
+};
+
+/// Renders one configuration as a standalone SVG document. Each type gets a
+/// distinct fill color (cycled from a fixed palette).
+[[nodiscard]] std::string render_svg(std::span<const geom::Vec2> points,
+                                     std::span<const sim::TypeId> types,
+                                     const SvgOptions& options = {});
+
+/// Writes `svg` to a file; throws sops::Error on failure.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace sops::io

@@ -1,0 +1,68 @@
+#include "sim/detectors.hpp"
+
+#include <cmath>
+
+#include "geom/rigid_transform.hpp"
+#include "support/error.hpp"
+
+namespace sops::sim {
+
+EquilibriumDetector::EquilibriumDetector(double threshold,
+                                         std::size_t hold_steps)
+    : threshold_(threshold), hold_steps_(hold_steps) {
+  support::expect(threshold > 0.0,
+                  "EquilibriumDetector: threshold must be positive");
+  support::expect(hold_steps > 0,
+                  "EquilibriumDetector: hold_steps must be positive");
+}
+
+bool EquilibriumDetector::update(double residual_norm) noexcept {
+  if (triggered_) return true;
+  if (residual_norm < threshold_) {
+    ++streak_;
+    if (streak_ >= hold_steps_) triggered_ = true;
+  } else {
+    streak_ = 0;
+  }
+  return triggered_;
+}
+
+LimitCycleDetector::LimitCycleDetector(double tolerance, std::size_t min_period,
+                                       std::size_t window)
+    : tolerance_(tolerance), min_period_(min_period), window_(window) {
+  support::expect(tolerance > 0.0,
+                  "LimitCycleDetector: tolerance must be positive");
+  support::expect(min_period >= 1, "LimitCycleDetector: min_period must be >= 1");
+  support::expect(window > min_period,
+                  "LimitCycleDetector: window must exceed min_period");
+}
+
+std::optional<CycleMatch> LimitCycleDetector::update(
+    std::span<const geom::Vec2> positions) {
+  std::vector<geom::Vec2> snapshot =
+      positions.empty() ? std::vector<geom::Vec2>{}
+                        : geom::centered(positions);
+
+  std::optional<CycleMatch> best;
+  // history_.back() is lag 1; search smallest lag ≥ min_period first.
+  for (std::size_t lag = min_period_; lag <= history_.size(); ++lag) {
+    const auto& past = history_[history_.size() - lag];
+    if (past.size() != snapshot.size()) continue;
+    double total = 0.0;
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      total += geom::dist(snapshot[i], past[i]);
+    }
+    const double mean_error =
+        snapshot.empty() ? 0.0 : total / static_cast<double>(snapshot.size());
+    if (mean_error < tolerance_) {
+      best = CycleMatch{lag, mean_error};
+      break;
+    }
+  }
+
+  history_.push_back(std::move(snapshot));
+  while (history_.size() > window_) history_.pop_front();
+  return best;
+}
+
+}  // namespace sops::sim

@@ -1,0 +1,80 @@
+// Stopping-condition detectors.
+//
+// The paper (§4.1, §6) stops on equilibrium — "for several time steps the
+// sum of the L2 norm of the sum of all forces acting on each particle is
+// below a specific threshold" — and separately observes runs that never
+// equilibrate because they enter a periodic limit cycle. Both detectors are
+// implemented here; the limit-cycle detector backs the §6 ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace sops::sim {
+
+/// Declares equilibrium once the residual force statistic stays below
+/// `threshold` for `hold_steps` consecutive steps.
+class EquilibriumDetector {
+ public:
+  EquilibriumDetector(double threshold, std::size_t hold_steps);
+
+  /// Feeds the residual Σ‖drift_i‖ of one step; returns true once
+  /// equilibrium is declared (and stays true afterwards).
+  bool update(double residual_norm) noexcept;
+
+  /// True if equilibrium has been declared.
+  [[nodiscard]] bool triggered() const noexcept { return triggered_; }
+
+  /// Steps of consecutive sub-threshold residuals seen so far.
+  [[nodiscard]] std::size_t streak() const noexcept { return streak_; }
+
+  void reset() noexcept {
+    streak_ = 0;
+    triggered_ = false;
+  }
+
+ private:
+  double threshold_;
+  std::size_t hold_steps_;
+  std::size_t streak_ = 0;
+  bool triggered_ = false;
+};
+
+/// Detected cycle: the period (in fed snapshots) and the mean per-particle
+/// position mismatch of the recurrence.
+struct CycleMatch {
+  std::size_t period = 0;
+  double mean_error = 0.0;
+};
+
+/// Detects periodic recurrences of the configuration.
+///
+/// Keeps a sliding window of past snapshots (centroid-removed, so a drifting
+/// cycle is still recognized) and reports a cycle when the current snapshot
+/// matches one at lag ≥ `min_period` with mean per-particle error below
+/// `tolerance`. Matching is index-aligned (no permutation search): within a
+/// single run particle identity persists, so this is exact for true cycles.
+class LimitCycleDetector {
+ public:
+  LimitCycleDetector(double tolerance, std::size_t min_period,
+                     std::size_t window);
+
+  /// Feeds a configuration snapshot; returns the best (smallest-period)
+  /// match if the configuration recurred.
+  std::optional<CycleMatch> update(std::span<const geom::Vec2> positions);
+
+  void reset() noexcept { history_.clear(); }
+
+ private:
+  double tolerance_;
+  std::size_t min_period_;
+  std::size_t window_;
+  std::deque<std::vector<geom::Vec2>> history_;  // newest at back
+};
+
+}  // namespace sops::sim

@@ -1,0 +1,104 @@
+#include "sim/forces.hpp"
+
+#include <cmath>
+
+#include "geom/cell_grid.hpp"
+#include "geom/delaunay.hpp"
+
+namespace sops::sim {
+namespace {
+
+// Contribution of neighbor j to particle i's drift.
+inline geom::Vec2 pair_drift(const ParticleSystem& system,
+                             const InteractionModel& model, std::size_t i,
+                             std::size_t j) {
+  const geom::Vec2 delta = system.positions[i] - system.positions[j];
+  const double dist_sq = geom::norm_sq(delta);
+  if (dist_sq == 0.0) return {};  // undefined direction; see header
+  const double dist = std::sqrt(dist_sq);
+  const double scaling = model.scaling(system.types[i], system.types[j], dist);
+  return delta * (-scaling);
+}
+
+void accumulate_all_pairs(const ParticleSystem& system,
+                          const InteractionModel& model, double cutoff_radius,
+                          std::vector<geom::Vec2>& out) {
+  const std::size_t n = system.size();
+  const double cutoff_sq = cutoff_radius * cutoff_radius;
+  for (std::size_t i = 0; i < n; ++i) {
+    geom::Vec2 drift{};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d_sq =
+          geom::dist_sq(system.positions[i], system.positions[j]);
+      if (d_sq < cutoff_sq) drift += pair_drift(system, model, i, j);
+    }
+    out[i] = drift;
+  }
+}
+
+void accumulate_cell_grid(const ParticleSystem& system,
+                          const InteractionModel& model, double cutoff_radius,
+                          std::vector<geom::Vec2>& out) {
+  const geom::CellGrid grid(system.positions, cutoff_radius);
+  const std::size_t n = system.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    geom::Vec2 drift{};
+    grid.for_each_neighbor(i, cutoff_radius, [&](std::size_t j) {
+      drift += pair_drift(system, model, i, j);
+    });
+    out[i] = drift;
+  }
+}
+
+void accumulate_delaunay(const ParticleSystem& system,
+                         const InteractionModel& model, double cutoff_radius,
+                         std::vector<geom::Vec2>& out) {
+  const auto adjacency = geom::delaunay_adjacency(system.positions);
+  const bool bounded = std::isfinite(cutoff_radius);
+  const double cutoff_sq = cutoff_radius * cutoff_radius;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    geom::Vec2 drift{};
+    for (const std::size_t j : adjacency[i]) {
+      if (bounded &&
+          geom::dist_sq(system.positions[i], system.positions[j]) >= cutoff_sq) {
+        continue;
+      }
+      drift += pair_drift(system, model, i, j);
+    }
+    out[i] = drift;
+  }
+}
+
+}  // namespace
+
+void accumulate_drift(const ParticleSystem& system, const InteractionModel& model,
+                      double cutoff_radius, std::vector<geom::Vec2>& out,
+                      NeighborMode mode) {
+  support::expect(cutoff_radius > 0.0, "accumulate_drift: cutoff must be positive");
+  support::expect(system.types_within(model.types()),
+                  "accumulate_drift: particle type outside the model");
+  out.assign(system.size(), geom::Vec2{});
+
+  const bool unbounded = !std::isfinite(cutoff_radius);
+  if (mode == NeighborMode::kAuto) {
+    mode = (unbounded || system.size() < 64) ? NeighborMode::kAllPairs
+                                             : NeighborMode::kCellGrid;
+  }
+  if (mode == NeighborMode::kCellGrid) {
+    support::expect(!unbounded, "accumulate_drift: cell grid needs finite r_c");
+    accumulate_cell_grid(system, model, cutoff_radius, out);
+  } else if (mode == NeighborMode::kDelaunay) {
+    accumulate_delaunay(system, model, cutoff_radius, out);
+  } else {
+    accumulate_all_pairs(system, model, cutoff_radius, out);
+  }
+}
+
+double total_drift_norm(std::span<const geom::Vec2> drift) {
+  double total = 0.0;
+  for (const geom::Vec2 d : drift) total += geom::norm(d);
+  return total;
+}
+
+}  // namespace sops::sim

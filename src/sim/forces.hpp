@@ -1,0 +1,51 @@
+// Pairwise force accumulation — the right-hand side of the paper's
+// equation of motion (Eq. 6) without the noise term:
+//
+//   drift_i = Σ_{j ∈ N_rc(i)}  −F_αβ(‖Δz_ij‖) · Δz_ij,   Δz_ij = z_i − z_j.
+//
+// Two interchangeable neighbor strategies are provided; both must produce
+// identical drifts (tested): all-pairs O(n²), and a hashed cell grid that is
+// O(n) per step for bounded density and is selected automatically for finite
+// cut-off radii on large collectives.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "sim/force_law.hpp"
+#include "sim/particle_system.hpp"
+
+namespace sops::sim {
+
+/// Neighbor-search strategy selection.
+enum class NeighborMode {
+  kAuto,       ///< grid for finite r_c and n ≥ 64, all-pairs otherwise
+  kAllPairs,   ///< O(n²) reference path; required for r_c = ∞
+  kCellGrid,   ///< hashed uniform grid; requires finite r_c
+  /// Cell-like tessellation (extension): interactions only between direct
+  /// Delaunay neighbors, the neighbor model of the paper's base reference
+  /// [10] that §4.1 deliberately drops. A finite r_c additionally prunes
+  /// tessellation edges longer than the cut-off.
+  kDelaunay,
+};
+
+/// The value used for an unbounded interaction radius (r_c = ∞).
+inline constexpr double kUnboundedRadius = std::numeric_limits<double>::infinity();
+
+/// Computes drift_i for every particle into `out` (resized to n).
+///
+/// Pairs at exactly zero distance are skipped: the force direction is
+/// undefined there, and with continuous noise the event has probability
+/// zero; skipping (rather than throwing) keeps hand-constructed degenerate
+/// configurations usable in tests.
+void accumulate_drift(const ParticleSystem& system, const InteractionModel& model,
+                      double cutoff_radius, std::vector<geom::Vec2>& out,
+                      NeighborMode mode = NeighborMode::kAuto);
+
+/// Sum over particles of ‖drift_i‖₂ — the residual-force statistic the
+/// paper's equilibrium criterion thresholds (§4.1).
+[[nodiscard]] double total_drift_norm(std::span<const geom::Vec2> drift);
+
+}  // namespace sops::sim

@@ -1,0 +1,68 @@
+#include "sim/generators.hpp"
+
+#include "rng/samplers.hpp"
+
+namespace sops::sim {
+namespace {
+
+void validate_ranges(const RandomModelRanges& ranges) {
+  support::expect(ranges.k_min <= ranges.k_max &&
+                      ranges.r_min <= ranges.r_max &&
+                      ranges.tau_min <= ranges.tau_max,
+                  "RandomModelRanges: min exceeds max");
+  support::expect(ranges.r_min >= 0.0 && ranges.tau_min > 0.0,
+                  "RandomModelRanges: invalid lower bounds");
+}
+
+}  // namespace
+
+InteractionModel random_spring_model(std::size_t types,
+                                     const RandomModelRanges& ranges,
+                                     rng::Xoshiro256& engine) {
+  validate_ranges(ranges);
+  InteractionModel model(ForceLawKind::kSpring, types);
+  for (std::size_t a = 0; a < types; ++a) {
+    for (std::size_t b = a; b < types; ++b) {
+      model.set_k(a, b, rng::uniform(engine, ranges.k_min, ranges.k_max));
+      model.set_r(a, b, rng::uniform(engine, ranges.r_min, ranges.r_max));
+    }
+  }
+  return model;
+}
+
+InteractionModel random_double_gaussian_model(std::size_t types,
+                                              const RandomModelRanges& ranges,
+                                              rng::Xoshiro256& engine) {
+  validate_ranges(ranges);
+  InteractionModel model(ForceLawKind::kDoubleGaussian, types);
+  for (std::size_t a = 0; a < types; ++a) {
+    for (std::size_t b = a; b < types; ++b) {
+      const double k = rng::uniform(engine, ranges.k_min, ranges.k_max);
+      const double r = rng::uniform(engine, ranges.r_min, ranges.r_max);
+      const double tau = rng::uniform(engine, ranges.tau_min, ranges.tau_max);
+      const PairParams params = f2_params_for_preferred_distance(r, k, tau);
+      model.set_k(a, b, params.k);
+      model.set_r(a, b, params.r);
+      model.set_sigma(a, b, params.sigma);
+      model.set_tau(a, b, params.tau);
+    }
+  }
+  return model;
+}
+
+InteractionModel random_literal_f2_model(std::size_t types,
+                                         const RandomModelRanges& ranges,
+                                         rng::Xoshiro256& engine) {
+  validate_ranges(ranges);
+  InteractionModel model(ForceLawKind::kDoubleGaussian, types);
+  for (std::size_t a = 0; a < types; ++a) {
+    for (std::size_t b = a; b < types; ++b) {
+      model.set_k(a, b, rng::uniform(engine, ranges.k_min, ranges.k_max));
+      model.set_sigma(a, b, 1.0);
+      model.set_tau(a, b, rng::uniform(engine, ranges.tau_min, ranges.tau_max));
+    }
+  }
+  return model;
+}
+
+}  // namespace sops::sim

@@ -1,0 +1,40 @@
+// Random interaction-model generators matching the paper's experiment
+// descriptions ("10 randomly generated types with mutual preferred distance
+// radii r_αβ between …"). All draws are deterministic in (seed, index).
+#pragma once
+
+#include <cstdint>
+
+#include "rng/engine.hpp"
+#include "sim/force_law.hpp"
+
+namespace sops::sim {
+
+/// Ranges for the random symmetric matrices. Defaults follow §4.1.
+struct RandomModelRanges {
+  double k_min = 1.0, k_max = 1.0;   ///< k_αβ (Fig. 9/10 captions use k = 1)
+  double r_min = 2.0, r_max = 8.0;   ///< r_αβ (Fig. 9/10 captions)
+  double tau_min = 1.0, tau_max = 10.0;  ///< τ_αβ (F² only)
+};
+
+/// Draws a random symmetric F¹ model over `types` types: each unordered
+/// pair's (k, r) is sampled uniformly from the ranges.
+[[nodiscard]] InteractionModel random_spring_model(std::size_t types,
+                                                   const RandomModelRanges& ranges,
+                                                   rng::Xoshiro256& engine);
+
+/// Draws a random symmetric F² model over `types` types. For each unordered
+/// pair a preferred distance r is drawn from [r_min, r_max] and the pair's
+/// σ (with τ from its own range) is solved so the force's zero crossing
+/// lands at r — matching Fig. 8's caption, which specifies F² interactions
+/// by preferred-distance radii.
+[[nodiscard]] InteractionModel random_double_gaussian_model(
+    std::size_t types, const RandomModelRanges& ranges, rng::Xoshiro256& engine);
+
+/// Draws the paper's *literal* F² setting (§4.1): σ_αβ = 1, τ_αβ uniform in
+/// [tau_min, tau_max], k_αβ uniform in [k_min, k_max]. With σ ≤ τ this is
+/// the purely repulsive, decaying regime (see force_law.hpp sign note).
+[[nodiscard]] InteractionModel random_literal_f2_model(
+    std::size_t types, const RandomModelRanges& ranges, rng::Xoshiro256& engine);
+
+}  // namespace sops::sim

@@ -1,0 +1,37 @@
+#include "sim/integrator.hpp"
+
+#include "rng/samplers.hpp"
+
+namespace sops::sim {
+
+double euler_maruyama_step(ParticleSystem& system, const InteractionModel& model,
+                           double cutoff_radius, const IntegratorParams& params,
+                           rng::Xoshiro256& engine,
+                           std::vector<geom::Vec2>& drift_scratch,
+                           NeighborMode mode) {
+  support::expect(params.dt > 0.0, "euler_maruyama_step: dt must be positive");
+  support::expect(params.noise_variance >= 0.0,
+                  "euler_maruyama_step: negative noise variance");
+
+  accumulate_drift(system, model, cutoff_radius, drift_scratch, mode);
+  const double residual = total_drift_norm(drift_scratch);
+
+  const double noise_scale =
+      std::sqrt(params.dt) * std::sqrt(params.noise_variance);
+  const double max_step_sq =
+      params.max_step > 0.0 ? params.max_step * params.max_step : 0.0;
+
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    geom::Vec2 step = drift_scratch[i] * params.dt;
+    if (max_step_sq > 0.0 && geom::norm_sq(step) > max_step_sq) {
+      step *= params.max_step / geom::norm(step);
+    }
+    if (noise_scale > 0.0) {
+      step += rng::normal_vec2(engine, 1.0) * noise_scale;
+    }
+    system.positions[i] += step;
+  }
+  return residual;
+}
+
+}  // namespace sops::sim

@@ -1,0 +1,40 @@
+// Euler–Maruyama integration of the overdamped SDE (Eq. 6):
+//
+//   z_i(t+dt) = z_i(t) + dt · drift_i(t) + √dt · ς · ξ,  ξ ~ N(0, I₂),
+//
+// where ς² is the paper's noise variance (0.05 throughout its experiments).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "rng/engine.hpp"
+#include "sim/forces.hpp"
+#include "sim/particle_system.hpp"
+
+namespace sops::sim {
+
+/// Parameters of the stochastic integrator.
+struct IntegratorParams {
+  /// Time step. One recorded paper "time step" equals one integrator step.
+  double dt = 0.05;
+  /// Variance of the additive white Gaussian noise w (paper: 0.05).
+  double noise_variance = 0.05;
+  /// Stability guard: per-step displacement magnitude cap (before noise).
+  /// F¹'s drift is bounded, but large k_αβ with many neighbors inside r_c
+  /// can overshoot an explicit step; the cap preserves equilibria (it only
+  /// engages far from them). 0 disables the cap.
+  double max_step = 2.0;
+};
+
+/// One Euler–Maruyama step, in place. `drift_scratch` avoids per-step
+/// allocation; it is resized as needed. Returns the total drift norm
+/// Σ‖drift_i‖ of the *pre-step* configuration (the equilibrium statistic),
+/// so callers get it for free.
+double euler_maruyama_step(ParticleSystem& system, const InteractionModel& model,
+                           double cutoff_radius, const IntegratorParams& params,
+                           rng::Xoshiro256& engine,
+                           std::vector<geom::Vec2>& drift_scratch,
+                           NeighborMode mode = NeighborMode::kAuto);
+
+}  // namespace sops::sim

@@ -1,0 +1,129 @@
+#include "sim/observables.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "geom/rigid_transform.hpp"
+#include "support/error.hpp"
+
+namespace sops::sim {
+
+RadialDistribution radial_distribution(std::span<const geom::Vec2> points,
+                                       double r_max, std::size_t bins) {
+  support::expect(r_max > 0.0, "radial_distribution: r_max must be positive");
+  support::expect(bins >= 1, "radial_distribution: need at least one bin");
+  const std::size_t n = points.size();
+  support::expect(n >= 2, "radial_distribution: need at least two particles");
+
+  const double dr = r_max / static_cast<double>(bins);
+  std::vector<double> counts(bins, 0.0);
+  std::size_t pairs_in_range = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = geom::dist(points[i], points[j]);
+      if (d >= r_max) continue;
+      const auto bin = static_cast<std::size_t>(d / dr);
+      counts[std::min(bin, bins - 1)] += 2.0;  // both orderings
+      ++pairs_in_range;
+    }
+  }
+
+  RadialDistribution rdf;
+  rdf.r.resize(bins);
+  rdf.g.resize(bins);
+  // Normalization: mean density of *observed* neighbors within r_max, so
+  // g integrates the same mass as the ideal gas over the window and peaks
+  // are comparable across differently-sized collectives.
+  const double window_area = std::numbers::pi * r_max * r_max;
+  const double density =
+      2.0 * static_cast<double>(pairs_in_range) / (static_cast<double>(n) * window_area);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double r_lo = static_cast<double>(b) * dr;
+    const double r_hi = r_lo + dr;
+    rdf.r[b] = 0.5 * (r_lo + r_hi);
+    const double shell_area = std::numbers::pi * (r_hi * r_hi - r_lo * r_lo);
+    const double expected = density * shell_area * static_cast<double>(n);
+    rdf.g[b] = expected > 0.0 ? counts[b] / expected : 0.0;
+  }
+  return rdf;
+}
+
+double first_peak_height(const RadialDistribution& rdf) {
+  // The first local maximum after the initial depleted core.
+  for (std::size_t b = 1; b + 1 < rdf.g.size(); ++b) {
+    if (rdf.g[b] > 1.0 && rdf.g[b] >= rdf.g[b - 1] && rdf.g[b] >= rdf.g[b + 1]) {
+      return rdf.g[b];
+    }
+  }
+  return rdf.g.empty() ? 0.0 : *std::max_element(rdf.g.begin(), rdf.g.end());
+}
+
+std::vector<double> mean_squared_displacement(
+    std::span<const std::vector<geom::Vec2>> frames) {
+  support::expect(!frames.empty(), "mean_squared_displacement: no frames");
+  const std::size_t n = frames.front().size();
+  std::vector<double> msd;
+  msd.reserve(frames.size());
+  for (const auto& frame : frames) {
+    support::expect(frame.size() == n,
+                    "mean_squared_displacement: frame size mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += geom::dist_sq(frame[i], frames.front()[i]);
+    }
+    msd.push_back(n > 0 ? total / static_cast<double>(n) : 0.0);
+  }
+  return msd;
+}
+
+double radius_of_gyration(std::span<const geom::Vec2> points) {
+  support::expect(!points.empty(), "radius_of_gyration: empty configuration");
+  const geom::Vec2 c = geom::centroid(points);
+  double total = 0.0;
+  for (const geom::Vec2 p : points) total += geom::dist_sq(p, c);
+  return std::sqrt(total / static_cast<double>(points.size()));
+}
+
+double cross_type_neighbor_fraction(std::span<const geom::Vec2> points,
+                                    std::span<const TypeId> types) {
+  support::expect(points.size() == types.size() && points.size() >= 2,
+                  "cross_type_neighbor_fraction: invalid inputs");
+  std::size_t cross = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t nearest = i;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      const double d = geom::dist_sq(points[i], points[j]);
+      if (d < best) {
+        best = d;
+        nearest = j;
+      }
+    }
+    if (types[nearest] != types[i]) ++cross;
+  }
+  return static_cast<double>(cross) / static_cast<double>(points.size());
+}
+
+std::vector<double> mean_radius_by_type(std::span<const geom::Vec2> points,
+                                        std::span<const TypeId> types,
+                                        std::size_t type_count) {
+  support::expect(points.size() == types.size() && !points.empty(),
+                  "mean_radius_by_type: invalid inputs");
+  const geom::Vec2 c = geom::centroid(points);
+  std::vector<double> sum(type_count, 0.0);
+  std::vector<std::size_t> count(type_count, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    support::expect(types[i] < type_count,
+                    "mean_radius_by_type: type id out of range");
+    sum[types[i]] += geom::dist(points[i], c);
+    ++count[types[i]];
+  }
+  for (std::size_t t = 0; t < type_count; ++t) {
+    if (count[t] > 0) sum[t] /= static_cast<double>(count[t]);
+  }
+  return sum;
+}
+
+}  // namespace sops::sim

@@ -1,0 +1,53 @@
+// Structural and dynamical observables of particle configurations:
+// the standard quantities used to characterize the regimes the paper
+// describes qualitatively (regular grids, clusters, slow expansion).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/particle_system.hpp"
+
+namespace sops::sim {
+
+/// Radial distribution function g(r) of a 2-D configuration.
+///
+/// Pairwise distances are histogrammed in `bins` shells of width
+/// r_max/bins and normalized by the ideal-gas expectation (shell area ×
+/// mean density over the disc of radius r_max around each particle), so
+/// g → 1 for uncorrelated positions, g ≈ 0 inside a repulsive core, and
+/// peaks mark preferred spacings (lattice/paracrystalline order).
+struct RadialDistribution {
+  std::vector<double> r;  ///< shell centers
+  std::vector<double> g;  ///< g(r) values
+};
+
+[[nodiscard]] RadialDistribution radial_distribution(
+    std::span<const geom::Vec2> points, double r_max, std::size_t bins = 50);
+
+/// Height of the first g(r) peak — a scalar crystallinity proxy.
+[[nodiscard]] double first_peak_height(const RadialDistribution& rdf);
+
+/// Mean squared displacement per recorded frame, relative to frame 0,
+/// averaged over particles. Identity-preserving frames required (raw
+/// trajectory order, not shape-space output).
+[[nodiscard]] std::vector<double> mean_squared_displacement(
+    std::span<const std::vector<geom::Vec2>> frames);
+
+/// Radius of gyration: RMS distance from the centroid.
+[[nodiscard]] double radius_of_gyration(std::span<const geom::Vec2> points);
+
+/// Fraction of particles whose nearest neighbor has a different type
+/// (≈ inter-type contact fraction; 0 when fully sorted). For a balanced
+/// random mixture of l types the expectation is (l−1)/l · (n/(n−1))-ish.
+[[nodiscard]] double cross_type_neighbor_fraction(
+    std::span<const geom::Vec2> points, std::span<const TypeId> types);
+
+/// Mean distance from the joint centroid, per type. Types with no members
+/// report 0. Used to detect enclosed/layered arrangements (Fig. 12).
+[[nodiscard]] std::vector<double> mean_radius_by_type(
+    std::span<const geom::Vec2> points, std::span<const TypeId> types,
+    std::size_t type_count);
+
+}  // namespace sops::sim

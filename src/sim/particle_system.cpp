@@ -1,0 +1,28 @@
+#include "sim/particle_system.hpp"
+
+namespace sops::sim {
+
+std::vector<TypeId> evenly_distributed_types(std::size_t n, std::size_t l) {
+  support::expect(l > 0, "evenly_distributed_types: need at least one type");
+  std::vector<TypeId> types(n);
+  const std::size_t base = l == 0 ? 0 : n / l;
+  const std::size_t extra = l == 0 ? 0 : n % l;
+  std::size_t next = 0;
+  for (std::size_t t = 0; t < l; ++t) {
+    const std::size_t count = base + (t < extra ? 1 : 0);
+    for (std::size_t i = 0; i < count; ++i) types[next++] = static_cast<TypeId>(t);
+  }
+  return types;
+}
+
+std::vector<std::size_t> type_histogram(std::span<const TypeId> types,
+                                        std::size_t type_count) {
+  std::vector<std::size_t> histogram(type_count, 0);
+  for (const TypeId t : types) {
+    support::expect(t < type_count, "type_histogram: type id out of range");
+    ++histogram[t];
+  }
+  return histogram;
+}
+
+}  // namespace sops::sim

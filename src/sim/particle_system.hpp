@@ -1,0 +1,54 @@
+// Particle state: positions in R² plus the fixed per-particle type.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "support/error.hpp"
+
+namespace sops::sim {
+
+/// Type index of a particle (α ∈ {0, …, l−1}).
+using TypeId = std::uint32_t;
+
+/// A particle collective: n positions and n fixed types.
+///
+/// Types are assigned once at construction and never change during a run
+/// (paper §5.1); positions evolve under the integrator.
+struct ParticleSystem {
+  std::vector<geom::Vec2> positions;
+  std::vector<TypeId> types;
+
+  ParticleSystem() = default;
+  ParticleSystem(std::vector<geom::Vec2> pos, std::vector<TypeId> type_ids)
+      : positions(std::move(pos)), types(std::move(type_ids)) {
+    support::expect(positions.size() == types.size(),
+                    "ParticleSystem: positions/types size mismatch");
+  }
+
+  /// Number of particles n.
+  [[nodiscard]] std::size_t size() const noexcept { return positions.size(); }
+
+  /// Number of distinct type ids present must be < `type_count`; verifies
+  /// every particle's type is a valid index for an l-type interaction model.
+  [[nodiscard]] bool types_within(std::size_t type_count) const noexcept {
+    for (const TypeId t : types) {
+      if (t >= type_count) return false;
+    }
+    return true;
+  }
+};
+
+/// Assigns types 0..l−1 to n particles as evenly as possible, in blocks
+/// (particles 0..n/l−1 get type 0, and so on; remainders go to the low
+/// types). Deterministic, so experiments are reproducible by config alone.
+[[nodiscard]] std::vector<TypeId> evenly_distributed_types(std::size_t n,
+                                                           std::size_t l);
+
+/// Number of particles of each type, indexed by type id.
+[[nodiscard]] std::vector<std::size_t> type_histogram(
+    std::span<const TypeId> types, std::size_t type_count);
+
+}  // namespace sops::sim

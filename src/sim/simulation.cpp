@@ -1,0 +1,73 @@
+#include "sim/simulation.hpp"
+
+#include "rng/samplers.hpp"
+
+namespace sops::sim {
+
+std::vector<geom::Vec2> sample_initial_disc(std::size_t n, double radius,
+                                            rng::Xoshiro256& engine) {
+  support::expect(radius > 0.0, "sample_initial_disc: radius must be positive");
+  std::vector<geom::Vec2> positions;
+  positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back(rng::uniform_disc(engine, radius));
+  }
+  return positions;
+}
+
+Trajectory run_simulation(const SimulationConfig& config) {
+  support::expect(!config.types.empty(), "run_simulation: no particles");
+  support::expect(config.record_stride >= 1,
+                  "run_simulation: record_stride must be >= 1");
+  support::expect(config.steps >= 1, "run_simulation: steps must be >= 1");
+
+  rng::Xoshiro256 engine = rng::make_stream(config.seed, config.stream);
+
+  ParticleSystem system(
+      sample_initial_disc(config.types.size(), config.init_disc_radius, engine),
+      config.types);
+  support::expect(system.types_within(config.model.types()),
+                  "run_simulation: particle type outside the model");
+
+  Trajectory trajectory;
+  trajectory.types = config.types;
+
+  EquilibriumDetector equilibrium(config.equilibrium.threshold,
+                                  config.equilibrium.hold_steps);
+  std::vector<geom::Vec2> drift_scratch;
+
+  // Records the current configuration plus the residual Σ‖drift_i‖ of that
+  // exact configuration (recomputed; strided recording makes this cheap).
+  auto record = [&](std::size_t step) {
+    accumulate_drift(system, config.model, config.cutoff_radius, drift_scratch,
+                     config.neighbor_mode);
+    trajectory.frames.push_back(system.positions);
+    trajectory.frame_steps.push_back(step);
+    trajectory.residual_norms.push_back(total_drift_norm(drift_scratch));
+  };
+
+  record(0);
+
+  for (std::size_t step = 1; step <= config.steps; ++step) {
+    const double residual = euler_maruyama_step(
+        system, config.model, config.cutoff_radius, config.integrator, engine,
+        drift_scratch, config.neighbor_mode);
+
+    const bool was_triggered = equilibrium.triggered();
+    equilibrium.update(residual);
+    if (!was_triggered && equilibrium.triggered()) {
+      trajectory.equilibrium_step = step;
+    }
+
+    if (step % config.record_stride == 0 || step == config.steps) {
+      record(step);
+    }
+    if (config.stop_at_equilibrium && equilibrium.triggered()) {
+      if (trajectory.frame_steps.back() != step) record(step);
+      break;
+    }
+  }
+  return trajectory;
+}
+
+}  // namespace sops::sim

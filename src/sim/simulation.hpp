@@ -1,0 +1,69 @@
+// Single-run simulation driver: initial condition, time stepping, trajectory
+// recording, and stopping diagnostics. One run corresponds to one "sample"
+// z̄ = (z⁽¹⁾, …, z⁽ᵗᵐᵃˣ⁾) of the paper (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/detectors.hpp"
+#include "sim/integrator.hpp"
+
+namespace sops::sim {
+
+/// Equilibrium-criterion parameters (paper §4.1).
+struct EquilibriumParams {
+  double threshold = 0.5;      ///< on Σ‖drift_i‖
+  std::size_t hold_steps = 10; ///< consecutive sub-threshold steps required
+};
+
+/// Full specification of one stochastic run. Everything that affects the
+/// trajectory is in here; (seed, stream) alone distinguish ensemble samples.
+struct SimulationConfig {
+  explicit SimulationConfig(InteractionModel interaction_model)
+      : model(std::move(interaction_model)) {}
+
+  InteractionModel model;
+  std::vector<TypeId> types;  ///< per-particle types; size defines n
+
+  double cutoff_radius = kUnboundedRadius;  ///< r_c
+  double init_disc_radius = 5.0;            ///< uniform-disc initialization radius
+  IntegratorParams integrator{};
+  NeighborMode neighbor_mode = NeighborMode::kAuto;
+
+  std::size_t steps = 250;        ///< t_max
+  std::size_t record_stride = 1;  ///< record every k-th step (plus step 0)
+  bool stop_at_equilibrium = false;  ///< stop stepping once equilibrium holds
+  EquilibriumParams equilibrium{};
+
+  std::uint64_t seed = 0;    ///< master experiment seed
+  std::uint64_t stream = 0;  ///< sample index within the experiment
+};
+
+/// Recorded run. `frames[f]` is the configuration at step `frame_steps[f]`;
+/// frame 0 is always the initial condition.
+struct Trajectory {
+  std::vector<TypeId> types;
+  std::vector<std::vector<geom::Vec2>> frames;
+  std::vector<std::size_t> frame_steps;
+  std::vector<double> residual_norms;  ///< Σ‖drift‖ before each recorded step
+  std::optional<std::size_t> equilibrium_step;  ///< step where criterion held
+  std::optional<std::size_t> cycle_period;      ///< from the limit-cycle scan
+
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames.size(); }
+  [[nodiscard]] std::size_t particle_count() const noexcept {
+    return types.size();
+  }
+};
+
+/// Draws the paper's initial condition: n particles uniform on the disc of
+/// `radius` centered at the origin.
+[[nodiscard]] std::vector<geom::Vec2> sample_initial_disc(std::size_t n,
+                                                          double radius,
+                                                          rng::Xoshiro256& engine);
+
+/// Runs one simulation to completion. Fully deterministic in the config.
+[[nodiscard]] Trajectory run_simulation(const SimulationConfig& config);
+
+}  // namespace sops::sim

@@ -1,0 +1,33 @@
+#include "sim/symmetric_matrix.hpp"
+
+#include <algorithm>
+
+namespace sops::sim {
+
+SymmetricMatrix SymmetricMatrix::from_full(
+    const std::vector<std::vector<double>>& full) {
+  const std::size_t l = full.size();
+  SymmetricMatrix m(l);
+  for (std::size_t a = 0; a < l; ++a) {
+    support::expect(full[a].size() == l,
+                    "SymmetricMatrix::from_full: matrix not square");
+    for (std::size_t b = a; b < l; ++b) {
+      support::expect(full[a][b] == full[b][a],
+                      "SymmetricMatrix::from_full: matrix not symmetric");
+      m.set(a, b, full[a][b]);
+    }
+  }
+  return m;
+}
+
+double SymmetricMatrix::min_entry() const noexcept {
+  if (data_.empty()) return 0.0;
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double SymmetricMatrix::max_entry() const noexcept {
+  if (data_.empty()) return 0.0;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+}  // namespace sops::sim

@@ -1,0 +1,62 @@
+// Symmetric l×l parameter matrices (k_αβ, r_αβ, σ_αβ, τ_αβ).
+//
+// The paper only considers symmetric interaction matrices — asymmetric ones
+// lead to "unstable dynamics or cycling patterns" (§4.1) — so symmetry is
+// enforced structurally: only the upper triangle is stored and both (α,β)
+// orders read the same entry.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace sops::sim {
+
+/// Symmetric matrix over particle types, stored as the upper triangle.
+class SymmetricMatrix {
+ public:
+  SymmetricMatrix() = default;
+
+  /// l×l matrix with every entry set to `fill`.
+  explicit SymmetricMatrix(std::size_t types, double fill = 0.0)
+      : types_(types), data_(types * (types + 1) / 2, fill) {}
+
+  /// Builds from a full row-major matrix; throws if it is not symmetric.
+  static SymmetricMatrix from_full(
+      const std::vector<std::vector<double>>& full);
+
+  /// Number of types l.
+  [[nodiscard]] std::size_t types() const noexcept { return types_; }
+
+  /// Entry (a, b) == entry (b, a).
+  [[nodiscard]] double operator()(std::size_t a, std::size_t b) const {
+    return data_[flat_index(a, b)];
+  }
+
+  /// Sets entry (a, b) and (b, a) simultaneously.
+  void set(std::size_t a, std::size_t b, double value) {
+    data_[flat_index(a, b)] = value;
+  }
+
+  /// Smallest entry (useful for validation); 0 for empty matrices.
+  [[nodiscard]] double min_entry() const noexcept;
+  /// Largest entry; 0 for empty matrices.
+  [[nodiscard]] double max_entry() const noexcept;
+
+  friend bool operator==(const SymmetricMatrix&, const SymmetricMatrix&) = default;
+
+ private:
+  [[nodiscard]] std::size_t flat_index(std::size_t a, std::size_t b) const {
+    support::expect(a < types_ && b < types_,
+                    "SymmetricMatrix: type index out of range");
+    if (a > b) std::swap(a, b);
+    // Row-major upper triangle: row a contributes (types_ - a) entries.
+    return a * types_ - a * (a + 1) / 2 + b;
+  }
+
+  std::size_t types_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sops::sim

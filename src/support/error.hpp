@@ -1,0 +1,45 @@
+// Error-handling primitives shared by all sops libraries.
+//
+// The library reports precondition violations and unrecoverable numerical
+// conditions via exceptions derived from `sops::Error`, so that callers
+// embedding the library (benches, examples, user code) can distinguish
+// library failures from everything else.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sops {
+
+/// Base class of every exception thrown by sops.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an algorithm cannot proceed for numerical reasons
+/// (e.g. an estimator invoked with fewer samples than neighbors).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace support {
+
+/// Checks a documented precondition; throws PreconditionError on failure.
+///
+/// This is used for *caller* errors on public API boundaries and is always
+/// active (not compiled out in release builds): the cost is negligible next
+/// to the numerical work and silent misuse is far more expensive to debug.
+inline void expect(bool condition, const char* message) {
+  if (!condition) throw PreconditionError(message);
+}
+
+}  // namespace support
+}  // namespace sops

@@ -1,0 +1,42 @@
+// Minimal data-parallel loop over an index range.
+//
+// All parallelism in sops goes through this single primitive so that the
+// numerical code stays free of threading concerns. Work items must be
+// independent; determinism is the caller's responsibility (in practice each
+// simulation sample owns its RNG substream, so results are identical for any
+// thread count, including 1).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+namespace sops::support {
+
+/// Returns the worker count used when `threads == 0` is requested:
+/// the hardware concurrency, floored at 1.
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Runs `body(i)` for every i in [begin, end) across up to `threads` workers.
+///
+/// - `threads == 0` selects `default_thread_count()`.
+/// - `threads == 1` (or a range of at most one element) runs inline with no
+///   thread creation, which keeps small problems cheap and makes single-
+///   threaded debugging trivial.
+/// - Indices are partitioned into contiguous blocks, one per worker, so
+///   neighboring iterations share cache lines of the same output region.
+/// - If any invocation of `body` throws, the first exception is rethrown on
+///   the calling thread after all workers have joined.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+/// Like parallel_for, but hands each worker a contiguous [chunk_begin,
+/// chunk_end) range. Use when per-iteration dispatch overhead matters
+/// (tight numerical kernels).
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body,
+    std::size_t threads = 0);
+
+}  // namespace sops::support

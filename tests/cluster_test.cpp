@@ -1,0 +1,167 @@
+// k-means tests: recovery of separated blobs, determinism, degenerate cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/kmeans.hpp"
+#include "rng/samplers.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::cluster::kmeans;
+using sops::cluster::kmeans_plus_plus_seeds;
+using sops::cluster::KMeansOptions;
+using sops::cluster::KMeansResult;
+using sops::geom::Vec2;
+using sops::rng::Xoshiro256;
+
+std::vector<Vec2> blobs(std::span<const Vec2> centers, std::size_t per_blob,
+                        double spread, std::uint64_t seed) {
+  Xoshiro256 engine(seed);
+  std::vector<Vec2> points;
+  for (const Vec2 c : centers) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      points.push_back(c + sops::rng::normal_vec2(engine, spread));
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  const std::vector<Vec2> centers{{0, 0}, {20, 0}, {0, 20}};
+  const auto points = blobs(centers, 40, 0.5, 3);
+  Xoshiro256 engine(5);
+  KMeansOptions options;
+  options.restarts = 4;
+  const KMeansResult result = kmeans(points, 3, engine, options);
+
+  // Each recovered centroid must be within 1 unit of a true center, and all
+  // three true centers must be hit.
+  std::set<std::size_t> matched;
+  for (const Vec2 c : result.centroids) {
+    for (std::size_t t = 0; t < centers.size(); ++t) {
+      if (dist(c, centers[t]) < 1.0) matched.insert(t);
+    }
+  }
+  EXPECT_EQ(matched.size(), 3u);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(KMeans, AssignmentsMatchNearestCentroid) {
+  const auto points = blobs(std::vector<Vec2>{{0, 0}, {10, 10}}, 30, 1.0, 7);
+  Xoshiro256 engine(9);
+  const KMeansResult result = kmeans(points, 2, engine);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double assigned =
+        dist_sq(points[i], result.centroids[result.assignment[i]]);
+    for (const Vec2 c : result.centroids) {
+      EXPECT_LE(assigned, dist_sq(points[i], c) + 1e-12);
+    }
+  }
+}
+
+TEST(KMeans, CentroidsAreClusterMeans) {
+  const auto points = blobs(std::vector<Vec2>{{0, 0}, {10, 10}}, 30, 1.0, 11);
+  Xoshiro256 engine(13);
+  const KMeansResult result = kmeans(points, 2, engine);
+  for (std::size_t c = 0; c < 2; ++c) {
+    Vec2 sum{};
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (result.assignment[i] == c) {
+        sum += points[i];
+        ++count;
+      }
+    }
+    ASSERT_GT(count, 0u);
+    EXPECT_NEAR(result.centroids[c].x, sum.x / count, 1e-9);
+    EXPECT_NEAR(result.centroids[c].y, sum.y / count, 1e-9);
+  }
+}
+
+TEST(KMeans, DeterministicGivenEngineState) {
+  const auto points = blobs(std::vector<Vec2>{{0, 0}, {5, 5}}, 25, 1.0, 17);
+  Xoshiro256 e1(21);
+  Xoshiro256 e2(21);
+  const KMeansResult a = kmeans(points, 2, e1);
+  const KMeansResult b = kmeans(points, 2, e2);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, InertiaNonIncreasingInK) {
+  const auto points = blobs(std::vector<Vec2>{{0, 0}, {8, 3}, {-4, 6}}, 30, 1.5, 23);
+  double previous = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 3u, 5u, 8u}) {
+    Xoshiro256 engine(29);
+    KMeansOptions options;
+    options.restarts = 6;
+    const KMeansResult result = kmeans(points, k, engine, options);
+    EXPECT_LE(result.inertia, previous * 1.001) << "k=" << k;
+    previous = result.inertia;
+  }
+}
+
+TEST(KMeans, KOneGivesGlobalMean) {
+  const auto points = blobs(std::vector<Vec2>{{2, 3}}, 50, 2.0, 31);
+  Xoshiro256 engine(33);
+  const KMeansResult result = kmeans(points, 1, engine);
+  Vec2 mean{};
+  for (const Vec2 p : points) mean += p;
+  mean /= static_cast<double>(points.size());
+  EXPECT_NEAR(result.centroids[0].x, mean.x, 1e-9);
+  EXPECT_NEAR(result.centroids[0].y, mean.y, 1e-9);
+}
+
+TEST(KMeans, KEqualsNPinsEveryPoint) {
+  const std::vector<Vec2> points{{0, 0}, {1, 0}, {2, 0}, {5, 5}};
+  Xoshiro256 engine(37);
+  KMeansOptions options;
+  options.restarts = 8;
+  const KMeansResult result = kmeans(points, 4, engine, options);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeans, DuplicatePointsHandled) {
+  const std::vector<Vec2> points(10, Vec2{1, 1});
+  Xoshiro256 engine(41);
+  const KMeansResult result = kmeans(points, 3, engine);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeans, InvalidArgumentsThrow) {
+  const std::vector<Vec2> points{{0, 0}, {1, 1}};
+  Xoshiro256 engine(43);
+  EXPECT_THROW((void)kmeans(points, 0, engine), sops::PreconditionError);
+  EXPECT_THROW((void)kmeans(points, 3, engine), sops::PreconditionError);
+  KMeansOptions bad;
+  bad.restarts = 0;
+  EXPECT_THROW((void)kmeans(points, 1, engine, bad), sops::PreconditionError);
+}
+
+TEST(KMeansPlusPlus, ReturnsKSeedsFromThePointSet) {
+  const auto points = blobs(std::vector<Vec2>{{0, 0}, {9, 9}}, 20, 1.0, 47);
+  Xoshiro256 engine(49);
+  const auto seeds = kmeans_plus_plus_seeds(points, 5, engine);
+  ASSERT_EQ(seeds.size(), 5u);
+  for (const Vec2 s : seeds) {
+    EXPECT_TRUE(std::any_of(points.begin(), points.end(),
+                            [&](Vec2 p) { return p == s; }));
+  }
+}
+
+TEST(KMeansPlusPlus, SpreadsAcrossSeparatedBlobs) {
+  // With two far blobs and k = 2, the D² weighting virtually always places
+  // the seeds in different blobs.
+  const std::vector<Vec2> centers{{0, 0}, {100, 100}};
+  const auto points = blobs(centers, 25, 0.5, 53);
+  Xoshiro256 engine(59);
+  const auto seeds = kmeans_plus_plus_seeds(points, 2, engine);
+  const bool split = (dist(seeds[0], centers[0]) < 5.0) !=
+                     (dist(seeds[1], centers[0]) < 5.0);
+  EXPECT_TRUE(split);
+}
+
+}  // namespace

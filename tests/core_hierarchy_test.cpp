@@ -1,0 +1,126 @@
+// Two-level hierarchical decomposition tests (paper §3.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hierarchy.hpp"
+#include "rng/samplers.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::align::AlignedEnsemble;
+using sops::core::decompose_two_level;
+using sops::core::HierarchicalDecomposition;
+using sops::geom::Vec2;
+using sops::sim::TypeId;
+
+// Builds an aligned-style ensemble directly (no simulation): two types,
+// each with two spatial clusters of two particles. Dependence is injected
+// at chosen levels via shared latent factors.
+AlignedEnsemble synthetic_ensemble(std::size_t m, double between_types,
+                                   double between_clusters,
+                                   double within_cluster, std::uint64_t seed) {
+  const std::vector<TypeId> types{0, 0, 0, 0, 1, 1, 1, 1};
+  // Cluster centers: type 0 at x = ±4 (two clusters), type 1 at y = ±4.
+  const std::vector<Vec2> centers{{-4, 0}, {-4, 0}, {4, 0}, {4, 0},
+                                  {0, -4}, {0, -4}, {0, 4}, {0, 4}};
+  sops::rng::Xoshiro256 engine(seed);
+
+  AlignedEnsemble ensemble;
+  ensemble.samples = sops::info::SampleMatrix(m, 16);
+  ensemble.blocks = sops::info::uniform_blocks(8, 2);
+  ensemble.block_types = types;
+
+  for (std::size_t s = 0; s < m; ++s) {
+    const double global = sops::rng::standard_normal(engine);
+    auto row = ensemble.samples.row(s);
+    for (std::size_t type = 0; type < 2; ++type) {
+      const double type_factor = sops::rng::standard_normal(engine);
+      for (std::size_t cluster = 0; cluster < 2; ++cluster) {
+        const double cluster_factor = sops::rng::standard_normal(engine);
+        for (std::size_t p = 0; p < 2; ++p) {
+          const std::size_t index = type * 4 + cluster * 2 + p;
+          const double noise_x = sops::rng::standard_normal(engine);
+          const double noise_y = sops::rng::standard_normal(engine);
+          const double shared = between_types * global +
+                                between_clusters * type_factor +
+                                within_cluster * cluster_factor;
+          const double residual = std::sqrt(std::max(
+              0.0, 1.0 - between_types * between_types -
+                       between_clusters * between_clusters -
+                       within_cluster * within_cluster));
+          row[2 * index] = centers[index].x + shared + residual * noise_x;
+          row[2 * index + 1] = centers[index].y + shared + residual * noise_y;
+        }
+      }
+    }
+  }
+  return ensemble;
+}
+
+TEST(Hierarchy, StructureOfResult) {
+  const AlignedEnsemble ensemble = synthetic_ensemble(300, 0.3, 0.3, 0.3, 3);
+  const HierarchicalDecomposition h = decompose_two_level(ensemble, 2);
+  EXPECT_EQ(h.by_type.within_group.size(), 2u);  // two types
+  ASSERT_EQ(h.within_types.size(), 2u);
+  for (const auto& type_level : h.within_types) {
+    // Two clusters of two particles each (k-means on well-separated blobs).
+    EXPECT_EQ(type_level.cluster_sizes.size(), 2u);
+    EXPECT_EQ(type_level.cluster_sizes[0] + type_level.cluster_sizes[1], 4u);
+  }
+}
+
+TEST(Hierarchy, WithinClusterDependenceLandsAtTheLeaves) {
+  // Only within-cluster coupling: between-types and between-clusters terms
+  // must be near zero, within-cluster terms clearly positive.
+  const AlignedEnsemble ensemble = synthetic_ensemble(600, 0.0, 0.0, 0.8, 5);
+  const HierarchicalDecomposition h = decompose_two_level(ensemble, 2);
+  EXPECT_NEAR(h.by_type.between_groups, 0.0, 0.35);
+  for (const auto& type_level : h.within_types) {
+    EXPECT_NEAR(type_level.by_cluster.between_groups, 0.0, 0.6);
+    double within_total = 0.0;
+    for (const double w : type_level.by_cluster.within_group) {
+      within_total += w;
+    }
+    EXPECT_GT(within_total, 1.0);
+  }
+}
+
+TEST(Hierarchy, BetweenTypeDependenceLandsAtTheRoot) {
+  const AlignedEnsemble ensemble = synthetic_ensemble(600, 0.8, 0.0, 0.0, 7);
+  const HierarchicalDecomposition h = decompose_two_level(ensemble, 2);
+  EXPECT_GT(h.by_type.between_groups, 1.0);
+}
+
+TEST(Hierarchy, IndependentEnsembleAllTermsSmall) {
+  const AlignedEnsemble ensemble = synthetic_ensemble(500, 0.0, 0.0, 0.0, 9);
+  const HierarchicalDecomposition h = decompose_two_level(ensemble, 2);
+  EXPECT_NEAR(h.by_type.total, 0.0, 0.5);
+  EXPECT_NEAR(h.reconstructed(), 0.0, 1.2);
+}
+
+TEST(Hierarchy, ReconstructionTracksTotal) {
+  const AlignedEnsemble ensemble = synthetic_ensemble(800, 0.4, 0.4, 0.4, 11);
+  const HierarchicalDecomposition h = decompose_two_level(ensemble, 2);
+  // Two stacked Eq.-(5) identities; allow the stacked estimator bias.
+  EXPECT_NEAR(h.reconstructed(), h.by_type.total,
+              0.25 * std::max(std::abs(h.by_type.total), 4.0));
+}
+
+TEST(Hierarchy, SingleClusterPerTypeReducesToLevelOne) {
+  const AlignedEnsemble ensemble = synthetic_ensemble(300, 0.3, 0.0, 0.5, 13);
+  const HierarchicalDecomposition h = decompose_two_level(ensemble, 1);
+  for (const auto& type_level : h.within_types) {
+    EXPECT_DOUBLE_EQ(type_level.by_cluster.between_groups, 0.0);
+    ASSERT_EQ(type_level.by_cluster.within_group.size(), 1u);
+  }
+}
+
+TEST(Hierarchy, PreconditionsEnforced) {
+  const AlignedEnsemble ensemble = synthetic_ensemble(50, 0.2, 0.2, 0.2, 15);
+  EXPECT_THROW((void)decompose_two_level(ensemble, 0),
+               sops::PreconditionError);
+}
+
+}  // namespace

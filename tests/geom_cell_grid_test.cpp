@@ -1,0 +1,136 @@
+// Cell-grid tests: neighbor sets must match the brute-force oracle for any
+// point distribution, including points far from the origin (hashed cells).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/cell_grid.hpp"
+#include "rng/engine.hpp"
+#include "rng/samplers.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::geom::CellGrid;
+using sops::geom::Vec2;
+
+std::vector<Vec2> random_cloud(std::size_t n, double extent, std::uint64_t seed,
+                               Vec2 offset = {}) {
+  sops::rng::Xoshiro256 engine(seed);
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(offset + Vec2{sops::rng::uniform(engine, -extent, extent),
+                                   sops::rng::uniform(engine, -extent, extent)});
+  }
+  return points;
+}
+
+std::vector<std::size_t> brute_force_neighbors(const std::vector<Vec2>& points,
+                                               std::size_t i, double radius) {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    if (j != i && dist_sq(points[j], points[i]) < radius * radius) {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+struct GridCase {
+  std::size_t n;
+  double extent;
+  double radius;
+  Vec2 offset;
+};
+
+class CellGridVsBruteForce : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(CellGridVsBruteForce, NeighborSetsMatch) {
+  const auto& param = GetParam();
+  const auto points =
+      random_cloud(param.n, param.extent, 1234, param.offset);
+  const CellGrid grid(points, param.radius);
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto expected = brute_force_neighbors(points, i, param.radius);
+    auto actual = grid.neighbors_of(i, param.radius);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "particle " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CellGridVsBruteForce,
+    ::testing::Values(GridCase{1, 1.0, 1.0, {}}, GridCase{2, 0.1, 1.0, {}},
+                      GridCase{50, 5.0, 1.5, {}}, GridCase{200, 10.0, 2.0, {}},
+                      GridCase{100, 3.0, 3.0, {1e6, -1e6}},
+                      GridCase{150, 20.0, 0.5, {-17.3, 42.0}},
+                      GridCase{64, 0.01, 2.0, {}}));  // all in one cell
+
+TEST(CellGrid, ForEachWithinArbitraryQueryPoint) {
+  const auto points = random_cloud(80, 5.0, 9);
+  const double radius = 2.0;
+  const CellGrid grid(points, radius);
+  const Vec2 q{0.5, -0.25};
+
+  std::vector<std::size_t> actual;
+  grid.for_each_within(q, radius, [&](std::size_t j) { actual.push_back(j); });
+
+  std::vector<std::size_t> expected;
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    if (dist(points[j], q) < radius) expected.push_back(j);
+  }
+  std::sort(actual.begin(), actual.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(CellGrid, RadiusIsStrict) {
+  const std::vector<Vec2> points{{0, 0}, {1, 0}};
+  const CellGrid grid(points, 1.0);
+  EXPECT_TRUE(grid.neighbors_of(0, 1.0).empty());  // dist == radius excluded
+}
+
+TEST(CellGrid, RadiusLargerThanCellThrows) {
+  const std::vector<Vec2> points{{0, 0}};
+  const CellGrid grid(points, 1.0);
+  EXPECT_THROW((void)grid.neighbors_of(0, 2.0), sops::PreconditionError);
+}
+
+TEST(CellGrid, QueryRadiusBelowCellSizeIsAllowed) {
+  const auto points = random_cloud(40, 2.0, 13);
+  const CellGrid grid(points, 5.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto expected = brute_force_neighbors(points, i, 1.0);
+    auto actual = grid.neighbors_of(i, 1.0);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(CellGrid, InvalidCellSizeThrows) {
+  const std::vector<Vec2> points{{0, 0}};
+  EXPECT_THROW(CellGrid(points, 0.0), sops::PreconditionError);
+  EXPECT_THROW(CellGrid(points, -1.0), sops::PreconditionError);
+  EXPECT_THROW(
+      CellGrid(points, std::numeric_limits<double>::infinity()),
+      sops::PreconditionError);
+}
+
+TEST(CellGrid, IndexOutOfRangeThrows) {
+  const std::vector<Vec2> points{{0, 0}};
+  const CellGrid grid(points, 1.0);
+  EXPECT_THROW((void)grid.neighbors_of(1, 1.0), sops::PreconditionError);
+}
+
+TEST(CellGrid, CoincidentPointsSeeEachOther) {
+  const std::vector<Vec2> points{{1, 1}, {1, 1}, {1, 1}};
+  const CellGrid grid(points, 1.0);
+  EXPECT_EQ(grid.neighbors_of(0, 1.0).size(), 2u);
+}
+
+}  // namespace

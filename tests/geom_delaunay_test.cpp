@@ -1,0 +1,186 @@
+// Delaunay triangulation tests: the empty-circumcircle property against a
+// brute-force check, adjacency correctness on known configurations, and
+// degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <set>
+
+#include "geom/delaunay.hpp"
+#include "rng/samplers.hpp"
+
+namespace {
+
+using sops::geom::delaunay_adjacency;
+using sops::geom::delaunay_triangulation;
+using sops::geom::in_circumcircle;
+using sops::geom::Triangle;
+using sops::geom::Vec2;
+
+std::vector<Vec2> random_cloud(std::size_t n, std::uint64_t seed) {
+  sops::rng::Xoshiro256 engine(seed);
+  std::vector<Vec2> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({sops::rng::uniform(engine, -10.0, 10.0),
+                      sops::rng::uniform(engine, -10.0, 10.0)});
+  }
+  return points;
+}
+
+TEST(Circumcircle, UnitCircleMembership) {
+  const Vec2 a{1, 0};
+  const Vec2 b{-1, 0};
+  const Vec2 c{0, 1};
+  EXPECT_TRUE(in_circumcircle(a, b, c, {0, 0}));          // center
+  EXPECT_TRUE(in_circumcircle(a, b, c, {0.5, -0.5}));     // inside
+  EXPECT_FALSE(in_circumcircle(a, b, c, {2, 0}));         // outside
+  EXPECT_FALSE(in_circumcircle(a, b, c, {0, -1.00001}));  // just outside
+}
+
+TEST(Circumcircle, OrientationInvariant) {
+  const Vec2 a{1, 0};
+  const Vec2 b{-1, 0};
+  const Vec2 c{0, 1};
+  const Vec2 p{0.1, 0.1};
+  EXPECT_EQ(in_circumcircle(a, b, c, p), in_circumcircle(a, c, b, p));
+  EXPECT_EQ(in_circumcircle(a, b, c, p), in_circumcircle(c, b, a, p));
+}
+
+TEST(Delaunay, SingleTriangle) {
+  const std::vector<Vec2> points{{0, 0}, {1, 0}, {0, 1}};
+  const auto triangles = delaunay_triangulation(points);
+  ASSERT_EQ(triangles.size(), 1u);
+  std::set<std::size_t> vertices(triangles[0].vertices.begin(),
+                                 triangles[0].vertices.end());
+  EXPECT_EQ(vertices, (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(Delaunay, SquareGivesTwoTriangles) {
+  const std::vector<Vec2> points{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_EQ(delaunay_triangulation(points).size(), 2u);
+}
+
+class DelaunayClouds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DelaunayClouds, EmptyCircumcircleProperty) {
+  // The defining property: no input point lies strictly inside any
+  // triangle's circumcircle.
+  const auto points = random_cloud(GetParam(), GetParam() * 31 + 7);
+  const auto triangles = delaunay_triangulation(points);
+  ASSERT_FALSE(triangles.empty());
+  for (const Triangle& triangle : triangles) {
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (p == triangle.vertices[0] || p == triangle.vertices[1] ||
+          p == triangle.vertices[2]) {
+        continue;
+      }
+      EXPECT_FALSE(in_circumcircle(points[triangle.vertices[0]],
+                                   points[triangle.vertices[1]],
+                                   points[triangle.vertices[2]], points[p]))
+          << "point " << p << " violates the empty-circumcircle property";
+    }
+  }
+}
+
+TEST_P(DelaunayClouds, TriangleCountMatchesEulerFormula) {
+  // For n ≥ 3 points in general position with h hull vertices:
+  // triangles = 2n − h − 2.
+  const auto points = random_cloud(GetParam(), GetParam() * 17 + 3);
+  const auto triangles = delaunay_triangulation(points);
+
+  // Count hull vertices via gift-wrapping on the triangulation edges: an
+  // edge on the hull belongs to exactly one triangle.
+  std::map<std::pair<std::size_t, std::size_t>, int> edge_count;
+  for (const Triangle& triangle : triangles) {
+    for (int e = 0; e < 3; ++e) {
+      std::size_t a = triangle.vertices[e];
+      std::size_t b = triangle.vertices[(e + 1) % 3];
+      if (a > b) std::swap(a, b);
+      ++edge_count[{a, b}];
+    }
+  }
+  std::set<std::size_t> hull_vertices;
+  for (const auto& [edge, count] : edge_count) {
+    ASSERT_LE(count, 2);
+    if (count == 1) {
+      hull_vertices.insert(edge.first);
+      hull_vertices.insert(edge.second);
+    }
+  }
+  EXPECT_EQ(triangles.size(),
+            2 * points.size() - hull_vertices.size() - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunayClouds,
+                         ::testing::Values(4, 10, 25, 60, 120));
+
+TEST(Delaunay, DegenerateInputs) {
+  EXPECT_TRUE(delaunay_triangulation(std::vector<Vec2>{}).empty());
+  EXPECT_TRUE(delaunay_triangulation(std::vector<Vec2>{{0, 0}}).empty());
+  EXPECT_TRUE(delaunay_triangulation(std::vector<Vec2>{{0, 0}, {1, 1}}).empty());
+  // Collinear.
+  EXPECT_TRUE(delaunay_triangulation(
+                  std::vector<Vec2>{{0, 0}, {1, 0}, {2, 0}, {3, 0}})
+                  .empty());
+}
+
+TEST(Adjacency, HexagonCenterConnectsToAll) {
+  // Center of a regular hexagon is a Delaunay neighbor of every corner.
+  std::vector<Vec2> points{{0, 0}};
+  for (int i = 0; i < 6; ++i) {
+    const double a = std::numbers::pi / 3.0 * i;
+    points.push_back({std::cos(a), std::sin(a)});
+  }
+  const auto adjacency = delaunay_adjacency(points);
+  EXPECT_EQ(adjacency[0].size(), 6u);
+}
+
+TEST(Adjacency, IsSymmetric) {
+  const auto points = random_cloud(40, 99);
+  const auto adjacency = delaunay_adjacency(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const std::size_t j : adjacency[i]) {
+      EXPECT_TRUE(std::find(adjacency[j].begin(), adjacency[j].end(), i) !=
+                  adjacency[j].end())
+          << i << " -> " << j;
+    }
+  }
+}
+
+TEST(Adjacency, NoIsolatedPointsInGeneralPosition) {
+  const auto points = random_cloud(50, 101);
+  const auto adjacency = delaunay_adjacency(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_FALSE(adjacency[i].empty()) << i;
+  }
+}
+
+TEST(Adjacency, CollinearFallbackChains) {
+  const std::vector<Vec2> points{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const auto adjacency = delaunay_adjacency(points);
+  EXPECT_EQ(adjacency[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(adjacency[1], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(adjacency[2], (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(adjacency[3], (std::vector<std::size_t>{2}));
+}
+
+TEST(Adjacency, DuplicatesLinkedToTwin) {
+  std::vector<Vec2> points = random_cloud(20, 103);
+  points.push_back(points[5]);  // exact duplicate of point 5
+  const auto adjacency = delaunay_adjacency(points);
+  const std::size_t dup = points.size() - 1;
+  EXPECT_FALSE(adjacency[dup].empty());
+  EXPECT_TRUE(std::find(adjacency[dup].begin(), adjacency[dup].end(), 5) !=
+              adjacency[dup].end());
+}
+
+TEST(Adjacency, MeanDegreeBelowSix) {
+  // Planar graph: average degree < 6 for any triangulation.
+  const auto points = random_cloud(200, 107);
+  const auto adjacency = delaunay_adjacency(points);
+  std::size_t total_degree = 0;
+  for (const auto& list : adjacency) total_degree += list.size();
+  EXPECT_LT(static_cast<double>(total_degree) / 200.0, 6.0);
+}
+
+}  // namespace

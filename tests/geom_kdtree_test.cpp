@@ -1,0 +1,185 @@
+// k-d tree tests: exact agreement with the brute-force oracle across
+// dimensions, point counts, and query types.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/kdtree.hpp"
+#include "rng/engine.hpp"
+#include "rng/samplers.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::geom::BruteForceSearcher;
+using sops::geom::KdTree;
+using sops::geom::Neighbor;
+
+std::vector<double> random_points(std::size_t count, std::size_t dim,
+                                  std::uint64_t seed) {
+  sops::rng::Xoshiro256 engine(seed);
+  std::vector<double> data(count * dim);
+  for (double& v : data) v = sops::rng::uniform(engine, -10.0, 10.0);
+  return data;
+}
+
+struct TreeCase {
+  std::size_t count;
+  std::size_t dim;
+};
+
+class KdTreeVsBruteForce : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(KdTreeVsBruteForce, NearestMatchesOracle) {
+  const auto [count, dim] = GetParam();
+  const auto data = random_points(count, dim, 17);
+  const KdTree tree(data, dim);
+  const BruteForceSearcher oracle(data, dim);
+
+  const auto queries = random_points(50, dim, 18);
+  for (std::size_t q = 0; q < 50; ++q) {
+    const std::span<const double> query{queries.data() + q * dim, dim};
+    const Neighbor a = tree.nearest(query);
+    const Neighbor b = oracle.nearest(query);
+    EXPECT_DOUBLE_EQ(a.dist_sq, b.dist_sq);
+  }
+}
+
+TEST_P(KdTreeVsBruteForce, KNearestMatchesOracle) {
+  const auto [count, dim] = GetParam();
+  const auto data = random_points(count, dim, 23);
+  const KdTree tree(data, dim);
+  const BruteForceSearcher oracle(data, dim);
+
+  const auto queries = random_points(20, dim, 24);
+  for (const std::size_t k : {1u, 3u, 7u}) {
+    for (std::size_t q = 0; q < 20; ++q) {
+      const std::span<const double> query{queries.data() + q * dim, dim};
+      const auto a = tree.k_nearest(query, k);
+      const auto b = oracle.k_nearest(query, k);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].dist_sq, b[i].dist_sq) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(KdTreeVsBruteForce, CountWithinMatchesOracle) {
+  const auto [count, dim] = GetParam();
+  const auto data = random_points(count, dim, 29);
+  const KdTree tree(data, dim);
+  const BruteForceSearcher oracle(data, dim);
+
+  const auto queries = random_points(20, dim, 30);
+  for (const double radius : {0.5, 2.0, 8.0, 40.0}) {
+    for (std::size_t q = 0; q < 20; ++q) {
+      const std::span<const double> query{queries.data() + q * dim, dim};
+      EXPECT_EQ(tree.count_within(query, radius),
+                oracle.count_within(query, radius))
+          << "radius=" << radius;
+    }
+  }
+}
+
+TEST_P(KdTreeVsBruteForce, SkipIndexLeaveOneOut) {
+  const auto [count, dim] = GetParam();
+  const auto data = random_points(count, dim, 31);
+  const KdTree tree(data, dim);
+  const BruteForceSearcher oracle(data, dim);
+
+  for (std::size_t s = 0; s < std::min<std::size_t>(count, 25); ++s) {
+    const std::span<const double> query{data.data() + s * dim, dim};
+    const auto a = tree.k_nearest(query, 3, s);
+    const auto b = oracle.k_nearest(query, 3, s);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NE(a[i].index, s);  // never returns the skipped point
+      EXPECT_DOUBLE_EQ(a[i].dist_sq, b[i].dist_sq);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KdTreeVsBruteForce,
+    ::testing::Values(TreeCase{1, 2}, TreeCase{5, 2}, TreeCase{16, 2},
+                      TreeCase{17, 2}, TreeCase{200, 2}, TreeCase{200, 3},
+                      TreeCase{100, 5}, TreeCase{64, 8}, TreeCase{500, 1}));
+
+TEST(KdTree, SelfQueryFindsSelfFirst) {
+  const auto data = random_points(100, 3, 5);
+  const KdTree tree(data, 3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const std::span<const double> query{data.data() + i * 3, 3};
+    EXPECT_DOUBLE_EQ(tree.nearest(query).dist_sq, 0.0);
+  }
+}
+
+TEST(KdTree, KNearestSortedAscending) {
+  const auto data = random_points(300, 2, 41);
+  const KdTree tree(data, 2);
+  const double query[2] = {0.0, 0.0};
+  const auto result = tree.k_nearest({query, 2}, 10);
+  ASSERT_EQ(result.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(
+      result.begin(), result.end(),
+      [](const Neighbor& a, const Neighbor& b) { return a.dist_sq < b.dist_sq; }));
+}
+
+TEST(KdTree, KLargerThanTreeReturnsAll) {
+  const auto data = random_points(7, 2, 43);
+  const KdTree tree(data, 2);
+  const double query[2] = {1.0, 1.0};
+  EXPECT_EQ(tree.k_nearest({query, 2}, 100).size(), 7u);
+}
+
+TEST(KdTree, DuplicatePointsAllFound) {
+  // All points identical: degenerate zero-spread split path.
+  std::vector<double> data(50 * 2, 3.25);
+  const KdTree tree(data, 2);
+  const double query[2] = {3.25, 3.25};
+  EXPECT_EQ(tree.k_nearest({query, 2}, 50).size(), 50u);
+  EXPECT_EQ(tree.count_within({query, 2}, 0.001), 50u);
+}
+
+TEST(KdTree, CountWithinIsStrict) {
+  const std::vector<double> data{0.0, 0.0, 1.0, 0.0};
+  const KdTree tree(data, 2);
+  const double query[2] = {0.0, 0.0};
+  // Point at distance exactly 1.0 must not be counted for radius 1.0.
+  EXPECT_EQ(tree.count_within({query, 2}, 1.0), 1u);
+  EXPECT_EQ(tree.count_within({query, 2}, 1.0 + 1e-9), 2u);
+}
+
+TEST(KdTree, ZeroRadiusCountsNothing) {
+  const auto data = random_points(20, 2, 47);
+  const KdTree tree(data, 2);
+  const double query[2] = {0.0, 0.0};
+  EXPECT_EQ(tree.count_within({query, 2}, 0.0), 0u);
+}
+
+TEST(KdTree, EmptyTree) {
+  const std::vector<double> data;
+  const KdTree tree(data, 2);
+  EXPECT_EQ(tree.size(), 0u);
+  const double query[2] = {0.0, 0.0};
+  EXPECT_TRUE(tree.k_nearest({query, 2}, 3).empty());
+  EXPECT_EQ(tree.count_within({query, 2}, 1.0), 0u);
+  EXPECT_THROW((void)tree.nearest({query, 2}), sops::PreconditionError);
+}
+
+TEST(KdTree, InvalidConstructionThrows) {
+  const std::vector<double> data{1.0, 2.0, 3.0};
+  EXPECT_THROW(KdTree(data, 2), sops::PreconditionError);  // 3 % 2 != 0
+  EXPECT_THROW(KdTree(data, 0), sops::PreconditionError);
+}
+
+TEST(KdTree, WrongQueryDimensionThrows) {
+  const auto data = random_points(10, 3, 51);
+  const KdTree tree(data, 3);
+  const double query[2] = {0.0, 0.0};
+  EXPECT_THROW((void)tree.k_nearest({query, 2}, 1), sops::PreconditionError);
+}
+
+}  // namespace

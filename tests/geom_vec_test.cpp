@@ -1,0 +1,129 @@
+// Tests for Vec2/Vec3 arithmetic and the Aabb helper.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "geom/aabb.hpp"
+#include "geom/vec2.hpp"
+#include "geom/vec3.hpp"
+
+namespace {
+
+using sops::geom::Aabb;
+using sops::geom::Vec2;
+using sops::geom::Vec3;
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2, BasicArithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+  v /= 4.0;
+  EXPECT_EQ(v, Vec2(1.0, 1.5));
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot(Vec2{1, 2}, Vec2{3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(cross(Vec2{1, 0}, Vec2{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(cross(Vec2{0, 1}, Vec2{1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(cross(Vec2{2, 3}, Vec2{2, 3}), 0.0);
+}
+
+TEST(Vec2, NormsAndDistances) {
+  EXPECT_DOUBLE_EQ(norm_sq(Vec2{3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(norm(Vec2{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(dist(Vec2{1, 1}, Vec2{4, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(dist_sq(Vec2{1, 1}, Vec2{4, 5}), 25.0);
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 r = rotated(Vec2{1, 0}, kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-15);
+  EXPECT_NEAR(r.y, 1.0, 1e-15);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{3.7, -1.2};
+  for (const double angle : {0.1, 1.0, 2.5, -0.7, 6.0}) {
+    EXPECT_NEAR(norm(rotated(v, angle)), norm(v), 1e-12) << angle;
+  }
+}
+
+TEST(Vec2, RotationComposes) {
+  const Vec2 v{1.5, 0.25};
+  const Vec2 once = rotated(rotated(v, 0.4), 0.7);
+  const Vec2 combined = rotated(v, 1.1);
+  EXPECT_NEAR(once.x, combined.x, 1e-12);
+  EXPECT_NEAR(once.y, combined.y, 1e-12);
+}
+
+TEST(Vec3, BasicOps) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm_sq(a), 14.0);
+  EXPECT_DOUBLE_EQ(dist_sq(a, b), 27.0);
+}
+
+TEST(Aabb, EmptyBox) {
+  const Aabb box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.width(), 0.0);
+  EXPECT_DOUBLE_EQ(box.height(), 0.0);
+  EXPECT_DOUBLE_EQ(box.diagonal(), 0.0);
+  EXPECT_EQ(box.center(), Vec2(0, 0));
+}
+
+TEST(Aabb, IncludeGrowsBox) {
+  Aabb box;
+  box.include({1, 2});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.min, Vec2(1, 2));
+  EXPECT_EQ(box.max, Vec2(1, 2));
+  box.include({-1, 5});
+  EXPECT_EQ(box.min, Vec2(-1, 2));
+  EXPECT_EQ(box.max, Vec2(1, 5));
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height(), 3.0);
+}
+
+TEST(Aabb, ContainsBoundaryAndInterior) {
+  Aabb box;
+  box.include({0, 0});
+  box.include({2, 2});
+  EXPECT_TRUE(box.contains({1, 1}));
+  EXPECT_TRUE(box.contains({0, 0}));
+  EXPECT_TRUE(box.contains({2, 2}));
+  EXPECT_FALSE(box.contains({3, 1}));
+  EXPECT_FALSE(box.contains({1, -0.001}));
+}
+
+TEST(Aabb, BoundingBoxOfPoints) {
+  const std::vector<Vec2> points{{0, 0}, {3, -1}, {-2, 4}};
+  const Aabb box = sops::geom::bounding_box(points);
+  EXPECT_EQ(box.min, Vec2(-2, -1));
+  EXPECT_EQ(box.max, Vec2(3, 4));
+  EXPECT_NEAR(box.diagonal(), std::sqrt(25.0 + 25.0), 1e-12);
+  EXPECT_EQ(box.center(), Vec2(0.5, 1.5));
+}
+
+}  // namespace

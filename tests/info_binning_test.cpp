@@ -1,0 +1,160 @@
+// Binning/shrinkage estimator tests: exact values on discrete-support data,
+// shrinkage direction, and the high-dimension overestimation failure mode
+// the paper reports (§5.3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "info/binning.hpp"
+#include "info/ksg.hpp"
+#include "rng/engine.hpp"
+#include "rng/samplers.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::info::binned_entropy;
+using sops::info::BinningOptions;
+using sops::info::Block;
+using sops::info::multi_information_binned;
+using sops::info::SampleMatrix;
+using sops::info::shrinkage_entropy_bits;
+using sops::rng::Xoshiro256;
+
+BinningOptions no_shrinkage(std::size_t bins) {
+  BinningOptions options;
+  options.bins_per_dim = bins;
+  options.james_stein_shrinkage = false;
+  return options;
+}
+
+TEST(ShrinkageEntropy, UniformCountsGiveLogSupport) {
+  const std::vector<std::size_t> counts{25, 25, 25, 25};
+  EXPECT_NEAR(shrinkage_entropy_bits(counts, 4, false), 2.0, 1e-12);
+  // Already uniform: shrinkage toward uniform changes nothing.
+  EXPECT_NEAR(shrinkage_entropy_bits(counts, 4, true), 2.0, 1e-12);
+}
+
+TEST(ShrinkageEntropy, DegenerateSingleCell) {
+  const std::vector<std::size_t> counts{100};
+  EXPECT_NEAR(shrinkage_entropy_bits(counts, 1, false), 0.0, 1e-12);
+}
+
+TEST(ShrinkageEntropy, ShrinkagePullsTowardUniform) {
+  // Skewed histogram over a large support: the shrunk estimate must lie
+  // between the ML estimate and log₂(support).
+  const std::vector<std::size_t> counts{9, 1};
+  const double ml = shrinkage_entropy_bits(counts, 16, false);
+  const double shrunk = shrinkage_entropy_bits(counts, 16, true);
+  EXPECT_GT(shrunk, ml);
+  EXPECT_LT(shrunk, 4.0);
+}
+
+TEST(ShrinkageEntropy, MoreDataLessShrinkage) {
+  const std::vector<std::size_t> small{9, 1};
+  const std::vector<std::size_t> large{900, 100};
+  const double ml_small = shrinkage_entropy_bits(small, 8, false);
+  const double ml_large = shrinkage_entropy_bits(large, 8, false);
+  EXPECT_NEAR(ml_small, ml_large, 1e-12);  // same distribution
+  const double bias_small = shrinkage_entropy_bits(small, 8, true) - ml_small;
+  const double bias_large = shrinkage_entropy_bits(large, 8, true) - ml_large;
+  EXPECT_GT(bias_small, bias_large);
+}
+
+TEST(ShrinkageEntropy, NoObservationsThrows) {
+  const std::vector<std::size_t> counts;
+  EXPECT_THROW((void)shrinkage_entropy_bits(counts, 4, false),
+               sops::PreconditionError);
+}
+
+TEST(BinnedEntropy, TwoValueScalar) {
+  // Half the samples at 0, half at 1, two bins: exactly 1 bit.
+  SampleMatrix samples(100, 1);
+  for (std::size_t s = 0; s < 100; ++s) samples(s, 0) = s < 50 ? 0.0 : 1.0;
+  EXPECT_NEAR(binned_entropy(samples, Block{0, 1}, no_shrinkage(2)), 1.0, 1e-12);
+}
+
+TEST(BinnedEntropy, ConstantIsZero) {
+  SampleMatrix samples(50, 1);
+  for (std::size_t s = 0; s < 50; ++s) samples(s, 0) = 3.0;
+  EXPECT_NEAR(binned_entropy(samples, Block{0, 1}, no_shrinkage(8)), 0.0, 1e-12);
+}
+
+TEST(BinnedMi, PerfectlyCoupledBits) {
+  // Y = X over 4 distinct values: I = H(X) = 2 bits exactly.
+  SampleMatrix samples(400, 2);
+  for (std::size_t s = 0; s < 400; ++s) {
+    const double v = static_cast<double>(s % 4);
+    samples(s, 0) = v;
+    samples(s, 1) = v;
+  }
+  const std::vector<Block> blocks{{0, 1}, {1, 1}};
+  EXPECT_NEAR(multi_information_binned(samples, blocks, no_shrinkage(4)), 2.0,
+              1e-12);
+}
+
+TEST(BinnedMi, IndependentDiscreteIsZero) {
+  SampleMatrix samples(400, 2);
+  for (std::size_t s = 0; s < 400; ++s) {
+    samples(s, 0) = static_cast<double>(s % 4);        // cycles 0..3
+    samples(s, 1) = static_cast<double>((s / 4) % 4);  // all combinations
+  }
+  const std::vector<Block> blocks{{0, 1}, {1, 1}};
+  EXPECT_NEAR(multi_information_binned(samples, blocks, no_shrinkage(4)), 0.0,
+              1e-12);
+}
+
+TEST(BinnedMi, ThreeVariableParity) {
+  // Z = X ⊕ Y with fair bits: pairwise independent, multi-information of the
+  // triple is exactly 1 bit.
+  SampleMatrix samples(800, 3);
+  std::size_t row = 0;
+  for (std::size_t x = 0; x < 2; ++x) {
+    for (std::size_t y = 0; y < 2; ++y) {
+      for (std::size_t rep = 0; rep < 200; ++rep) {
+        samples(row, 0) = static_cast<double>(x);
+        samples(row, 1) = static_cast<double>(y);
+        samples(row, 2) = static_cast<double>(x ^ y);
+        ++row;
+      }
+    }
+  }
+  const std::vector<Block> blocks{{0, 1}, {1, 1}, {2, 1}};
+  EXPECT_NEAR(multi_information_binned(samples, blocks, no_shrinkage(2)), 1.0,
+              1e-12);
+}
+
+TEST(BinnedMi, HighDimensionSparseSamplingOverestimates) {
+  // The paper's §5.3 failure mode: independent data in moderately high
+  // dimension with few samples — the plug-in binning estimate is grossly
+  // positive while the truth (and KSG) are near zero.
+  Xoshiro256 engine(13);
+  const std::size_t m = 200;
+  const std::size_t blocks_count = 6;
+  SampleMatrix samples(m, blocks_count);
+  for (std::size_t s = 0; s < m; ++s) {
+    for (std::size_t d = 0; d < blocks_count; ++d) {
+      samples(s, d) = sops::rng::standard_normal(engine);
+    }
+  }
+  const double binned =
+      multi_information_binned(samples, sops::info::uniform_blocks(blocks_count, 1),
+                               no_shrinkage(8));
+  const double ksg = sops::info::multi_information_ksg(samples, 1);
+  EXPECT_GT(binned, 2.0);       // large spurious information
+  EXPECT_LT(std::abs(ksg), 0.5);  // KSG stays near the truth
+}
+
+TEST(BinnedMi, SingleBinGivesZero) {
+  Xoshiro256 engine(17);
+  SampleMatrix samples(100, 2);
+  for (std::size_t s = 0; s < 100; ++s) {
+    samples(s, 0) = sops::rng::standard_normal(engine);
+    samples(s, 1) = sops::rng::standard_normal(engine);
+  }
+  const std::vector<Block> blocks{{0, 1}, {1, 1}};
+  EXPECT_NEAR(multi_information_binned(samples, blocks, no_shrinkage(1)), 0.0,
+              1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Digamma tests against known closed-form values and identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "info/digamma.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::info::digamma;
+using sops::info::digamma_int;
+
+constexpr double kGamma = 0.57721566490153286060651209008240243;
+
+TEST(Digamma, KnownValues) {
+  EXPECT_NEAR(digamma(1.0), -kGamma, 1e-12);
+  EXPECT_NEAR(digamma(2.0), 1.0 - kGamma, 1e-12);
+  EXPECT_NEAR(digamma(0.5), -kGamma - 2.0 * std::log(2.0), 1e-12);
+  // ψ(1/4) = −γ − π/2 − 3 ln 2.
+  EXPECT_NEAR(digamma(0.25),
+              -kGamma - std::numbers::pi / 2.0 - 3.0 * std::log(2.0), 1e-12);
+}
+
+TEST(Digamma, RecurrenceIdentity) {
+  // ψ(x+1) = ψ(x) + 1/x on a grid spanning the series/recurrence regions.
+  for (const double x : {0.1, 0.7, 1.0, 2.5, 5.9, 6.1, 25.0, 1000.0}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-11) << x;
+  }
+}
+
+TEST(Digamma, ReflectionIdentity) {
+  // ψ(1−x) − ψ(x) = π·cot(πx).
+  for (const double x : {0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(digamma(1.0 - x) - digamma(x),
+                std::numbers::pi / std::tan(std::numbers::pi * x), 1e-10)
+        << x;
+  }
+}
+
+TEST(Digamma, AsymptoticForLargeArguments) {
+  // ψ(x) → ln x − 1/(2x); at x = 1e6 the remainder is ~1e-14.
+  const double x = 1e6;
+  EXPECT_NEAR(digamma(x), std::log(x) - 0.5 / x, 1e-12);
+}
+
+TEST(Digamma, MonotoneIncreasing) {
+  double prev = digamma(0.05);
+  for (double x = 0.1; x < 20.0; x += 0.05) {
+    const double current = digamma(x);
+    EXPECT_GT(current, prev) << x;
+    prev = current;
+  }
+}
+
+TEST(Digamma, NonPositiveThrows) {
+  EXPECT_THROW((void)digamma(0.0), sops::PreconditionError);
+  EXPECT_THROW((void)digamma(-1.5), sops::PreconditionError);
+}
+
+TEST(DigammaInt, MatchesHarmonicDefinition) {
+  // ψ(n) = −γ + Σ_{k=1}^{n−1} 1/k.
+  double harmonic = 0.0;
+  for (unsigned n = 1; n <= 100; ++n) {
+    EXPECT_NEAR(digamma_int(n), -kGamma + harmonic, 1e-12) << n;
+    harmonic += 1.0 / n;
+  }
+}
+
+TEST(DigammaInt, AgreesWithRealVersion) {
+  for (const unsigned long long n : {1ull, 5ull, 64ull, 65ull, 1000ull, 123456ull}) {
+    EXPECT_NEAR(digamma_int(n), digamma(static_cast<double>(n)), 1e-11) << n;
+  }
+}
+
+TEST(DigammaInt, ZeroThrows) {
+  EXPECT_THROW((void)digamma_int(0), sops::PreconditionError);
+}
+
+}  // namespace

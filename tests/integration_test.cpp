@@ -1,0 +1,173 @@
+// Cross-cutting integration sweeps: the full pipeline under every
+// combination of force law and neighbor strategy, estimator-convention
+// robustness, and end-to-end determinism of the whole measurement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sops.hpp"
+
+namespace {
+
+using namespace sops;
+
+struct PipelineCase {
+  sim::ForceLawKind kind;
+  sim::NeighborMode mode;
+  double cutoff;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineSweep, RunsCleanAndFinite) {
+  const auto& param = GetParam();
+  sim::InteractionModel model =
+      param.kind == sim::ForceLawKind::kSpring
+          ? sim::InteractionModel(sim::ForceLawKind::kSpring, 2,
+                                  sim::PairParams{1.0, 1.5, 1.0, 1.0})
+          : sim::InteractionModel(sim::ForceLawKind::kDoubleGaussian, 2,
+                                  sim::PairParams{2.0, 1.0, 1.0, 3.0});
+  sim::SimulationConfig simulation(std::move(model));
+  simulation.types = sim::evenly_distributed_types(14, 2);
+  simulation.cutoff_radius = param.cutoff;
+  simulation.neighbor_mode = param.mode;
+  simulation.steps = 25;
+  simulation.record_stride = 25;
+  simulation.init_disc_radius = 3.0;
+  simulation.seed = 0xABC;
+
+  core::ExperimentConfig experiment(simulation);
+  experiment.samples = 20;
+  const core::AnalysisResult result =
+      core::analyze_self_organization(core::run_experiment(experiment));
+  for (const auto& point : result.points) {
+    EXPECT_TRUE(std::isfinite(point.multi_information));
+  }
+  EXPECT_EQ(result.points.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combinations, PipelineSweep,
+    ::testing::Values(
+        PipelineCase{sim::ForceLawKind::kSpring, sim::NeighborMode::kAllPairs,
+                     sim::kUnboundedRadius},
+        PipelineCase{sim::ForceLawKind::kSpring, sim::NeighborMode::kCellGrid,
+                     4.0},
+        PipelineCase{sim::ForceLawKind::kSpring, sim::NeighborMode::kDelaunay,
+                     sim::kUnboundedRadius},
+        PipelineCase{sim::ForceLawKind::kDoubleGaussian,
+                     sim::NeighborMode::kAllPairs, sim::kUnboundedRadius},
+        PipelineCase{sim::ForceLawKind::kDoubleGaussian,
+                     sim::NeighborMode::kCellGrid, 4.0},
+        PipelineCase{sim::ForceLawKind::kDoubleGaussian,
+                     sim::NeighborMode::kDelaunay, 4.0}));
+
+class ConventionSweep : public ::testing::TestWithParam<info::KsgConvention> {};
+
+TEST_P(ConventionSweep, VerdictStableAcrossPsiConventions) {
+  // The organizing verdict must not depend on the Eq.-18 ψ-convention
+  // (DESIGN.md documents both).
+  sim::SimulationConfig simulation = core::presets::fig4_three_type_collective();
+  simulation.steps = 60;
+  simulation.record_stride = 60;
+  core::ExperimentConfig experiment(simulation);
+  experiment.samples = 50;
+  core::AnalysisOptions options;
+  options.ksg.convention = GetParam();
+  const core::AnalysisResult result =
+      core::analyze_self_organization(core::run_experiment(experiment), options);
+  EXPECT_GT(result.delta_mi(), 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Conventions, ConventionSweep,
+                         ::testing::Values(info::KsgConvention::kStandard,
+                                           info::KsgConvention::kPaperLiteral));
+
+TEST(EndToEnd, WholeMeasurementIsDeterministic) {
+  // Simulation → alignment → estimation, twice, bit-identical.
+  sim::SimulationConfig simulation = core::presets::fig12_enclosed_structure();
+  simulation.steps = 30;
+  simulation.record_stride = 15;
+  core::ExperimentConfig experiment(simulation);
+  experiment.samples = 25;
+
+  const core::AnalysisResult a =
+      core::analyze_self_organization(core::run_experiment(experiment));
+  const core::AnalysisResult b =
+      core::analyze_self_organization(core::run_experiment(experiment));
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t f = 0; f < a.points.size(); ++f) {
+    EXPECT_DOUBLE_EQ(a.points[f].multi_information,
+                     b.points[f].multi_information);
+  }
+}
+
+TEST(EndToEnd, HugeNoiseStaysFiniteUnderClamp) {
+  // Failure injection: absurd noise and stiff springs; the clamp and the
+  // estimator must keep everything finite.
+  sim::InteractionModel model(sim::ForceLawKind::kSpring, 1,
+                              sim::PairParams{50.0, 1.0, 1.0, 1.0});
+  sim::SimulationConfig simulation(std::move(model));
+  simulation.types = sim::evenly_distributed_types(10, 1);
+  simulation.cutoff_radius = 5.0;
+  simulation.integrator.noise_variance = 10.0;
+  simulation.integrator.max_step = 1.0;
+  simulation.steps = 20;
+  simulation.record_stride = 20;
+  simulation.seed = 0xBAD;
+
+  core::ExperimentConfig experiment(simulation);
+  experiment.samples = 15;
+  const core::AnalysisResult result =
+      core::analyze_self_organization(core::run_experiment(experiment));
+  for (const auto& point : result.points) {
+    EXPECT_TRUE(std::isfinite(point.multi_information));
+  }
+}
+
+TEST(EndToEnd, TinyEnsembleAtEstimatorFloorWorks) {
+  // m = k + 1, the minimum the estimator accepts.
+  sim::SimulationConfig simulation = core::presets::fig5_single_type_rings();
+  simulation.steps = 5;
+  simulation.record_stride = 5;
+  core::ExperimentConfig experiment(simulation);
+  experiment.samples = 5;
+  core::AnalysisOptions options;
+  options.ksg.k = 4;
+  EXPECT_NO_THROW(
+      (void)core::analyze_self_organization(core::run_experiment(experiment),
+                                            options));
+}
+
+TEST(EndToEnd, TwoParticleCollectiveWorks) {
+  // The smallest meaningful collective.
+  sim::InteractionModel model(sim::ForceLawKind::kSpring, 1,
+                              sim::PairParams{1.0, 2.0, 1.0, 1.0});
+  sim::SimulationConfig simulation(std::move(model));
+  simulation.types = sim::evenly_distributed_types(2, 1);
+  simulation.steps = 10;
+  simulation.record_stride = 10;
+  core::ExperimentConfig experiment(simulation);
+  experiment.samples = 20;
+  const core::AnalysisResult result =
+      core::analyze_self_organization(core::run_experiment(experiment));
+  EXPECT_EQ(result.observer_count, 2u);
+  EXPECT_TRUE(std::isfinite(result.delta_mi()));
+}
+
+TEST(EndToEnd, ManyTypesEachParticleDistinct) {
+  // l = n edge case (every particle its own type) through the full
+  // pipeline, including the permutation step (all permutations trivial).
+  sim::SimulationConfig simulation = core::presets::fig9_random_types(
+      /*type_count=*/12, /*cutoff_radius=*/10.0, /*matrix_index=*/0);
+  simulation.types = sim::evenly_distributed_types(12, 12);
+  simulation.steps = 15;
+  simulation.record_stride = 15;
+  core::ExperimentConfig experiment(simulation);
+  experiment.samples = 15;
+  const core::AnalysisResult result =
+      core::analyze_self_organization(core::run_experiment(experiment));
+  EXPECT_EQ(result.observer_count, 12u);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Config parsing and experiment-builder tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/config_builder.hpp"
+#include "io/config.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::core::build_experiment;
+using sops::io::Config;
+
+TEST(Config, ParsesKeysValuesCommentsBlanks) {
+  const Config config = Config::parse(
+      "# experiment\n"
+      "samples = 100\n"
+      "\n"
+      "name = fig4 run   # trailing comment\n"
+      "rc=5.5\n");
+  EXPECT_EQ(config.get_size("samples", 0), 100u);
+  EXPECT_EQ(config.get_string("name", ""), "fig4 run");
+  EXPECT_DOUBLE_EQ(config.get_double("rc", 0.0), 5.5);
+}
+
+TEST(Config, FallbacksForMissingKeys) {
+  const Config config = Config::parse("a = 1\n");
+  EXPECT_EQ(config.get_string("missing", "def"), "def");
+  EXPECT_DOUBLE_EQ(config.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(config.get_size("missing", 7u), 7u);
+  EXPECT_TRUE(config.get_bool("missing", true));
+  EXPECT_TRUE(config.get_list("missing").empty());
+  EXPECT_TRUE(config.get_matrix("missing").empty());
+}
+
+TEST(Config, LaterDuplicateWins) {
+  const Config config = Config::parse("x = 1\nx = 2\n");
+  EXPECT_DOUBLE_EQ(config.get_double("x", 0.0), 2.0);
+}
+
+TEST(Config, InfinityValue) {
+  const Config config = Config::parse("rc = inf\n");
+  EXPECT_TRUE(std::isinf(config.get_double("rc", 0.0)));
+}
+
+TEST(Config, Booleans) {
+  const Config config = Config::parse("a = true\nb = 0\nc = yes\nd = false\n");
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_FALSE(config.get_bool("b", true));
+  EXPECT_TRUE(config.get_bool("c", false));
+  EXPECT_FALSE(config.get_bool("d", true));
+  const Config bad = Config::parse("e = maybe\n");
+  EXPECT_THROW((void)bad.get_bool("e", false), sops::Error);
+}
+
+TEST(Config, ListsAndMatrices) {
+  const Config config = Config::parse(
+      "list = 1.0 2.5 -3\n"
+      "matrix = 1 2 ; 2 4\n");
+  EXPECT_EQ(config.get_list("list"), (std::vector<double>{1.0, 2.5, -3.0}));
+  const auto matrix = config.get_matrix("matrix");
+  ASSERT_EQ(matrix.size(), 2u);
+  EXPECT_EQ(matrix[0], (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(matrix[1], (std::vector<double>{2.0, 4.0}));
+}
+
+TEST(Config, MalformedLinesThrow) {
+  EXPECT_THROW((void)Config::parse("no equals sign\n"), sops::Error);
+  EXPECT_THROW((void)Config::parse("= value\n"), sops::Error);
+}
+
+TEST(Config, NonNumericValueThrows) {
+  const Config config = Config::parse("x = not-a-number\n");
+  EXPECT_THROW((void)config.get_double("x", 0.0), sops::Error);
+}
+
+TEST(Config, NonIntegerSizeThrows) {
+  const Config config = Config::parse("n = 2.5\nm = -1\n");
+  EXPECT_THROW((void)config.get_size("n", 0), sops::Error);
+  EXPECT_THROW((void)config.get_size("m", 0), sops::Error);
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW((void)Config::load("/nonexistent/path.conf"), sops::Error);
+}
+
+TEST(ConfigBuilder, PresetWithOverrides) {
+  const Config config = Config::parse(
+      "preset = fig4\n"
+      "samples = 123\n"
+      "steps = 77\n"
+      "stride = 11\n"
+      "seed = 99\n");
+  const auto configured = build_experiment(config);
+  EXPECT_EQ(configured.experiment.samples, 123u);
+  EXPECT_EQ(configured.experiment.simulation.steps, 77u);
+  EXPECT_EQ(configured.experiment.simulation.record_stride, 11u);
+  EXPECT_EQ(configured.experiment.simulation.seed, 99u);
+  // Preset fields retained when not overridden.
+  EXPECT_EQ(configured.experiment.simulation.types.size(), 50u);
+  EXPECT_DOUBLE_EQ(configured.experiment.simulation.cutoff_radius, 5.0);
+}
+
+TEST(ConfigBuilder, CustomSystemWithMatrix) {
+  const Config config = Config::parse(
+      "force = spring\n"
+      "types = 2\n"
+      "particles = 10\n"
+      "k = 2.0\n"
+      "r = 1 3 ; 3 2\n"
+      "rc = inf\n");
+  const auto configured = build_experiment(config);
+  const auto& model = configured.experiment.simulation.model;
+  EXPECT_EQ(model.types(), 2u);
+  EXPECT_DOUBLE_EQ(model.pair(0, 0).k, 2.0);
+  EXPECT_DOUBLE_EQ(model.pair(0, 1).r, 3.0);
+  EXPECT_DOUBLE_EQ(model.pair(1, 1).r, 2.0);
+  EXPECT_TRUE(
+      std::isinf(configured.experiment.simulation.cutoff_radius));
+  EXPECT_EQ(configured.experiment.simulation.types.size(), 10u);
+}
+
+TEST(ConfigBuilder, NeighborModes) {
+  for (const auto& [name, mode] :
+       std::vector<std::pair<std::string, sops::sim::NeighborMode>>{
+           {"auto", sops::sim::NeighborMode::kAuto},
+           {"all_pairs", sops::sim::NeighborMode::kAllPairs},
+           {"cell_grid", sops::sim::NeighborMode::kCellGrid},
+           {"delaunay", sops::sim::NeighborMode::kDelaunay}}) {
+    const Config config = Config::parse("neighbor = " + name + "\n");
+    EXPECT_EQ(build_experiment(config).experiment.simulation.neighbor_mode,
+              mode)
+        << name;
+  }
+  const Config bad = Config::parse("neighbor = quantum\n");
+  EXPECT_THROW((void)build_experiment(bad), sops::Error);
+}
+
+TEST(ConfigBuilder, AnalysisOptions) {
+  const Config config = Config::parse(
+      "analysis_k = 7\n"
+      "entropies = true\n"
+      "decomposition = true\n"
+      "kmeans_per_type = 3\n"
+      "coarse_grain_above = 40\n");
+  const auto configured = build_experiment(config);
+  EXPECT_EQ(configured.analysis.ksg.k, 7u);
+  EXPECT_TRUE(configured.analysis.compute_entropies);
+  EXPECT_TRUE(configured.analysis.compute_decomposition);
+  EXPECT_EQ(configured.analysis.kmeans_per_type, 3u);
+  EXPECT_EQ(configured.analysis.coarse_grain_above, 40u);
+}
+
+TEST(ConfigBuilder, InvalidInputsThrow) {
+  EXPECT_THROW((void)build_experiment(Config::parse("preset = fig99\n")),
+               sops::Error);
+  EXPECT_THROW((void)build_experiment(Config::parse("force = gravity\n")),
+               sops::Error);
+  EXPECT_THROW((void)build_experiment(Config::parse(
+                   "types = 3\nr = 1 2 ; 2 1\n")),  // wrong matrix shape
+               sops::Error);
+  EXPECT_THROW((void)build_experiment(Config::parse(
+                   "types = 2\nr = 1 2 ; 3 1\n")),  // asymmetric
+               sops::Error);
+}
+
+TEST(ConfigBuilder, BuiltExperimentActuallyRuns) {
+  const Config config = Config::parse(
+      "preset = fig5\n"
+      "samples = 6\n"
+      "steps = 5\n"
+      "stride = 5\n");
+  const auto configured = build_experiment(config);
+  const auto series = sops::core::run_experiment(configured.experiment);
+  EXPECT_EQ(series.sample_count(), 6u);
+  EXPECT_EQ(series.frame_steps.back(), 5u);
+}
+
+TEST(ConfigBuilder, KnownKeysNonEmptyAndContainCore) {
+  const auto& keys = sops::core::known_config_keys();
+  EXPECT_FALSE(keys.empty());
+  for (const char* required : {"preset", "samples", "steps", "rc"}) {
+    EXPECT_TRUE(std::find(keys.begin(), keys.end(), required) != keys.end())
+        << required;
+  }
+}
+
+}  // namespace

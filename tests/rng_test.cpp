@@ -1,0 +1,191 @@
+// RNG tests: determinism, stream independence, and sampler statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/engine.hpp"
+#include "rng/samplers.hpp"
+
+namespace {
+
+using sops::rng::make_stream;
+using sops::rng::SplitMix64;
+using sops::rng::Xoshiro256;
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), ~std::uint64_t{0});
+}
+
+TEST(Xoshiro, JumpChangesState) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.jump();
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) any_different |= (a() != b());
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Streams, SameSeedStreamReproduces) {
+  Xoshiro256 a = make_stream(123, 4);
+  Xoshiro256 b = make_stream(123, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Streams, DistinctStreamsAreDecorrelated) {
+  // Crude independence check: fraction of matching top bits ≈ 1/2.
+  Xoshiro256 a = make_stream(123, 0);
+  Xoshiro256 b = make_stream(123, 1);
+  int matches = 0;
+  const int trials = 4096;
+  for (int i = 0; i < trials; ++i) matches += ((a() >> 63) == (b() >> 63));
+  EXPECT_NEAR(static_cast<double>(matches) / trials, 0.5, 0.05);
+}
+
+TEST(Streams, DistinctSeedsDiffer) {
+  Xoshiro256 a = make_stream(1, 0);
+  Xoshiro256 b = make_stream(2, 0);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Uniform01, InRangeAndCoversIt) {
+  Xoshiro256 engine(3);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = sops::rng::uniform01(engine);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Uniform01, MeanAndVariance) {
+  Xoshiro256 engine(5);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = sops::rng::uniform01(engine);
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Uniform, RespectsBounds) {
+  Xoshiro256 engine(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = sops::rng::uniform(engine, -3.0, 7.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 7.0);
+  }
+}
+
+TEST(UniformIndex, CoversAllValuesUniformly) {
+  Xoshiro256 engine(11);
+  const std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int trials = 70000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t v = sops::rng::uniform_index(engine, n);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / 7.0, 500.0);
+  }
+}
+
+TEST(StandardNormal, MomentsMatch) {
+  Xoshiro256 engine(13);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double sum_cube = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = sops::rng::standard_normal(engine);
+    sum += x;
+    sum_sq += x * x;
+    sum_cube += x * x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+  EXPECT_NEAR(sum_cube / n, 0.0, 0.05);  // symmetry
+}
+
+TEST(Normal, ScalesAndShifts) {
+  Xoshiro256 engine(17);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = sops::rng::normal(engine, 3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(NormalVec2, ComponentsIndependent) {
+  Xoshiro256 engine(19);
+  const int n = 100000;
+  double sum_xy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto v = sops::rng::normal_vec2(engine, 1.0);
+    sum_xy += v.x * v.y;
+  }
+  EXPECT_NEAR(sum_xy / n, 0.0, 0.02);  // zero covariance
+}
+
+TEST(UniformDisc, WithinRadiusAndAreaUniform) {
+  Xoshiro256 engine(23);
+  const double radius = 4.0;
+  const int n = 50000;
+  int inner = 0;  // fraction within radius/√2 should be 1/2 by area
+  for (int i = 0; i < n; ++i) {
+    const auto p = sops::rng::uniform_disc(engine, radius);
+    ASSERT_LE(norm(p), radius);
+    if (norm(p) <= radius / std::sqrt(2.0)) ++inner;
+  }
+  EXPECT_NEAR(static_cast<double>(inner) / n, 0.5, 0.01);
+}
+
+TEST(UniformDisc, CentroidNearOrigin) {
+  Xoshiro256 engine(29);
+  sops::geom::Vec2 sum{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += sops::rng::uniform_disc(engine, 2.0);
+  EXPECT_NEAR(sum.x / n, 0.0, 0.02);
+  EXPECT_NEAR(sum.y / n, 0.0, 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Stopping-detector tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/detectors.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::geom::Vec2;
+using sops::sim::EquilibriumDetector;
+using sops::sim::LimitCycleDetector;
+
+TEST(EquilibriumDetector, TriggersAfterHoldSteps) {
+  EquilibriumDetector detector(1.0, 3);
+  EXPECT_FALSE(detector.update(0.5));
+  EXPECT_FALSE(detector.update(0.5));
+  EXPECT_TRUE(detector.update(0.5));
+  EXPECT_TRUE(detector.triggered());
+}
+
+TEST(EquilibriumDetector, StreakResetsOnSpike) {
+  EquilibriumDetector detector(1.0, 3);
+  detector.update(0.5);
+  detector.update(0.5);
+  detector.update(2.0);  // spike resets the streak
+  EXPECT_EQ(detector.streak(), 0u);
+  EXPECT_FALSE(detector.update(0.5));
+  EXPECT_FALSE(detector.update(0.5));
+  EXPECT_TRUE(detector.update(0.5));
+}
+
+TEST(EquilibriumDetector, ThresholdIsStrict) {
+  EquilibriumDetector detector(1.0, 1);
+  EXPECT_FALSE(detector.update(1.0));  // equal is not below
+  EXPECT_TRUE(detector.update(0.999));
+}
+
+TEST(EquilibriumDetector, StaysTriggered) {
+  EquilibriumDetector detector(1.0, 1);
+  detector.update(0.1);
+  EXPECT_TRUE(detector.update(100.0));  // latched
+}
+
+TEST(EquilibriumDetector, ResetClears) {
+  EquilibriumDetector detector(1.0, 1);
+  detector.update(0.1);
+  detector.reset();
+  EXPECT_FALSE(detector.triggered());
+}
+
+TEST(EquilibriumDetector, InvalidParamsThrow) {
+  EXPECT_THROW(EquilibriumDetector(0.0, 1), sops::PreconditionError);
+  EXPECT_THROW(EquilibriumDetector(1.0, 0), sops::PreconditionError);
+}
+
+std::vector<Vec2> ring_configuration(double phase) {
+  std::vector<Vec2> points;
+  for (int i = 0; i < 6; ++i) {
+    const double a = phase + i * std::numbers::pi / 3.0;
+    points.push_back({std::cos(a), std::sin(a)});
+  }
+  return points;
+}
+
+TEST(LimitCycleDetector, DetectsPeriodicMotion) {
+  // A rotating ring that returns to its configuration every 8 snapshots.
+  LimitCycleDetector detector(1e-9, 2, 32);
+  std::optional<sops::sim::CycleMatch> match;
+  for (int t = 0; t < 20 && !match; ++t) {
+    match = detector.update(
+        ring_configuration(2.0 * std::numbers::pi * (t % 8) / 8.0));
+  }
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->period, 8u);
+  EXPECT_LT(match->mean_error, 1e-9);
+}
+
+TEST(LimitCycleDetector, IgnoresDriftingCycle) {
+  // Same cycle plus a uniform translation per step: centroid removal makes
+  // the recurrence visible anyway.
+  LimitCycleDetector detector(1e-9, 2, 32);
+  std::optional<sops::sim::CycleMatch> match;
+  for (int t = 0; t < 20 && !match; ++t) {
+    auto config = ring_configuration(2.0 * std::numbers::pi * (t % 8) / 8.0);
+    for (Vec2& p : config) p += Vec2{0.5 * t, -0.25 * t};
+    match = detector.update(config);
+  }
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->period, 8u);
+}
+
+TEST(LimitCycleDetector, NoFalsePositiveOnExpansion) {
+  LimitCycleDetector detector(1e-6, 2, 64);
+  for (int t = 0; t < 50; ++t) {
+    auto config = ring_configuration(0.0);
+    for (Vec2& p : config) p *= (1.0 + 0.05 * t);  // steadily expanding
+    EXPECT_FALSE(detector.update(config).has_value()) << t;
+  }
+}
+
+TEST(LimitCycleDetector, RespectsMinPeriod) {
+  // A static configuration recurs at lag 1; min_period = 5 must report 5.
+  LimitCycleDetector detector(1e-9, 5, 32);
+  std::optional<sops::sim::CycleMatch> match;
+  for (int t = 0; t < 10 && !match; ++t) {
+    match = detector.update(ring_configuration(0.0));
+  }
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->period, 5u);
+}
+
+TEST(LimitCycleDetector, WindowBoundsMemory) {
+  // Cycle period 10 with window 8: recurrence is never observed.
+  LimitCycleDetector detector(1e-9, 2, 8);
+  for (int t = 0; t < 40; ++t) {
+    const auto match = detector.update(
+        ring_configuration(2.0 * std::numbers::pi * (t % 10) / 10.0));
+    EXPECT_FALSE(match.has_value()) << t;
+  }
+}
+
+TEST(LimitCycleDetector, InvalidParamsThrow) {
+  EXPECT_THROW(LimitCycleDetector(0.0, 1, 8), sops::PreconditionError);
+  EXPECT_THROW(LimitCycleDetector(1.0, 0, 8), sops::PreconditionError);
+  EXPECT_THROW(LimitCycleDetector(1.0, 8, 8), sops::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Force-law tests: Eq. (7)/(8) values, sign structure, preferred distances,
+// the F² parameter solver, and InteractionModel validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/force_law.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::sim::f2_params_for_preferred_distance;
+using sops::sim::force_scaling;
+using sops::sim::force_scaling_derivative;
+using sops::sim::ForceLawKind;
+using sops::sim::InteractionModel;
+using sops::sim::PairParams;
+using sops::sim::preferred_distance;
+
+TEST(SpringLaw, ZeroExactlyAtPreferredDistance) {
+  const PairParams p{2.0, 1.5, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(force_scaling(ForceLawKind::kSpring, p, 1.5), 0.0);
+}
+
+TEST(SpringLaw, RepulsiveBelowAttractiveAbove) {
+  const PairParams p{2.0, 1.5, 1.0, 1.0};
+  EXPECT_LT(force_scaling(ForceLawKind::kSpring, p, 1.0), 0.0);   // repulsion
+  EXPECT_GT(force_scaling(ForceLawKind::kSpring, p, 3.0), 0.0);   // attraction
+}
+
+TEST(SpringLaw, AsymptotesToK) {
+  const PairParams p{3.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(force_scaling(ForceLawKind::kSpring, p, 1e6), 3.0, 1e-5);
+}
+
+TEST(SpringLaw, ExactFormula) {
+  const PairParams p{2.5, 0.8, 1.0, 1.0};
+  for (const double x : {0.1, 0.5, 1.0, 4.0}) {
+    EXPECT_DOUBLE_EQ(force_scaling(ForceLawKind::kSpring, p, x),
+                     2.5 * (1.0 - 0.8 / x));
+  }
+}
+
+TEST(SpringLaw, VelocityContributionBoundedNearContact) {
+  // F¹ diverges but F¹(x)·x → −k·r: the drift the integrator applies stays
+  // bounded (see forces.hpp); verify the product.
+  const PairParams p{2.0, 1.5, 1.0, 1.0};
+  const double x = 1e-9;
+  EXPECT_NEAR(force_scaling(ForceLawKind::kSpring, p, x) * x, -2.0 * 1.5, 1e-6);
+}
+
+TEST(DoubleGaussianLaw, ExactFormula) {
+  const PairParams p{2.0, 0.0, 1.5, 4.0};
+  for (const double x : {0.3, 1.0, 2.5}) {
+    const double expected =
+        2.0 * (std::exp(-x * x / (2.0 * 1.5)) / (1.5 * 1.5) -
+               std::exp(-x * x / (2.0 * 4.0)));
+    EXPECT_DOUBLE_EQ(force_scaling(ForceLawKind::kDoubleGaussian, p, x), expected);
+  }
+}
+
+TEST(DoubleGaussianLaw, LiteralPaperRegimeIsPurelyRepulsive) {
+  // σ = 1 ≤ τ: the printed Eq. (8) never becomes positive (see DESIGN.md).
+  const PairParams p{1.0, 0.0, 1.0, 5.0};
+  for (double x = 0.05; x < 20.0; x += 0.05) {
+    EXPECT_LE(force_scaling(ForceLawKind::kDoubleGaussian, p, x), 0.0) << x;
+  }
+}
+
+TEST(DoubleGaussianLaw, DecaysToZeroAtLongRange) {
+  const PairParams p{1.0, 0.0, 1.0, 5.0};
+  EXPECT_NEAR(force_scaling(ForceLawKind::kDoubleGaussian, p, 30.0), 0.0, 1e-12);
+}
+
+TEST(DoubleGaussianLaw, SigmaAboveTauHasAttractiveTail) {
+  const PairParams p{1.0, 0.0, 4.0, 1.0};
+  EXPECT_LT(force_scaling(ForceLawKind::kDoubleGaussian, p, 0.5), 0.0);
+  EXPECT_GT(force_scaling(ForceLawKind::kDoubleGaussian, p, 5.0), 0.0);
+}
+
+class DerivativeCheck
+    : public ::testing::TestWithParam<std::tuple<ForceLawKind, double>> {};
+
+TEST_P(DerivativeCheck, MatchesFiniteDifference) {
+  const auto [kind, x] = GetParam();
+  const PairParams p{2.0, 1.5, 3.0, 1.2};
+  const double h = 1e-6;
+  const double numeric = (force_scaling(kind, p, x + h) -
+                          force_scaling(kind, p, x - h)) /
+                         (2.0 * h);
+  EXPECT_NEAR(force_scaling_derivative(kind, p, x), numeric,
+              1e-4 * std::max(1.0, std::abs(numeric)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Laws, DerivativeCheck,
+    ::testing::Combine(::testing::Values(ForceLawKind::kSpring,
+                                         ForceLawKind::kDoubleGaussian),
+                       ::testing::Values(0.3, 1.0, 2.0, 5.0)));
+
+TEST(ForceScaling, NonPositiveDistanceThrows) {
+  const PairParams p;
+  EXPECT_THROW((void)force_scaling(ForceLawKind::kSpring, p, 0.0),
+               sops::PreconditionError);
+  EXPECT_THROW((void)force_scaling(ForceLawKind::kDoubleGaussian, p, -1.0),
+               sops::PreconditionError);
+}
+
+TEST(PreferredDistance, SpringReturnsR) {
+  const PairParams p{1.0, 2.75, 1.0, 1.0};
+  const auto r = preferred_distance(ForceLawKind::kSpring, p);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 2.75);
+}
+
+TEST(PreferredDistance, F2PurelyRepulsiveHasNone) {
+  const PairParams p{1.0, 0.0, 1.0, 5.0};
+  EXPECT_FALSE(preferred_distance(ForceLawKind::kDoubleGaussian, p).has_value());
+}
+
+TEST(PreferredDistance, F2SigmaEqualsTauHasNone) {
+  const PairParams p{1.0, 0.0, 2.0, 2.0};
+  EXPECT_FALSE(preferred_distance(ForceLawKind::kDoubleGaussian, p).has_value());
+}
+
+TEST(PreferredDistance, F2CrossingIsARoot) {
+  const PairParams p{1.0, 0.0, 4.0, 1.0};
+  const auto r = preferred_distance(ForceLawKind::kDoubleGaussian, p);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(force_scaling(ForceLawKind::kDoubleGaussian, p, *r), 0.0, 1e-12);
+  // Repulsion below, attraction above.
+  EXPECT_LT(force_scaling(ForceLawKind::kDoubleGaussian, p, *r * 0.9), 0.0);
+  EXPECT_GT(force_scaling(ForceLawKind::kDoubleGaussian, p, *r * 1.1), 0.0);
+}
+
+class F2Solver : public ::testing::TestWithParam<double> {};
+
+TEST_P(F2Solver, RealizesRequestedPreferredDistance) {
+  const double target = GetParam();
+  const PairParams p = f2_params_for_preferred_distance(target, 1.5);
+  EXPECT_DOUBLE_EQ(p.k, 1.5);
+  const auto r = preferred_distance(ForceLawKind::kDoubleGaussian, p);
+  ASSERT_TRUE(r.has_value()) << "no crossing for target " << target;
+  EXPECT_NEAR(*r, target, 1e-6 * target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, F2Solver,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0, 5.0, 8.0));
+
+TEST(F2Solver, InvalidTargetThrows) {
+  EXPECT_THROW((void)f2_params_for_preferred_distance(0.0),
+               sops::PreconditionError);
+  EXPECT_THROW((void)f2_params_for_preferred_distance(-1.0),
+               sops::PreconditionError);
+}
+
+TEST(InteractionModel, DefaultsApplyToAllPairs) {
+  const InteractionModel model(ForceLawKind::kSpring, 3,
+                               PairParams{2.0, 1.0, 1.0, 1.0});
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(model.pair(a, b).k, 2.0);
+      EXPECT_DOUBLE_EQ(model.pair(a, b).r, 1.0);
+    }
+  }
+}
+
+TEST(InteractionModel, SettersAreSymmetric) {
+  InteractionModel model(ForceLawKind::kSpring, 2);
+  model.set_k(0, 1, 5.0).set_r(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(model.pair(1, 0).k, 5.0);
+  EXPECT_DOUBLE_EQ(model.pair(1, 0).r, 2.0);
+}
+
+TEST(InteractionModel, ScalingDelegatesToForceScaling) {
+  InteractionModel model(ForceLawKind::kSpring, 2,
+                         PairParams{1.0, 2.0, 1.0, 1.0});
+  model.set_r(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(model.scaling(0, 0, 2.0), 0.0);   // at r_00
+  EXPECT_DOUBLE_EQ(model.scaling(0, 1, 4.0), 0.0);   // at r_01
+  EXPECT_LT(model.scaling(0, 1, 2.0), 0.0);
+}
+
+TEST(InteractionModel, InvalidParametersThrow) {
+  EXPECT_THROW(InteractionModel(ForceLawKind::kDoubleGaussian, 2,
+                                PairParams{1.0, 1.0, 0.0, 1.0}),
+               sops::PreconditionError);  // sigma = 0 with F2
+  InteractionModel model(ForceLawKind::kSpring, 2);
+  EXPECT_THROW(model.set_r(0, 1, -1.0), sops::PreconditionError);
+  EXPECT_THROW(model.set_sigma(0, 1, 0.0), sops::PreconditionError);
+  EXPECT_THROW(model.set_tau(0, 1, -2.0), sops::PreconditionError);
+}
+
+TEST(InteractionModel, ZeroTypesThrows) {
+  EXPECT_THROW(InteractionModel(ForceLawKind::kSpring, 0),
+               sops::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// SymmetricMatrix tests.
+#include <gtest/gtest.h>
+
+#include "sim/symmetric_matrix.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::sim::SymmetricMatrix;
+
+TEST(SymmetricMatrix, FillConstructor) {
+  const SymmetricMatrix m(3, 2.5);
+  EXPECT_EQ(m.types(), 3u);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) EXPECT_DOUBLE_EQ(m(a, b), 2.5);
+  }
+}
+
+TEST(SymmetricMatrix, SetIsSymmetric) {
+  SymmetricMatrix m(4);
+  m.set(1, 3, 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 3), 7.0);
+  EXPECT_DOUBLE_EQ(m(3, 1), 7.0);
+  m.set(3, 1, -2.0);  // reversed order writes the same entry
+  EXPECT_DOUBLE_EQ(m(1, 3), -2.0);
+}
+
+TEST(SymmetricMatrix, DiagonalEntries) {
+  SymmetricMatrix m(2);
+  m.set(0, 0, 1.0);
+  m.set(1, 1, 2.0);
+  m.set(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(SymmetricMatrix, EntriesAreIndependent) {
+  SymmetricMatrix m(3, 0.0);
+  // Write a distinct value per unordered pair and verify no aliasing.
+  double v = 1.0;
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a; b < 3; ++b) m.set(a, b, v++);
+  }
+  v = 1.0;
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a; b < 3; ++b) EXPECT_DOUBLE_EQ(m(a, b), v++);
+  }
+}
+
+TEST(SymmetricMatrix, FromFullAcceptsSymmetric) {
+  const SymmetricMatrix m = SymmetricMatrix::from_full(
+      {{1.0, 2.0}, {2.0, 3.0}});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 3.0);
+}
+
+TEST(SymmetricMatrix, FromFullRejectsAsymmetric) {
+  EXPECT_THROW(SymmetricMatrix::from_full({{1.0, 2.0}, {2.5, 3.0}}),
+               sops::PreconditionError);
+}
+
+TEST(SymmetricMatrix, FromFullRejectsRagged) {
+  EXPECT_THROW(SymmetricMatrix::from_full({{1.0, 2.0}, {2.0}}),
+               sops::PreconditionError);
+}
+
+TEST(SymmetricMatrix, MinMaxEntry) {
+  SymmetricMatrix m(2, 1.0);
+  m.set(0, 1, -4.0);
+  m.set(1, 1, 9.0);
+  EXPECT_DOUBLE_EQ(m.min_entry(), -4.0);
+  EXPECT_DOUBLE_EQ(m.max_entry(), 9.0);
+}
+
+TEST(SymmetricMatrix, EmptyMatrixMinMaxIsZero) {
+  const SymmetricMatrix m;
+  EXPECT_DOUBLE_EQ(m.min_entry(), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_entry(), 0.0);
+}
+
+TEST(SymmetricMatrix, OutOfRangeThrows) {
+  const SymmetricMatrix m(2);
+  EXPECT_THROW((void)m(0, 2), sops::PreconditionError);
+  EXPECT_THROW((void)m(2, 0), sops::PreconditionError);
+}
+
+TEST(SymmetricMatrix, Equality) {
+  SymmetricMatrix a(2, 1.0);
+  SymmetricMatrix b(2, 1.0);
+  EXPECT_EQ(a, b);
+  b.set(0, 1, 2.0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+// Simulation-driver tests: reproducibility, recording bookkeeping, initial
+// conditions, stopping, and qualitative equilibrium properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/generators.hpp"
+#include "sim/simulation.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::geom::Vec2;
+using sops::sim::ForceLawKind;
+using sops::sim::InteractionModel;
+using sops::sim::PairParams;
+using sops::sim::run_simulation;
+using sops::sim::SimulationConfig;
+using sops::sim::Trajectory;
+
+SimulationConfig small_config(std::uint64_t seed = 1) {
+  SimulationConfig config(InteractionModel(ForceLawKind::kSpring, 1,
+                                           PairParams{1.0, 2.0, 1.0, 1.0}));
+  config.types = sops::sim::evenly_distributed_types(12, 1);
+  config.cutoff_radius = sops::sim::kUnboundedRadius;
+  config.init_disc_radius = 3.0;
+  config.steps = 40;
+  config.seed = seed;
+  return config;
+}
+
+TEST(EvenTypes, DistributesEvenly) {
+  const auto types = sops::sim::evenly_distributed_types(10, 3);
+  const auto histogram = sops::sim::type_histogram(types, 3);
+  EXPECT_EQ(histogram, (std::vector<std::size_t>{4, 3, 3}));
+}
+
+TEST(EvenTypes, SingleType) {
+  const auto types = sops::sim::evenly_distributed_types(5, 1);
+  EXPECT_EQ(types, (std::vector<sops::sim::TypeId>{0, 0, 0, 0, 0}));
+}
+
+TEST(EvenTypes, MoreTypesThanParticles) {
+  const auto types = sops::sim::evenly_distributed_types(2, 5);
+  const auto histogram = sops::sim::type_histogram(types, 5);
+  EXPECT_EQ(histogram, (std::vector<std::size_t>{1, 1, 0, 0, 0}));
+}
+
+TEST(TypeHistogram, OutOfRangeThrows) {
+  const std::vector<sops::sim::TypeId> types{0, 3};
+  EXPECT_THROW((void)sops::sim::type_histogram(types, 2),
+               sops::PreconditionError);
+}
+
+TEST(InitialDisc, AllWithinRadius) {
+  sops::rng::Xoshiro256 engine(3);
+  const auto points = sops::sim::sample_initial_disc(500, 2.5, engine);
+  ASSERT_EQ(points.size(), 500u);
+  for (const Vec2 p : points) EXPECT_LE(norm(p), 2.5);
+}
+
+TEST(Simulation, SameSeedBitwiseIdentical) {
+  const Trajectory a = run_simulation(small_config(7));
+  const Trajectory b = run_simulation(small_config(7));
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t f = 0; f < a.frames.size(); ++f) {
+    for (std::size_t i = 0; i < a.frames[f].size(); ++i) {
+      EXPECT_EQ(a.frames[f][i], b.frames[f][i]);
+    }
+  }
+}
+
+TEST(Simulation, DifferentSeedsDiffer) {
+  const Trajectory a = run_simulation(small_config(1));
+  const Trajectory b = run_simulation(small_config(2));
+  EXPECT_NE(a.frames[0][0], b.frames[0][0]);
+}
+
+TEST(Simulation, DifferentStreamsDiffer) {
+  SimulationConfig config = small_config(1);
+  const Trajectory a = run_simulation(config);
+  config.stream = 1;
+  const Trajectory b = run_simulation(config);
+  EXPECT_NE(a.frames[0][0], b.frames[0][0]);
+}
+
+TEST(Simulation, RecordingGridWithStrideOne) {
+  SimulationConfig config = small_config();
+  config.steps = 10;
+  config.record_stride = 1;
+  const Trajectory t = run_simulation(config);
+  ASSERT_EQ(t.frames.size(), 11u);  // initial + 10
+  for (std::size_t f = 0; f < t.frame_steps.size(); ++f) {
+    EXPECT_EQ(t.frame_steps[f], f);
+  }
+  EXPECT_EQ(t.residual_norms.size(), t.frames.size());
+}
+
+TEST(Simulation, RecordingGridWithStride) {
+  SimulationConfig config = small_config();
+  config.steps = 10;
+  config.record_stride = 4;
+  const Trajectory t = run_simulation(config);
+  EXPECT_EQ(t.frame_steps, (std::vector<std::size_t>{0, 4, 8, 10}));
+}
+
+TEST(Simulation, StrideLargerThanStepsRecordsEndpoints) {
+  SimulationConfig config = small_config();
+  config.steps = 5;
+  config.record_stride = 100;
+  const Trajectory t = run_simulation(config);
+  EXPECT_EQ(t.frame_steps, (std::vector<std::size_t>{0, 5}));
+}
+
+TEST(Simulation, FramesCarryTypes) {
+  const Trajectory t = run_simulation(small_config());
+  EXPECT_EQ(t.types.size(), 12u);
+  EXPECT_EQ(t.particle_count(), 12u);
+  EXPECT_EQ(t.frame_count(), t.frames.size());
+}
+
+TEST(Simulation, SpringCollectiveReachesLowResidual) {
+  // A single-type F¹ system relaxes: the residual at the end is far below
+  // the initial one (noise keeps it from vanishing entirely).
+  SimulationConfig config = small_config();
+  config.steps = 300;
+  config.integrator.noise_variance = 0.01;
+  const Trajectory t = run_simulation(config);
+  EXPECT_LT(t.residual_norms.back(), t.residual_norms.front() * 0.5);
+}
+
+TEST(Simulation, StopAtEquilibriumEndsEarly) {
+  SimulationConfig config = small_config();
+  config.steps = 5000;
+  config.integrator.noise_variance = 0.0;
+  config.stop_at_equilibrium = true;
+  config.equilibrium.threshold = 0.05;
+  config.equilibrium.hold_steps = 5;
+  const Trajectory t = run_simulation(config);
+  ASSERT_TRUE(t.equilibrium_step.has_value());
+  EXPECT_LT(*t.equilibrium_step, 5000u);
+  EXPECT_EQ(t.frame_steps.back(), *t.equilibrium_step);
+}
+
+TEST(Simulation, SingleTypeSpringFormsRoundCollective) {
+  // Qualitative Fig. 3 check: the equilibrium of a single-type F¹ system is
+  // disc-like — max pairwise distance stays within a small factor of the
+  // preferred distance scale, and no particle escapes.
+  SimulationConfig config = small_config();
+  config.steps = 500;
+  config.integrator.noise_variance = 0.005;
+  const Trajectory t = run_simulation(config);
+  const auto& final_frame = t.frames.back();
+  double max_dist = 0.0;
+  for (std::size_t i = 0; i < final_frame.size(); ++i) {
+    for (std::size_t j = i + 1; j < final_frame.size(); ++j) {
+      max_dist = std::max(max_dist, dist(final_frame[i], final_frame[j]));
+    }
+  }
+  // 12 particles at preferred distance 2: diameter ~2–4 spacings.
+  EXPECT_LT(max_dist, 10.0);
+  EXPECT_GT(max_dist, 1.0);
+}
+
+TEST(Simulation, InvalidConfigsThrow) {
+  SimulationConfig config = small_config();
+  config.types.clear();
+  EXPECT_THROW((void)run_simulation(config), sops::PreconditionError);
+
+  config = small_config();
+  config.record_stride = 0;
+  EXPECT_THROW((void)run_simulation(config), sops::PreconditionError);
+
+  config = small_config();
+  config.steps = 0;
+  EXPECT_THROW((void)run_simulation(config), sops::PreconditionError);
+
+  config = small_config();
+  config.types[0] = 7;  // outside the 1-type model
+  EXPECT_THROW((void)run_simulation(config), sops::PreconditionError);
+}
+
+TEST(Generators, SpringModelWithinRanges) {
+  sops::rng::Xoshiro256 engine(5);
+  sops::sim::RandomModelRanges ranges;
+  ranges.k_min = 1.0;
+  ranges.k_max = 3.0;
+  ranges.r_min = 2.0;
+  ranges.r_max = 8.0;
+  const InteractionModel model = sops::sim::random_spring_model(4, ranges, engine);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      EXPECT_GE(model.pair(a, b).k, 1.0);
+      EXPECT_LE(model.pair(a, b).k, 3.0);
+      EXPECT_GE(model.pair(a, b).r, 2.0);
+      EXPECT_LE(model.pair(a, b).r, 8.0);
+      // Symmetry.
+      EXPECT_DOUBLE_EQ(model.pair(a, b).k, model.pair(b, a).k);
+      EXPECT_DOUBLE_EQ(model.pair(a, b).r, model.pair(b, a).r);
+    }
+  }
+}
+
+TEST(Generators, DoubleGaussianRealizesPreferredDistances) {
+  sops::rng::Xoshiro256 engine(6);
+  sops::sim::RandomModelRanges ranges;
+  ranges.r_min = 1.0;
+  ranges.r_max = 5.0;
+  ranges.tau_min = 1.0;
+  ranges.tau_max = 3.0;
+  const InteractionModel model =
+      sops::sim::random_double_gaussian_model(3, ranges, engine);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a; b < 3; ++b) {
+      const auto crossing = sops::sim::preferred_distance(
+          ForceLawKind::kDoubleGaussian, model.pair(a, b));
+      ASSERT_TRUE(crossing.has_value());
+      EXPECT_NEAR(*crossing, model.pair(a, b).r, 1e-5);
+      EXPECT_GE(model.pair(a, b).r, 1.0);
+      EXPECT_LE(model.pair(a, b).r, 5.0);
+    }
+  }
+}
+
+TEST(Generators, LiteralF2HasSigmaOne) {
+  sops::rng::Xoshiro256 engine(7);
+  sops::sim::RandomModelRanges ranges;
+  const InteractionModel model =
+      sops::sim::random_literal_f2_model(2, ranges, engine);
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t b = 0; b < 2; ++b) {
+      EXPECT_DOUBLE_EQ(model.pair(a, b).sigma, 1.0);
+      EXPECT_GE(model.pair(a, b).tau, 1.0);
+      EXPECT_LE(model.pair(a, b).tau, 10.0);
+    }
+  }
+}
+
+TEST(Generators, DeterministicInEngineState) {
+  sops::rng::Xoshiro256 e1(9);
+  sops::rng::Xoshiro256 e2(9);
+  sops::sim::RandomModelRanges ranges;
+  const InteractionModel a = sops::sim::random_spring_model(3, ranges, e1);
+  const InteractionModel b = sops::sim::random_spring_model(3, ranges, e2);
+  EXPECT_EQ(a.r_matrix(), b.r_matrix());
+  EXPECT_EQ(a.k_matrix(), b.k_matrix());
+}
+
+TEST(Generators, InvalidRangesThrow) {
+  sops::rng::Xoshiro256 engine(1);
+  sops::sim::RandomModelRanges bad;
+  bad.r_min = 5.0;
+  bad.r_max = 2.0;
+  EXPECT_THROW((void)sops::sim::random_spring_model(2, bad, engine),
+               sops::PreconditionError);
+}
+
+}  // namespace

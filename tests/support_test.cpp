@@ -1,0 +1,145 @@
+// Tests for sops::support — the parallel_for primitive and error handling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/parallel_for.hpp"
+
+namespace {
+
+using sops::support::expect;
+using sops::support::parallel_for;
+using sops::support::parallel_for_chunked;
+
+TEST(Expect, PassesOnTrue) { EXPECT_NO_THROW(expect(true, "never")); }
+
+TEST(Expect, ThrowsPreconditionErrorOnFalse) {
+  EXPECT_THROW(expect(false, "boom"), sops::PreconditionError);
+}
+
+TEST(Expect, MessagePropagates) {
+  try {
+    expect(false, "the message");
+    FAIL() << "expected throw";
+  } catch (const sops::PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+}
+
+TEST(ErrorHierarchy, AllDeriveFromError) {
+  EXPECT_THROW(throw sops::PreconditionError("x"), sops::Error);
+  EXPECT_THROW(throw sops::NumericalError("x"), sops::Error);
+  EXPECT_THROW(throw sops::Error("x"), std::runtime_error);
+}
+
+class ParallelForThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForThreads, VisitsEveryIndexExactlyOnce) {
+  const std::size_t count = 1000;
+  std::vector<std::atomic<int>> visits(count);
+  parallel_for(
+      0, count, [&](std::size_t i) { visits[i].fetch_add(1); }, GetParam());
+  for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForThreads, ChunksPartitionTheRange) {
+  const std::size_t count = 777;
+  std::vector<std::atomic<int>> visits(count);
+  parallel_for_chunked(
+      0, count,
+      [&](std::size_t begin, std::size_t end) {
+        EXPECT_LE(begin, end);
+        for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+      },
+      GetParam());
+  for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForThreads, NonZeroBegin) {
+  std::atomic<int> sum{0};
+  parallel_for(
+      10, 20, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); },
+      GetParam());
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + … + 19
+}
+
+TEST_P(ParallelForThreads, ResultsMatchSerialReference) {
+  const std::size_t count = 257;
+  std::vector<double> out(count, 0.0);
+  parallel_for(
+      0, count,
+      [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5 + 1.0; },
+      GetParam());
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 1.5 + 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelForThreads,
+                         ::testing::Values(1, 2, 3, 8, 0));
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, ReversedRangeIsNoop) {
+  bool called = false;
+  parallel_for(7, 3, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleElementRunsInline) {
+  std::thread::id body_thread;
+  parallel_for(0, 1, [&](std::size_t) { body_thread = std::this_thread::get_id(); },
+               4);
+  EXPECT_TRUE(body_thread == std::this_thread::get_id());
+}
+
+TEST(ParallelFor, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(parallel_for(
+                   0, 100,
+                   [](std::size_t i) {
+                     if (i == 42) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ExceptionAbandonsOnlyTheThrowingChunk) {
+  // An exception ends the throwing worker's chunk; other workers are joined
+  // normally and complete their chunks. With 2 workers over [0, 100) the
+  // contiguous partition is [0, 50) and [50, 100); a throw at index 0 must
+  // leave the second chunk fully processed.
+  std::vector<std::atomic<int>> visits(100);
+  try {
+    parallel_for(
+        0, 100,
+        [&](std::size_t i) {
+          visits[i].fetch_add(1);
+          if (i == 0) throw std::runtime_error("boom");
+        },
+        2);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  for (std::size_t i = 50; i < 100; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+  EXPECT_EQ(visits[0].load(), 1);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsSafe) {
+  std::atomic<int> count{0};
+  parallel_for(
+      0, 3, [&](std::size_t) { count.fetch_add(1); }, 64);
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(DefaultThreadCount, IsPositive) {
+  EXPECT_GE(sops::support::default_thread_count(), 1u);
+}
+
+}  // namespace
