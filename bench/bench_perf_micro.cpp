@@ -1,8 +1,18 @@
 // Performance micro-benchmarks (google-benchmark): the hot paths of the
-// pipeline — pair-force accumulation (grid vs all-pairs), the KSG
-// estimator, k-d tree queries, and ICP alignment. These back the complexity
-// claims in DESIGN.md §7.
+// pipeline — pair-force accumulation (grid vs all-pairs), full engine
+// stepping (persistent workspace vs the pre-engine per-step-rebuild
+// baseline), the KSG estimator, k-d tree queries, and ICP alignment.
+//
+// Besides the google-benchmark suite, the binary always emits
+// BENCH_engine.json with steps/sec of cell-grid stepping for
+// n ∈ {64, 256, 1024}, comparing the batched engine against the seed
+// baseline — the start of the engine's perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+#include <unordered_map>
 
 #include "core/sops.hpp"
 
@@ -26,6 +36,70 @@ sim::InteractionModel default_model(std::size_t types) {
   return sim::InteractionModel(sim::ForceLawKind::kSpring, types,
                                sim::PairParams{1.0, 2.0, 1.0, 1.0});
 }
+
+// ------------------------------------------------------------------------
+// Pre-engine reference stepper. This reproduces, deliberately and verbatim
+// in structure, what the seed engine did every step before the batched
+// engine landed: construct a node-based hash grid from scratch, then fetch
+// the pair parameters through the symmetric-matrix accessors for every
+// interacting pair. It is the "per-step-rebuild baseline" the engine's
+// speedup is measured against; do not optimize it.
+class SeedBaselineStepper {
+ public:
+  double step(sim::ParticleSystem& system, const sim::InteractionModel& model,
+              double cutoff, const sim::IntegratorParams& params,
+              rng::Xoshiro256& engine, std::vector<geom::Vec2>& drift) {
+    struct Key {
+      std::int64_t x, y;
+      bool operator==(const Key&) const = default;
+    };
+    struct KeyHash {
+      std::size_t operator()(const Key& k) const noexcept {
+        std::uint64_t h = static_cast<std::uint64_t>(k.x) * 0x9E3779B97F4A7C15ull;
+        h ^= static_cast<std::uint64_t>(k.y) * 0xC2B2AE3D27D4EB4Full;
+        h ^= h >> 29;
+        h *= 0xBF58476D1CE4E5B9ull;
+        h ^= h >> 32;
+        return static_cast<std::size_t>(h);
+      }
+    };
+    const auto key_of = [cutoff](geom::Vec2 p) {
+      return Key{static_cast<std::int64_t>(std::floor(p.x / cutoff)),
+                 static_cast<std::int64_t>(std::floor(p.y / cutoff))};
+    };
+    const std::size_t n = system.size();
+    std::unordered_map<Key, std::vector<std::size_t>, KeyHash> cells;
+    cells.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) cells[key_of(system.positions[i])].push_back(i);
+
+    drift.assign(n, geom::Vec2{});
+    const double cutoff_sq = cutoff * cutoff;
+    for (std::size_t i = 0; i < n; ++i) {
+      geom::Vec2 acc{};
+      const Key center = key_of(system.positions[i]);
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        for (std::int64_t dy = -1; dy <= 1; ++dy) {
+          const auto it = cells.find(Key{center.x + dx, center.y + dy});
+          if (it == cells.end()) continue;
+          for (const std::size_t j : it->second) {
+            if (j == i) continue;
+            const geom::Vec2 delta = system.positions[i] - system.positions[j];
+            const double d_sq = geom::norm_sq(delta);
+            if (d_sq >= cutoff_sq || d_sq == 0.0) continue;
+            const double d = std::sqrt(d_sq);
+            acc += delta * (-model.scaling(system.types[i], system.types[j], d));
+          }
+        }
+      }
+      drift[i] = acc;
+    }
+    const double residual = sim::total_drift_norm(drift);
+    sim::apply_euler_maruyama_update(system, drift, params, engine);
+    return residual;
+  }
+};
+
+// ------------------------------------------------------------ benchmarks
 
 void BM_DriftAllPairs(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -58,19 +132,69 @@ void BM_DriftCellGrid(benchmark::State& state) {
 }
 BENCHMARK(BM_DriftCellGrid)->Range(32, 2048)->Complexity(benchmark::oN);
 
-void BM_SimulationStep(benchmark::State& state) {
+void BM_DriftCellGridPersistent(benchmark::State& state) {
+  // Same work through the persistent backend: retained flat table + CSR.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5,
+                                    3, 42);
+  const auto model = default_model(3);
+  const sim::PairScalingTable table(model);  // cached per run, as the engine does
+  std::vector<geom::Vec2> drift;
+  geom::CellGridBackend backend;
+  for (auto _ : state) {
+    sim::accumulate_drift(system, table, 3.0, drift, backend);
+    benchmark::DoNotOptimize(drift.data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DriftCellGridPersistent)->Range(32, 2048)->Complexity(benchmark::oN);
+
+void BM_StepSeedBaseline(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5, 3, 7);
   const auto model = default_model(3);
   sim::IntegratorParams params;
   rng::Xoshiro256 engine(1);
   std::vector<geom::Vec2> scratch;
+  SeedBaselineStepper baseline;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::euler_maruyama_step(system, model, 3.0,
-                                                      params, engine, scratch));
+    benchmark::DoNotOptimize(
+        baseline.step(system, model, 3.0, params, engine, scratch));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["steps/sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["bytes/frame"] =
+      static_cast<double>(n * sizeof(geom::Vec2));
 }
-BENCHMARK(BM_SimulationStep)->Range(64, 1024);
+BENCHMARK(BM_StepSeedBaseline)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_StepEngine(benchmark::State& state) {
+  // The batched engine path: persistent cell-grid backend, one drift
+  // buffer, allocation-free steady state.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5, 3, 7);
+  const auto model = default_model(3);
+  const sim::PairScalingTable table(model);
+  sim::IntegratorParams params;
+  rng::Xoshiro256 engine(1);
+  std::vector<geom::Vec2> scratch;
+  geom::CellGridBackend backend;
+  for (auto _ : state) {
+    // The engine's steady-state step: cached table, persistent backend.
+    sim::accumulate_drift(system, table, 3.0, scratch, backend);
+    benchmark::DoNotOptimize(sim::total_drift_norm(scratch));
+    sim::apply_euler_maruyama_update(system, scratch, params, engine);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["steps/sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["bytes/frame"] =
+      static_cast<double>(n * sizeof(geom::Vec2));
+}
+BENCHMARK(BM_StepEngine)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_KsgMultiInformation(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
@@ -131,6 +255,87 @@ void BM_KMeans(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeans)->Range(64, 4096);
 
+// --------------------------------------------------- BENCH_engine.json
+
+double measure_steps_per_sec(std::size_t n, bool use_engine) {
+  auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5, 3, 7);
+  const auto model = default_model(3);
+  const sim::PairScalingTable table(model);
+  sim::IntegratorParams params;
+  rng::Xoshiro256 engine(1);
+  std::vector<geom::Vec2> scratch;
+  geom::CellGridBackend backend;
+  SeedBaselineStepper baseline;
+
+  const auto one_step = [&] {
+    if (use_engine) {
+      sim::accumulate_drift(system, table, 3.0, scratch, backend);
+      const double residual = sim::total_drift_norm(scratch);
+      sim::apply_euler_maruyama_update(system, scratch, params, engine);
+      return residual;
+    }
+    return baseline.step(system, model, 3.0, params, engine, scratch);
+  };
+  const int warmup = 50;
+  const int steps = n >= 1024 ? 1200 : 5000;
+  for (int i = 0; i < warmup; ++i) one_step();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < steps; ++i) one_step();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(steps) / seconds;
+}
+
+void emit_engine_json() {
+  const std::size_t sizes[] = {64, 256, 1024};
+  double speedup_at_1024 = 0.0;
+  std::FILE* out = std::fopen("BENCH_engine.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_engine.json\n");
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"engine_step\",\n"
+                    "  \"mode\": \"cell_grid\",\n  \"results\": [\n");
+  for (std::size_t k = 0; k < 3; ++k) {
+    const std::size_t n = sizes[k];
+    const double baseline = measure_steps_per_sec(n, false);
+    const double engine = measure_steps_per_sec(n, true);
+    const double speedup = engine / baseline;
+    if (n == 1024) speedup_at_1024 = speedup;
+    std::fprintf(out,
+                 "    {\"n\": %zu, \"baseline_steps_per_sec\": %.1f, "
+                 "\"engine_steps_per_sec\": %.1f, \"speedup\": %.3f, "
+                 "\"bytes_per_frame\": %zu}%s\n",
+                 n, baseline, engine, speedup, n * sizeof(geom::Vec2),
+                 k + 1 < 3 ? "," : "");
+    std::printf("engine step n=%zu: baseline %.0f steps/s, engine %.0f "
+                "steps/s (%.2fx), %zu bytes/frame\n",
+                n, baseline, engine, speedup, n * sizeof(geom::Vec2));
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("CHECK %s engine >= 1.5x seed baseline at n=1024 (%.2fx)\n",
+              speedup_at_1024 >= 1.5 ? "[PASS]" : "[FAIL]", speedup_at_1024);
+  std::printf("series written to BENCH_engine.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Filtered runs are iteration loops on one benchmark — skip the engine
+  // sweep then, so a quick --benchmark_filter run stays quick and does not
+  // overwrite BENCH_engine.json with numbers from a loaded machine.
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_filter")) {
+      filtered = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!filtered) emit_engine_json();
+  return 0;
+}

@@ -20,7 +20,7 @@ using namespace sops;
 
 // Fraction of particles whose nearest neighbor has the other type
 // (0.5 ≈ fully mixed for balanced types, → 0 as the tissue sorts).
-double mixing_index(const std::vector<geom::Vec2>& points,
+double mixing_index(std::span<const geom::Vec2> points,
                     const std::vector<sim::TypeId>& types) {
   std::size_t cross = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {

@@ -7,9 +7,13 @@
 
 namespace sops::align {
 
-AlignedEnsemble align_ensemble(const std::vector<std::vector<geom::Vec2>>& configs,
-                               const std::vector<sim::TypeId>& types,
-                               const EnsembleOptions& options) {
+namespace {
+
+// Shared implementation over one span per sample; both public overloads
+// reduce to this row-view form.
+AlignedEnsemble align_rows(std::span<const std::span<const geom::Vec2>> configs,
+                           const std::vector<sim::TypeId>& types,
+                           const EnsembleOptions& options) {
   support::expect(!configs.empty(), "align_ensemble: no samples");
   const std::size_t n = types.size();
   support::expect(n > 0, "align_ensemble: empty collective");
@@ -60,6 +64,24 @@ AlignedEnsemble align_ensemble(const std::vector<std::vector<geom::Vec2>>& confi
       options.threads);
 
   return out;
+}
+
+}  // namespace
+
+AlignedEnsemble align_ensemble(geom::FrameView configs,
+                               const std::vector<sim::TypeId>& types,
+                               const EnsembleOptions& options) {
+  std::vector<std::span<const geom::Vec2>> rows;
+  rows.reserve(configs.size());
+  for (std::size_t s = 0; s < configs.size(); ++s) rows.push_back(configs[s]);
+  return align_rows(rows, types, options);
+}
+
+AlignedEnsemble align_ensemble(const std::vector<std::vector<geom::Vec2>>& configs,
+                               const std::vector<sim::TypeId>& types,
+                               const EnsembleOptions& options) {
+  std::vector<std::span<const geom::Vec2>> rows(configs.begin(), configs.end());
+  return align_rows(rows, types, options);
 }
 
 AlignedEnsemble coarse_grain_ensemble(const AlignedEnsemble& fine,

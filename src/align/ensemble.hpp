@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "align/icp.hpp"
+#include "geom/frame_view.hpp"
 #include "info/sample_matrix.hpp"
 #include "rng/engine.hpp"
 
@@ -56,7 +57,14 @@ struct EnsembleOptions {
 
 /// Aligns m same-shaped configurations into shape space. `configs[s]` is
 /// sample s; all samples share the particle `types` array (one collective,
-/// §5.1). Requires at least one sample.
+/// §5.1). Requires at least one sample. This is the span-based entry point
+/// the flat FrameStore feeds frame views into.
+[[nodiscard]] AlignedEnsemble align_ensemble(
+    geom::FrameView configs, const std::vector<sim::TypeId>& types,
+    const EnsembleOptions& options = {});
+
+/// Convenience overload for nested-vector configurations (single-run
+/// trajectories, tests); identical semantics and results.
 [[nodiscard]] AlignedEnsemble align_ensemble(
     const std::vector<std::vector<geom::Vec2>>& configs,
     const std::vector<sim::TypeId>& types, const EnsembleOptions& options = {});

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
+
 #include "support/parallel_for.hpp"
 
 namespace sops::core {
@@ -19,39 +21,48 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
   support::expect(!config.simulation.stop_at_equilibrium,
                   "run_experiment: ensembles need a fixed recording grid; "
                   "disable stop_at_equilibrium");
+  support::expect(!config.simulation.types.empty(),
+                  "run_experiment: no particles");
 
   const std::size_t m = config.samples;
-  std::vector<sim::Trajectory> trajectories(m);
-
-  support::parallel_for(
-      0, m,
-      [&](std::size_t s) {
-        sim::SimulationConfig sample_config = config.simulation;
-        sample_config.stream = s;
-        trajectories[s] = sim::run_simulation(sample_config);
-      },
-      config.threads);
+  const std::size_t n = config.simulation.types.size();
 
   EnsembleSeries series;
   series.types = config.simulation.types;
-  series.frame_steps = trajectories.front().frame_steps;
-  const std::size_t frame_count = series.frame_steps.size();
-  for (const sim::Trajectory& trajectory : trajectories) {
-    support::expect(trajectory.frame_steps == series.frame_steps,
-                    "run_experiment: recording grids diverged");
-  }
+  series.frame_steps = sim::recording_steps(config.simulation.steps,
+                                            config.simulation.record_stride);
+  series.frames = FrameStore(series.frame_steps.size(), m, n);
+  series.equilibrium_steps.assign(m, std::nullopt);
 
-  series.frames.resize(frame_count);
-  for (std::size_t f = 0; f < frame_count; ++f) {
-    series.frames[f].reserve(m);
-    for (std::size_t s = 0; s < m; ++s) {
-      series.frames[f].push_back(std::move(trajectories[s].frames[f]));
-    }
-  }
-  series.equilibrium_steps.reserve(m);
-  for (const sim::Trajectory& trajectory : trajectories) {
-    series.equilibrium_steps.push_back(trajectory.equilibrium_step);
-  }
+  // One workspace per worker, reused across the worker's whole chunk: the
+  // neighbor backend and drift buffer warm up on the first sample and every
+  // later sample steps allocation-free.
+  support::parallel_for_chunked(
+      0, m,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        sim::SimulationWorkspace workspace;
+        sim::SimulationConfig sample_config = config.simulation;
+        for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
+          sample_config.stream = s;
+          const sim::StreamedRun run = sim::run_simulation_streamed(
+              sample_config, workspace,
+              [&](std::size_t f, std::size_t step,
+                  std::span<const geom::Vec2> positions) {
+                // The store was pre-sized from recording_steps(); a frame
+                // outside that grid must fail here, not write out of bounds.
+                support::expect(f < series.frame_steps.size() &&
+                                    step == series.frame_steps[f],
+                                "run_experiment: recording grid diverged");
+                const auto slot = series.frames.sample_slot(f, s);
+                std::copy(positions.begin(), positions.end(), slot.begin());
+              });
+          support::expect(run.frame_steps == series.frame_steps,
+                          "run_experiment: recording grids diverged");
+          series.equilibrium_steps[s] = run.equilibrium_step;
+        }
+      },
+      config.threads);
+
   return series;
 }
 

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/frame_store.hpp"
 #include "sim/simulation.hpp"
 
 namespace sops::core {
@@ -22,18 +23,20 @@ struct ExperimentConfig {
   std::size_t threads = 0;    ///< worker threads across samples (0 = auto)
 };
 
-/// The recorded ensemble: frames[f][s] is sample s at step frame_steps[f].
+/// The recorded ensemble: frames[f][s] is sample s at step frame_steps[f],
+/// stored as one flat [frame][sample][particle] block (see FrameStore).
 struct EnsembleSeries {
   std::vector<sim::TypeId> types;
   std::vector<std::size_t> frame_steps;
-  /// Indexed [frame][sample][particle].
-  std::vector<std::vector<std::vector<geom::Vec2>>> frames;
+  FrameStore frames;
   /// Per-sample equilibrium step (if the criterion held during the run).
   std::vector<std::optional<std::size_t>> equilibrium_steps;
 
-  [[nodiscard]] std::size_t frame_count() const noexcept { return frames.size(); }
+  [[nodiscard]] std::size_t frame_count() const noexcept {
+    return frames.frame_count();
+  }
   [[nodiscard]] std::size_t sample_count() const noexcept {
-    return frames.empty() ? 0 : frames.front().size();
+    return frames.sample_count();
   }
   [[nodiscard]] std::size_t particle_count() const noexcept {
     return types.size();
@@ -44,8 +47,11 @@ struct EnsembleSeries {
 };
 
 /// Runs the experiment: samples stream s ∈ [0, m) are simulated in parallel
-/// and their recorded frames regrouped per time step. All samples share the
-/// recording grid, so the regrouping is rectangular by construction.
+/// and recorded straight into the flat frame store (the recording grid is
+/// known upfront, so every sample streams into disjoint pre-sized slots —
+/// no per-trajectory staging copy). Each worker thread reuses one
+/// SimulationWorkspace across its whole chunk of samples. Results are
+/// bitwise-independent of the thread count.
 [[nodiscard]] EnsembleSeries run_experiment(const ExperimentConfig& config);
 
 }  // namespace sops::core

@@ -1,0 +1,15 @@
+#include "core/frame_store.hpp"
+
+#include "support/error.hpp"
+
+namespace sops::core {
+
+FrameStore::FrameStore(std::size_t frames, std::size_t samples,
+                       std::size_t particles)
+    : frames_(frames), samples_(samples), particles_(particles) {
+  support::expect(frames >= 1 && samples >= 1 && particles >= 1,
+                  "FrameStore: all dimensions must be positive");
+  data_.resize(frames * samples * particles);
+}
+
+}  // namespace sops::core

@@ -1,0 +1,70 @@
+// Flat, cache-friendly storage for recorded ensembles.
+//
+// One contiguous [frame][sample][particle] buffer replaces the former
+// triple-nested vector-of-vector-of-vector: a frame is a stride of
+// m·n Vec2, a sample within it a stride of n, so per-frame analysis walks
+// a single linear block and the ensemble driver streams each sample's
+// frames straight into its slots (no staging copy, no per-frame
+// allocations). Views hand out spans, keeping the analyzer/alignment call
+// sites pointer-free.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/frame_view.hpp"
+#include "geom/vec2.hpp"
+
+namespace sops::core {
+
+/// Owning [frame][sample][particle] position block.
+class FrameStore {
+ public:
+  FrameStore() = default;
+  FrameStore(std::size_t frames, std::size_t samples, std::size_t particles);
+
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames_; }
+  [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
+  [[nodiscard]] std::size_t particle_count() const noexcept {
+    return particles_;
+  }
+  /// Number of frames (container-style alias of frame_count()).
+  [[nodiscard]] std::size_t size() const noexcept { return frames_; }
+  [[nodiscard]] bool empty() const noexcept { return frames_ == 0; }
+
+  /// View of frame f: all m samples at one recorded step.
+  [[nodiscard]] geom::FrameView operator[](std::size_t f) const noexcept {
+    return {data_.data() + f * samples_ * particles_, samples_, particles_};
+  }
+  [[nodiscard]] geom::FrameView front() const noexcept { return (*this)[0]; }
+  [[nodiscard]] geom::FrameView back() const noexcept {
+    return (*this)[frames_ - 1];
+  }
+
+  /// Configuration of sample s at frame f.
+  [[nodiscard]] std::span<const geom::Vec2> sample(std::size_t f,
+                                                   std::size_t s) const noexcept {
+    return {data_.data() + (f * samples_ + s) * particles_, particles_};
+  }
+  /// Writable slot for streaming producers. Distinct (f, s) slots are
+  /// disjoint memory and may be filled concurrently.
+  [[nodiscard]] std::span<geom::Vec2> sample_slot(std::size_t f,
+                                                  std::size_t s) noexcept {
+    return {data_.data() + (f * samples_ + s) * particles_, particles_};
+  }
+
+  /// Size of the position payload in bytes (the per-frame footprint the
+  /// perf bench reports is bytes() / frame_count()).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return data_.size() * sizeof(geom::Vec2);
+  }
+
+ private:
+  std::size_t frames_ = 0;
+  std::size_t samples_ = 0;
+  std::size_t particles_ = 0;
+  std::vector<geom::Vec2> data_;
+};
+
+}  // namespace sops::core

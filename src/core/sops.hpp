@@ -18,13 +18,16 @@
 #include "cluster/kmeans.hpp"
 #include "core/analyzer.hpp"
 #include "core/experiment.hpp"
+#include "core/frame_store.hpp"
 #include "core/hierarchy.hpp"
 #include "core/config_builder.hpp"
 #include "core/presets.hpp"
 #include "geom/aabb.hpp"
 #include "geom/cell_grid.hpp"
 #include "geom/delaunay.hpp"
+#include "geom/frame_view.hpp"
 #include "geom/kdtree.hpp"
+#include "geom/neighbor_backend.hpp"
 #include "geom/rigid_transform.hpp"
 #include "geom/vec2.hpp"
 #include "info/binning.hpp"
@@ -44,3 +47,4 @@
 #include "sim/generators.hpp"
 #include "sim/observables.hpp"
 #include "sim/simulation.hpp"
+#include "sim/workspace.hpp"

@@ -1,18 +1,76 @@
 #include "geom/cell_grid.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "support/error.hpp"
 
 namespace sops::geom {
 
-CellGrid::CellGrid(std::span<const Vec2> points, double cell_size)
-    : points_(points), cell_size_(cell_size) {
+CellGrid::CellGrid(std::span<const Vec2> points, double cell_size) {
+  rebuild(points, cell_size);
+}
+
+void CellGrid::rebuild(std::span<const Vec2> points) {
+  support::expect(cell_size_ > 0.0,
+                  "CellGrid::rebuild: no cell size set; build the grid first");
+  rebuild(points, cell_size_);
+}
+
+void CellGrid::rebuild(std::span<const Vec2> points, double cell_size) {
   support::expect(cell_size > 0.0 && std::isfinite(cell_size),
                   "CellGrid: cell size must be positive and finite");
-  cells_.reserve(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    cells_[key_of(points[i])].push_back(i);
+  points_ = points;
+  cell_size_ = cell_size;
+  const std::size_t n = points.size();
+
+  // Table sized for load factor ≤ 1/2 at the worst case of one point per
+  // cell; grows monotonically, so repeated rebuilds of same-sized point
+  // sets reuse it as-is.
+  const std::size_t wanted_slots = std::bit_ceil(std::max<std::size_t>(2 * n, 16));
+  if (slots_.size() < wanted_slots) {
+    slots_.assign(wanted_slots, Slot{0, 0, kEmpty});
+    slot_mask_ = wanted_slots - 1;
+  } else {
+    for (Slot& slot : slots_) slot.cell = kEmpty;
+  }
+
+  // Pass 1: assign dense cell ids and count occupancy per cell. `starts_`
+  // doubles as the count array before the prefix sum.
+  cell_count_ = 0;
+  cell_of_.resize(n);
+  starts_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CellKey key = key_of(points[i]);
+    std::size_t idx = hash_key(key.x, key.y) & slot_mask_;
+    std::int32_t cell;
+    while (true) {
+      Slot& slot = slots_[idx];
+      if (slot.cell == kEmpty) {
+        cell = static_cast<std::int32_t>(cell_count_++);
+        slot = Slot{key.x, key.y, cell};
+        break;
+      }
+      if (slot.x == key.x && slot.y == key.y) {
+        cell = slot.cell;
+        break;
+      }
+      idx = (idx + 1) & slot_mask_;
+    }
+    cell_of_[i] = cell;
+    ++starts_[static_cast<std::size_t>(cell) + 1];
+  }
+
+  // Pass 2: prefix-sum the counts and scatter points in ascending index
+  // order, which keeps every bucket sorted by point index (the enumeration
+  // order contract).
+  starts_.resize(cell_count_ + 1);
+  for (std::size_t c = 1; c <= cell_count_; ++c) starts_[c] += starts_[c - 1];
+  entries_.resize(n);
+  cursors_.assign(starts_.begin(), starts_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    entries_[cursors_[static_cast<std::size_t>(cell_of_[i])]++] =
+        static_cast<std::uint32_t>(i);
   }
 }
 

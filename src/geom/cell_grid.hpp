@@ -4,12 +4,24 @@
 // simulation's cut-off radius r_c: cells have side length r_c, so all
 // neighbors of a point lie in its own cell and the 8 surrounding ones.
 // The domain is unbounded (the paper's particles live in all of R²), hence
-// cells are stored in a hash map keyed by integer cell coordinates.
+// cells are addressed by integer coordinates through a hash table.
+//
+// Layout: an open-addressing flat table maps cell coordinates to dense cell
+// ids, and bucket contents live in one CSR block (`starts_`/`entries_`) in
+// point-index order. Compared to a node-based unordered_map of per-cell
+// vectors this makes both the per-step rebuild (a counting sort, no per-cell
+// allocations) and the 3×3 candidate walk (two flat array probes per cell)
+// cache-friendly. `rebuild()` re-indexes a moving point set in place,
+// retaining all capacity, so steady-state stepping performs no allocation.
+//
+// Enumeration order is part of the reproducibility contract: candidates are
+// visited cell block (dx, dy)-major, ascending point index within a cell —
+// exactly the order of the original per-cell-vector implementation, so drift
+// summation stays bitwise identical.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "geom/vec2.hpp"
@@ -19,9 +31,19 @@ namespace sops::geom {
 /// Fixed-radius neighbor index over a point set. Rebuild per time step.
 class CellGrid {
  public:
+  /// Creates an empty grid; call `rebuild(points, cell_size)` before use.
+  CellGrid() = default;
+
   /// Indexes `points` with cell side `cell_size` (use the query radius).
   /// The span must stay valid while the grid is queried.
   CellGrid(std::span<const Vec2> points, double cell_size);
+
+  /// Re-indexes `points` with the cell size of the previous build, keeping
+  /// table and bucket capacity.
+  void rebuild(std::span<const Vec2> points);
+
+  /// Re-indexes `points` with a (possibly new) cell side length.
+  void rebuild(std::span<const Vec2> points, double cell_size);
 
   /// Number of indexed points.
   [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
@@ -48,45 +70,76 @@ class CellGrid {
   [[nodiscard]] std::vector<std::size_t> neighbors_of(std::size_t i,
                                                       double radius) const;
 
-  /// Cell side length the grid was built with.
+  /// Cell side length the grid was built with (0 before the first build).
   [[nodiscard]] double cell_size() const noexcept { return cell_size_; }
+
+  /// Number of occupied cells of the current build.
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cell_count_; }
 
  private:
   struct CellKey {
     std::int64_t x;
     std::int64_t y;
-    bool operator==(const CellKey&) const = default;
   };
-  struct CellKeyHash {
-    std::size_t operator()(const CellKey& k) const noexcept {
-      // 2-D variant of the classic 64-bit mix; cells are sparse so quality
-      // of mixing matters more than speed here.
-      std::uint64_t h = static_cast<std::uint64_t>(k.x) * 0x9E3779B97F4A7C15ull;
-      h ^= static_cast<std::uint64_t>(k.y) * 0xC2B2AE3D27D4EB4Full;
-      h ^= h >> 29;
-      h *= 0xBF58476D1CE4E5B9ull;
-      h ^= h >> 32;
-      return static_cast<std::size_t>(h);
-    }
+  struct Slot {
+    std::int64_t x;
+    std::int64_t y;
+    std::int32_t cell;  // dense cell id; kEmpty when unoccupied
   };
+  static constexpr std::int32_t kEmpty = -1;
+
+  [[nodiscard]] static std::size_t hash_key(std::int64_t x,
+                                            std::int64_t y) noexcept {
+    // 2-D variant of the classic 64-bit mix; cells are sparse so quality
+    // of mixing matters more than speed here.
+    std::uint64_t h = static_cast<std::uint64_t>(x) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<std::uint64_t>(y) * 0xC2B2AE3D27D4EB4Full;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
 
   [[nodiscard]] CellKey key_of(Vec2 p) const noexcept;
 
+  /// Dense cell id for (x, y), or kEmpty.
+  [[nodiscard]] std::int32_t find_cell(std::int64_t x,
+                                       std::int64_t y) const noexcept {
+    std::size_t idx = hash_key(x, y) & slot_mask_;
+    while (true) {
+      const Slot& slot = slots_[idx];
+      if (slot.cell == kEmpty) return kEmpty;
+      if (slot.x == x && slot.y == y) return slot.cell;
+      idx = (idx + 1) & slot_mask_;
+    }
+  }
+
   template <typename Fn>
   void for_each_candidate(Vec2 q, Fn&& fn) const {
+    // An unbuilt or empty grid has no candidates (and no valid cell size to
+    // derive keys from).
+    if (cell_count_ == 0) return;
     const CellKey center = key_of(q);
     for (std::int64_t dx = -1; dx <= 1; ++dx) {
       for (std::int64_t dy = -1; dy <= 1; ++dy) {
-        const auto it = cells_.find(CellKey{center.x + dx, center.y + dy});
-        if (it == cells_.end()) continue;
-        for (const std::size_t j : it->second) fn(j);
+        const std::int32_t cell = find_cell(center.x + dx, center.y + dy);
+        if (cell == kEmpty) continue;
+        const std::uint32_t end = starts_[cell + 1];
+        for (std::uint32_t k = starts_[cell]; k < end; ++k) fn(entries_[k]);
       }
     }
   }
 
   std::span<const Vec2> points_;
-  double cell_size_;
-  std::unordered_map<CellKey, std::vector<std::size_t>, CellKeyHash> cells_;
+  double cell_size_ = 0.0;
+
+  std::vector<Slot> slots_;   // open-addressing table, power-of-two size
+  std::size_t slot_mask_ = 0; // slots_.size() - 1
+  std::size_t cell_count_ = 0;
+  std::vector<std::uint32_t> starts_;   // CSR bucket starts, cell_count_+1
+  std::vector<std::uint32_t> entries_;  // point indices, bucket-contiguous
+  std::vector<std::int32_t> cell_of_;   // per-point dense cell id (scratch)
+  std::vector<std::uint32_t> cursors_;  // scatter cursors (scratch)
 };
 
 }  // namespace sops::geom

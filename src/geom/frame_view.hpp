@@ -1,0 +1,52 @@
+// Non-owning view of one ensemble frame: m same-sized point configurations
+// stored contiguously, sample-major. `view[s]` is the configuration of
+// sample s as a span — the bridge between the flat FrameStore in core and
+// the span-based geometry/alignment APIs below it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geom/vec2.hpp"
+
+namespace sops::geom {
+
+/// m configurations of n points each, laid out as one contiguous block:
+/// sample s occupies [data + s·n, data + (s+1)·n).
+class FrameView {
+ public:
+  constexpr FrameView() = default;
+  constexpr FrameView(const Vec2* data, std::size_t samples,
+                      std::size_t particles) noexcept
+      : data_(data), samples_(samples), particles_(particles) {}
+
+  /// Number of samples m.
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return samples_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return samples_ == 0; }
+
+  /// Number of points per sample n.
+  [[nodiscard]] constexpr std::size_t particle_count() const noexcept {
+    return particles_;
+  }
+
+  /// Configuration of sample s.
+  [[nodiscard]] constexpr std::span<const Vec2> operator[](
+      std::size_t s) const noexcept {
+    return {data_ + s * particles_, particles_};
+  }
+  [[nodiscard]] constexpr std::span<const Vec2> front() const noexcept {
+    return (*this)[0];
+  }
+  [[nodiscard]] constexpr std::span<const Vec2> back() const noexcept {
+    return (*this)[samples_ - 1];
+  }
+
+  [[nodiscard]] constexpr const Vec2* data() const noexcept { return data_; }
+
+ private:
+  const Vec2* data_ = nullptr;
+  std::size_t samples_ = 0;
+  std::size_t particles_ = 0;
+};
+
+}  // namespace sops::geom

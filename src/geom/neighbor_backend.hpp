@@ -1,0 +1,107 @@
+// Persistent neighbor-search backends behind the simulation's pair loop.
+//
+// A backend is chosen once per run and rebuilt in place every step, so the
+// per-step cost is pure indexing work — no hash-map construction, no bucket
+// reallocation, no per-step strategy dispatch. All backends enumerate the
+// neighbors of a particle in a deterministic, backend-specific order; drift
+// summation follows that order, which makes the enumeration order part of
+// the engine's bitwise-reproducibility contract:
+//
+//  - all-pairs:  ascending particle index,
+//  - cell grid:  3×3 cell block in (dx, dy) order, point order within cells,
+//  - Delaunay:   sorted tessellation adjacency, pruned by the cut-off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geom/cell_grid.hpp"
+#include "geom/vec2.hpp"
+
+namespace sops::geom {
+
+/// The concrete neighbor-search strategy a backend implements.
+enum class NeighborBackendKind {
+  kAllPairs,  ///< O(n²) reference; the only choice for r_c = ∞
+  kCellGrid,  ///< hashed uniform grid, O(n) per step at bounded density
+  kDelaunay,  ///< direct tessellation neighbors, pruned by r_c
+};
+
+/// Persistent fixed-radius neighbor index: `rebuild` once per step, then
+/// query `neighbors(i)` per particle.
+///
+/// The returned span is valid until the next `neighbors()` or `rebuild()`
+/// call on the same backend (it may alias internal scratch). Backends are
+/// not thread-safe; use one per worker.
+class NeighborBackend {
+ public:
+  virtual ~NeighborBackend() = default;
+
+  /// Re-indexes `points` for queries with the given radius. The span must
+  /// stay valid until the next rebuild. Retains internal capacity.
+  virtual void rebuild(std::span<const Vec2> points, double radius) = 0;
+
+  /// Indices j ≠ i with ‖p_j − p_i‖ < radius, in the backend's enumeration
+  /// order (Delaunay: tessellation neighbors within the radius).
+  [[nodiscard]] virtual std::span<const std::uint32_t> neighbors(
+      std::size_t i) = 0;
+
+  [[nodiscard]] virtual NeighborBackendKind kind() const noexcept = 0;
+};
+
+/// O(n²) reference backend; supports an unbounded radius.
+class AllPairsBackend final : public NeighborBackend {
+ public:
+  void rebuild(std::span<const Vec2> points, double radius) override;
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
+  [[nodiscard]] NeighborBackendKind kind() const noexcept override {
+    return NeighborBackendKind::kAllPairs;
+  }
+
+ private:
+  std::span<const Vec2> points_;
+  double radius_ = 0.0;
+  std::vector<std::uint32_t> scratch_;
+};
+
+/// Hashed-cell-grid backend; the grid is rebuilt in place each step with
+/// retained map/bucket capacity. Requires a finite radius.
+class CellGridBackend final : public NeighborBackend {
+ public:
+  void rebuild(std::span<const Vec2> points, double radius) override;
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
+  [[nodiscard]] NeighborBackendKind kind() const noexcept override {
+    return NeighborBackendKind::kCellGrid;
+  }
+
+  /// The underlying grid (exposed for capacity-retention tests).
+  [[nodiscard]] const CellGrid& grid() const noexcept { return grid_; }
+
+ private:
+  CellGrid grid_;
+  double radius_ = 0.0;
+  std::vector<std::uint32_t> scratch_;
+};
+
+/// Tessellation backend: rebuild triangulates and stores the radius-pruned
+/// adjacency as a CSR list, so queries are span lookups.
+class DelaunayBackend final : public NeighborBackend {
+ public:
+  void rebuild(std::span<const Vec2> points, double radius) override;
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
+  [[nodiscard]] NeighborBackendKind kind() const noexcept override {
+    return NeighborBackendKind::kDelaunay;
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint32_t> indices_;
+};
+
+/// Factory for the kind chosen by the run setup.
+[[nodiscard]] std::unique_ptr<NeighborBackend> make_neighbor_backend(
+    NeighborBackendKind kind);
+
+}  // namespace sops::geom

@@ -10,18 +10,18 @@ namespace {
 
 // Contribution of neighbor j to particle i's drift.
 inline geom::Vec2 pair_drift(const ParticleSystem& system,
-                             const InteractionModel& model, std::size_t i,
+                             const PairScalingTable& table, std::size_t i,
                              std::size_t j) {
   const geom::Vec2 delta = system.positions[i] - system.positions[j];
   const double dist_sq = geom::norm_sq(delta);
   if (dist_sq == 0.0) return {};  // undefined direction; see header
   const double dist = std::sqrt(dist_sq);
-  const double scaling = model.scaling(system.types[i], system.types[j], dist);
+  const double scaling = table(system.types[i], system.types[j], dist);
   return delta * (-scaling);
 }
 
 void accumulate_all_pairs(const ParticleSystem& system,
-                          const InteractionModel& model, double cutoff_radius,
+                          const PairScalingTable& table, double cutoff_radius,
                           std::vector<geom::Vec2>& out) {
   const std::size_t n = system.size();
   const double cutoff_sq = cutoff_radius * cutoff_radius;
@@ -31,28 +31,28 @@ void accumulate_all_pairs(const ParticleSystem& system,
       if (j == i) continue;
       const double d_sq =
           geom::dist_sq(system.positions[i], system.positions[j]);
-      if (d_sq < cutoff_sq) drift += pair_drift(system, model, i, j);
+      if (d_sq < cutoff_sq) drift += pair_drift(system, table, i, j);
     }
     out[i] = drift;
   }
 }
 
 void accumulate_cell_grid(const ParticleSystem& system,
-                          const InteractionModel& model, double cutoff_radius,
+                          const PairScalingTable& table, double cutoff_radius,
                           std::vector<geom::Vec2>& out) {
   const geom::CellGrid grid(system.positions, cutoff_radius);
   const std::size_t n = system.size();
   for (std::size_t i = 0; i < n; ++i) {
     geom::Vec2 drift{};
     grid.for_each_neighbor(i, cutoff_radius, [&](std::size_t j) {
-      drift += pair_drift(system, model, i, j);
+      drift += pair_drift(system, table, i, j);
     });
     out[i] = drift;
   }
 }
 
 void accumulate_delaunay(const ParticleSystem& system,
-                         const InteractionModel& model, double cutoff_radius,
+                         const PairScalingTable& table, double cutoff_radius,
                          std::vector<geom::Vec2>& out) {
   const auto adjacency = geom::delaunay_adjacency(system.positions);
   const bool bounded = std::isfinite(cutoff_radius);
@@ -64,34 +64,111 @@ void accumulate_delaunay(const ParticleSystem& system,
           geom::dist_sq(system.positions[i], system.positions[j]) >= cutoff_sq) {
         continue;
       }
-      drift += pair_drift(system, model, i, j);
+      drift += pair_drift(system, table, i, j);
     }
     out[i] = drift;
   }
 }
 
+void check_preconditions(const ParticleSystem& system,
+                         const InteractionModel& model, double cutoff_radius) {
+  support::expect(cutoff_radius > 0.0, "accumulate_drift: cutoff must be positive");
+  support::expect(system.types_within(model.types()),
+                  "accumulate_drift: particle type outside the model");
+}
+
 }  // namespace
+
+NeighborMode resolve_neighbor_mode(NeighborMode mode, std::size_t n,
+                                   double cutoff_radius) noexcept {
+  if (mode != NeighborMode::kAuto) return mode;
+  const bool unbounded = !std::isfinite(cutoff_radius);
+  return (unbounded || n < 64) ? NeighborMode::kAllPairs
+                               : NeighborMode::kCellGrid;
+}
+
+geom::NeighborBackendKind neighbor_backend_kind(NeighborMode resolved_mode) {
+  switch (resolved_mode) {
+    case NeighborMode::kAllPairs:
+      return geom::NeighborBackendKind::kAllPairs;
+    case NeighborMode::kCellGrid:
+      return geom::NeighborBackendKind::kCellGrid;
+    case NeighborMode::kDelaunay:
+      return geom::NeighborBackendKind::kDelaunay;
+    case NeighborMode::kAuto:
+      break;
+  }
+  support::expect(false, "neighbor_backend_kind: mode must be resolved first");
+  return geom::NeighborBackendKind::kAllPairs;
+}
 
 void accumulate_drift(const ParticleSystem& system, const InteractionModel& model,
                       double cutoff_radius, std::vector<geom::Vec2>& out,
                       NeighborMode mode) {
-  support::expect(cutoff_radius > 0.0, "accumulate_drift: cutoff must be positive");
-  support::expect(system.types_within(model.types()),
-                  "accumulate_drift: particle type outside the model");
+  check_preconditions(system, model, cutoff_radius);
   out.assign(system.size(), geom::Vec2{});
 
-  const bool unbounded = !std::isfinite(cutoff_radius);
-  if (mode == NeighborMode::kAuto) {
-    mode = (unbounded || system.size() < 64) ? NeighborMode::kAllPairs
-                                             : NeighborMode::kCellGrid;
-  }
+  const PairScalingTable table(model);
+  mode = resolve_neighbor_mode(mode, system.size(), cutoff_radius);
   if (mode == NeighborMode::kCellGrid) {
-    support::expect(!unbounded, "accumulate_drift: cell grid needs finite r_c");
-    accumulate_cell_grid(system, model, cutoff_radius, out);
+    support::expect(std::isfinite(cutoff_radius),
+                    "accumulate_drift: cell grid needs finite r_c");
+    accumulate_cell_grid(system, table, cutoff_radius, out);
   } else if (mode == NeighborMode::kDelaunay) {
-    accumulate_delaunay(system, model, cutoff_radius, out);
+    accumulate_delaunay(system, table, cutoff_radius, out);
   } else {
-    accumulate_all_pairs(system, model, cutoff_radius, out);
+    accumulate_all_pairs(system, table, cutoff_radius, out);
+  }
+}
+
+void accumulate_drift(const ParticleSystem& system, const InteractionModel& model,
+                      double cutoff_radius, std::vector<geom::Vec2>& out,
+                      geom::NeighborBackend& backend) {
+  accumulate_drift(system, PairScalingTable(model), cutoff_radius, out, backend);
+}
+
+void accumulate_drift(const ParticleSystem& system, const PairScalingTable& table,
+                      double cutoff_radius, std::vector<geom::Vec2>& out,
+                      geom::NeighborBackend& backend) {
+  support::expect(cutoff_radius > 0.0, "accumulate_drift: cutoff must be positive");
+  support::expect(system.types_within(table.types()),
+                  "accumulate_drift: particle type outside the model");
+  support::expect(backend.kind() != geom::NeighborBackendKind::kCellGrid ||
+                      std::isfinite(cutoff_radius),
+                  "accumulate_drift: cell grid needs finite r_c");
+  backend.rebuild(system.positions, cutoff_radius);
+
+  const std::size_t n = system.size();
+  out.assign(n, geom::Vec2{});
+
+  // Fused fast paths for the built-in backends: enumerate and accumulate in
+  // one inlined loop instead of materializing neighbor spans. Enumeration
+  // order is identical to the generic path, so results are too. Backends
+  // outside this translation unit fall through to the (correct, somewhat
+  // slower) generic span path below.
+  if (const auto* cell_grid =
+          dynamic_cast<const geom::CellGridBackend*>(&backend)) {
+    const geom::CellGrid& grid = cell_grid->grid();
+    for (std::size_t i = 0; i < n; ++i) {
+      geom::Vec2 drift{};
+      grid.for_each_neighbor(i, cutoff_radius, [&](std::size_t j) {
+        drift += pair_drift(system, table, i, j);
+      });
+      out[i] = drift;
+    }
+    return;
+  }
+  if (dynamic_cast<const geom::AllPairsBackend*>(&backend) != nullptr) {
+    accumulate_all_pairs(system, table, cutoff_radius, out);
+    return;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    geom::Vec2 drift{};
+    for (const std::uint32_t j : backend.neighbors(i)) {
+      drift += pair_drift(system, table, i, j);
+    }
+    out[i] = drift;
   }
 }
 

@@ -3,16 +3,22 @@
 //
 //   drift_i = Σ_{j ∈ N_rc(i)}  −F_αβ(‖Δz_ij‖) · Δz_ij,   Δz_ij = z_i − z_j.
 //
-// Two interchangeable neighbor strategies are provided; both must produce
-// identical drifts (tested): all-pairs O(n²), and a hashed cell grid that is
-// O(n) per step for bounded density and is selected automatically for finite
-// cut-off radii on large collectives.
+// Interchangeable neighbor strategies are provided; all must produce
+// identical drifts for the same pair set (tested): all-pairs O(n²), a
+// hashed cell grid that is O(n) per step for bounded density, and the
+// Delaunay-tessellation extension. The enum-mode entry point rebuilds its
+// index from scratch on every call (the reference / baseline path); the
+// engine's hot loop instead reuses a persistent geom::NeighborBackend,
+// which enumerates the same pairs in the same order without per-step
+// construction.
 #pragma once
 
+#include <cmath>
 #include <limits>
 #include <span>
 #include <vector>
 
+#include "geom/neighbor_backend.hpp"
 #include "geom/vec2.hpp"
 #include "sim/force_law.hpp"
 #include "sim/particle_system.hpp"
@@ -34,6 +40,56 @@ enum class NeighborMode {
 /// The value used for an unbounded interaction radius (r_c = ∞).
 inline constexpr double kUnboundedRadius = std::numeric_limits<double>::infinity();
 
+/// Dense per-type-pair parameter table, hoisted out of the pair loop. The
+/// matrix accessors re-derive triangle indices and bounds-check on every
+/// call, which dominates the per-pair cost for cheap force laws; the table
+/// evaluates the identical formulas on the identical parameters, so drifts
+/// are bitwise-unchanged. Build once per run (SimulationWorkspace caches
+/// one) and reuse across steps.
+class PairScalingTable {
+ public:
+  explicit PairScalingTable(const InteractionModel& model)
+      : kind_(model.kind()), types_(model.types()), params_(types_ * types_) {
+    for (std::size_t a = 0; a < types_; ++a) {
+      for (std::size_t b = 0; b < types_; ++b) {
+        params_[a * types_ + b] = model.pair(a, b);
+      }
+    }
+  }
+
+  /// Number of particle types the table covers.
+  [[nodiscard]] std::size_t types() const noexcept { return types_; }
+
+  /// F_αβ(x); same expressions as force_scaling(). x must be positive.
+  [[nodiscard]] double operator()(TypeId a, TypeId b, double x) const {
+    const PairParams& p = params_[a * types_ + b];
+    switch (kind_) {
+      case ForceLawKind::kSpring:
+        return p.k * (1.0 - p.r / x);
+      case ForceLawKind::kDoubleGaussian:
+        return p.k * (std::exp(-x * x / (2.0 * p.sigma)) / (p.sigma * p.sigma) -
+                      std::exp(-x * x / (2.0 * p.tau)));
+    }
+    return 0.0;  // unreachable
+  }
+
+ private:
+  ForceLawKind kind_;
+  std::size_t types_;
+  std::vector<PairParams> params_;
+};
+
+/// Resolves kAuto to the concrete strategy for a collective of `n`
+/// particles and cut-off `cutoff_radius`; concrete modes pass through.
+/// Never returns kAuto.
+[[nodiscard]] NeighborMode resolve_neighbor_mode(NeighborMode mode,
+                                                 std::size_t n,
+                                                 double cutoff_radius) noexcept;
+
+/// The backend kind implementing a resolved (non-kAuto) neighbor mode.
+[[nodiscard]] geom::NeighborBackendKind neighbor_backend_kind(
+    NeighborMode resolved_mode);
+
 /// Computes drift_i for every particle into `out` (resized to n).
 ///
 /// Pairs at exactly zero distance are skipped: the force direction is
@@ -43,6 +99,20 @@ inline constexpr double kUnboundedRadius = std::numeric_limits<double>::infinity
 void accumulate_drift(const ParticleSystem& system, const InteractionModel& model,
                       double cutoff_radius, std::vector<geom::Vec2>& out,
                       NeighborMode mode = NeighborMode::kAuto);
+
+/// Drift accumulation through a persistent backend: rebuilds the backend
+/// for the current positions, then sums pair drifts in the backend's
+/// enumeration order — bitwise-identical to the matching NeighborMode path,
+/// but with no per-step index construction.
+void accumulate_drift(const ParticleSystem& system, const InteractionModel& model,
+                      double cutoff_radius, std::vector<geom::Vec2>& out,
+                      geom::NeighborBackend& backend);
+
+/// Same, with a caller-cached scaling table — the engine's steady-state
+/// path: no allocation of any kind per step.
+void accumulate_drift(const ParticleSystem& system, const PairScalingTable& table,
+                      double cutoff_radius, std::vector<geom::Vec2>& out,
+                      geom::NeighborBackend& backend);
 
 /// Sum over particles of ‖drift_i‖₂ — the residual-force statistic the
 /// paper's equilibrium criterion thresholds (§4.1).

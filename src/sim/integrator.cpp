@@ -4,17 +4,16 @@
 
 namespace sops::sim {
 
-double euler_maruyama_step(ParticleSystem& system, const InteractionModel& model,
-                           double cutoff_radius, const IntegratorParams& params,
-                           rng::Xoshiro256& engine,
-                           std::vector<geom::Vec2>& drift_scratch,
-                           NeighborMode mode) {
-  support::expect(params.dt > 0.0, "euler_maruyama_step: dt must be positive");
+void apply_euler_maruyama_update(ParticleSystem& system,
+                                 std::span<const geom::Vec2> drift,
+                                 const IntegratorParams& params,
+                                 rng::Xoshiro256& engine) {
+  support::expect(params.dt > 0.0,
+                  "apply_euler_maruyama_update: dt must be positive");
   support::expect(params.noise_variance >= 0.0,
-                  "euler_maruyama_step: negative noise variance");
-
-  accumulate_drift(system, model, cutoff_radius, drift_scratch, mode);
-  const double residual = total_drift_norm(drift_scratch);
+                  "apply_euler_maruyama_update: negative noise variance");
+  support::expect(drift.size() == system.size(),
+                  "apply_euler_maruyama_update: drift size mismatch");
 
   const double noise_scale =
       std::sqrt(params.dt) * std::sqrt(params.noise_variance);
@@ -22,7 +21,7 @@ double euler_maruyama_step(ParticleSystem& system, const InteractionModel& model
       params.max_step > 0.0 ? params.max_step * params.max_step : 0.0;
 
   for (std::size_t i = 0; i < system.size(); ++i) {
-    geom::Vec2 step = drift_scratch[i] * params.dt;
+    geom::Vec2 step = drift[i] * params.dt;
     if (max_step_sq > 0.0 && geom::norm_sq(step) > max_step_sq) {
       step *= params.max_step / geom::norm(step);
     }
@@ -31,6 +30,27 @@ double euler_maruyama_step(ParticleSystem& system, const InteractionModel& model
     }
     system.positions[i] += step;
   }
+}
+
+double euler_maruyama_step(ParticleSystem& system, const InteractionModel& model,
+                           double cutoff_radius, const IntegratorParams& params,
+                           rng::Xoshiro256& engine,
+                           std::vector<geom::Vec2>& drift_scratch,
+                           NeighborMode mode) {
+  accumulate_drift(system, model, cutoff_radius, drift_scratch, mode);
+  const double residual = total_drift_norm(drift_scratch);
+  apply_euler_maruyama_update(system, drift_scratch, params, engine);
+  return residual;
+}
+
+double euler_maruyama_step(ParticleSystem& system, const InteractionModel& model,
+                           double cutoff_radius, const IntegratorParams& params,
+                           rng::Xoshiro256& engine,
+                           std::vector<geom::Vec2>& drift_scratch,
+                           geom::NeighborBackend& backend) {
+  accumulate_drift(system, model, cutoff_radius, drift_scratch, backend);
+  const double residual = total_drift_norm(drift_scratch);
+  apply_euler_maruyama_update(system, drift_scratch, params, engine);
   return residual;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "rng/engine.hpp"
@@ -27,6 +28,16 @@ struct IntegratorParams {
   double max_step = 2.0;
 };
 
+/// Applies the position update of one Euler–Maruyama step given the
+/// already-accumulated drift of the current configuration. Draws the noise
+/// from `engine` in particle order. Split out so the engine's stepping loop
+/// can share one drift computation between integration, recording, and
+/// equilibrium detection.
+void apply_euler_maruyama_update(ParticleSystem& system,
+                                 std::span<const geom::Vec2> drift,
+                                 const IntegratorParams& params,
+                                 rng::Xoshiro256& engine);
+
 /// One Euler–Maruyama step, in place. `drift_scratch` avoids per-step
 /// allocation; it is resized as needed. Returns the total drift norm
 /// Σ‖drift_i‖ of the *pre-step* configuration (the equilibrium statistic),
@@ -36,5 +47,13 @@ double euler_maruyama_step(ParticleSystem& system, const InteractionModel& model
                            rng::Xoshiro256& engine,
                            std::vector<geom::Vec2>& drift_scratch,
                            NeighborMode mode = NeighborMode::kAuto);
+
+/// Same step through a persistent neighbor backend (no per-step index
+/// construction); otherwise identical contract and identical results.
+double euler_maruyama_step(ParticleSystem& system, const InteractionModel& model,
+                           double cutoff_radius, const IntegratorParams& params,
+                           rng::Xoshiro256& engine,
+                           std::vector<geom::Vec2>& drift_scratch,
+                           geom::NeighborBackend& backend);
 
 }  // namespace sops::sim

@@ -4,6 +4,15 @@
 
 namespace sops::sim {
 
+std::vector<std::size_t> recording_steps(std::size_t steps, std::size_t stride) {
+  support::expect(steps >= 1, "recording_steps: steps must be >= 1");
+  support::expect(stride >= 1, "recording_steps: stride must be >= 1");
+  std::vector<std::size_t> out{0};
+  for (std::size_t s = stride; s < steps; s += stride) out.push_back(s);
+  out.push_back(steps);
+  return out;
+}
+
 std::vector<geom::Vec2> sample_initial_disc(std::size_t n, double radius,
                                             rng::Xoshiro256& engine) {
   support::expect(radius > 0.0, "sample_initial_disc: radius must be positive");
@@ -15,13 +24,19 @@ std::vector<geom::Vec2> sample_initial_disc(std::size_t n, double radius,
   return positions;
 }
 
-Trajectory run_simulation(const SimulationConfig& config) {
+StreamedRun run_simulation_streamed(const SimulationConfig& config,
+                                    SimulationWorkspace& workspace,
+                                    const FrameRecorder& record_frame) {
   support::expect(!config.types.empty(), "run_simulation: no particles");
   support::expect(config.record_stride >= 1,
                   "run_simulation: record_stride must be >= 1");
   support::expect(config.steps >= 1, "run_simulation: steps must be >= 1");
+  support::expect(config.track_equilibrium || !config.stop_at_equilibrium,
+                  "run_simulation: stop_at_equilibrium needs track_equilibrium");
 
-  rng::Xoshiro256 engine = rng::make_stream(config.seed, config.stream);
+  workspace.prepare(config);
+  rng::Xoshiro256& engine = workspace.engine();
+  engine = rng::make_stream(config.seed, config.stream);
 
   ParticleSystem system(
       sample_initial_disc(config.types.size(), config.init_disc_radius, engine),
@@ -29,45 +44,76 @@ Trajectory run_simulation(const SimulationConfig& config) {
   support::expect(system.types_within(config.model.types()),
                   "run_simulation: particle type outside the model");
 
-  Trajectory trajectory;
-  trajectory.types = config.types;
-
   EquilibriumDetector equilibrium(config.equilibrium.threshold,
                                   config.equilibrium.hold_steps);
-  std::vector<geom::Vec2> drift_scratch;
+  std::vector<geom::Vec2>& drift = workspace.drift();
+  geom::NeighborBackend& backend = workspace.backend();
 
-  // Records the current configuration plus the residual Σ‖drift_i‖ of that
-  // exact configuration (recomputed; strided recording makes this cheap).
-  auto record = [&](std::size_t step) {
-    accumulate_drift(system, config.model, config.cutoff_radius, drift_scratch,
-                     config.neighbor_mode);
-    trajectory.frames.push_back(system.positions);
-    trajectory.frame_steps.push_back(step);
-    trajectory.residual_norms.push_back(total_drift_norm(drift_scratch));
-  };
+  StreamedRun out;
+  // The recording grid has exactly one definition; equilibrium stops may
+  // additionally record off-grid steps.
+  const std::vector<std::size_t> grid =
+      recording_steps(config.steps, config.record_stride);
+  std::size_t next_grid_index = 0;
 
-  record(0);
+  // Each configuration's drift is computed exactly once and shared between
+  // recording (frame t's residual), integration (the step t → t+1), and
+  // equilibrium detection (which consumes residuals of steps 0..steps−1).
+  bool stop_now = false;
+  for (std::size_t t = 0;; ++t) {
+    accumulate_drift(system, workspace.scaling_table(), config.cutoff_radius,
+                     drift, backend);
 
-  for (std::size_t step = 1; step <= config.steps; ++step) {
-    const double residual = euler_maruyama_step(
-        system, config.model, config.cutoff_radius, config.integrator, engine,
-        drift_scratch, config.neighbor_mode);
-
-    const bool was_triggered = equilibrium.triggered();
-    equilibrium.update(residual);
-    if (!was_triggered && equilibrium.triggered()) {
-      trajectory.equilibrium_step = step;
+    const bool on_grid =
+        next_grid_index < grid.size() && grid[next_grid_index] == t;
+    if (on_grid) ++next_grid_index;
+    const bool record_now = on_grid || stop_now;
+    double residual = 0.0;
+    if (config.track_equilibrium || record_now) {
+      residual = total_drift_norm(drift);
     }
-
-    if (step % config.record_stride == 0 || step == config.steps) {
-      record(step);
+    if (record_now) {
+      out.frame_steps.push_back(t);
+      out.residual_norms.push_back(residual);
+      record_frame(out.frame_steps.size() - 1, t, system.positions);
     }
-    if (config.stop_at_equilibrium && equilibrium.triggered()) {
-      if (trajectory.frame_steps.back() != step) record(step);
-      break;
+    if (t == config.steps || stop_now) break;
+
+    apply_euler_maruyama_update(system, drift, config.integrator, engine);
+
+    if (config.track_equilibrium) {
+      const bool was_triggered = equilibrium.triggered();
+      equilibrium.update(residual);
+      if (!was_triggered && equilibrium.triggered()) {
+        out.equilibrium_step = t + 1;
+      }
+      // The run ends at the step where the criterion held: loop once more to
+      // record the post-step configuration, then break before advancing.
+      if (config.stop_at_equilibrium && equilibrium.triggered()) stop_now = true;
     }
   }
+  return out;
+}
+
+Trajectory run_simulation(const SimulationConfig& config,
+                          SimulationWorkspace& workspace) {
+  Trajectory trajectory;
+  trajectory.types = config.types;
+  StreamedRun run = run_simulation_streamed(
+      config, workspace,
+      [&trajectory](std::size_t, std::size_t,
+                    std::span<const geom::Vec2> positions) {
+        trajectory.frames.emplace_back(positions.begin(), positions.end());
+      });
+  trajectory.frame_steps = std::move(run.frame_steps);
+  trajectory.residual_norms = std::move(run.residual_norms);
+  trajectory.equilibrium_step = run.equilibrium_step;
   return trajectory;
+}
+
+Trajectory run_simulation(const SimulationConfig& config) {
+  SimulationWorkspace workspace;
+  return run_simulation(config, workspace);
 }
 
 }  // namespace sops::sim

@@ -1,14 +1,24 @@
 // Single-run simulation driver: initial condition, time stepping, trajectory
 // recording, and stopping diagnostics. One run corresponds to one "sample"
 // z̄ = (z⁽¹⁾, …, z⁽ᵗᵐᵃˣ⁾) of the paper (§5.1).
+//
+// The driver computes the drift of each configuration exactly once and
+// shares it between integration, equilibrium detection, and recording (the
+// residual Σ‖drift_i‖ is evaluated lazily, only when a consumer needs it).
+// Frames can be recorded into a caller-owned sink (`run_simulation_streamed`)
+// so ensemble drivers stream positions straight into flat storage without a
+// per-trajectory staging copy.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/detectors.hpp"
 #include "sim/integrator.hpp"
+#include "sim/workspace.hpp"
 
 namespace sops::sim {
 
@@ -36,6 +46,11 @@ struct SimulationConfig {
   std::size_t record_stride = 1;  ///< record every k-th step (plus step 0)
   bool stop_at_equilibrium = false;  ///< stop stepping once equilibrium holds
   EquilibriumParams equilibrium{};
+  /// Feed every step's residual to the equilibrium detector. Disabling
+  /// skips the per-step Σ‖drift_i‖ evaluation on non-recorded steps (the
+  /// residual is then computed only for recorded frames) and leaves
+  /// `equilibrium_step` unset. Must stay on for stop_at_equilibrium.
+  bool track_equilibrium = true;
 
   std::uint64_t seed = 0;    ///< master experiment seed
   std::uint64_t stream = 0;  ///< sample index within the experiment
@@ -57,6 +72,24 @@ struct Trajectory {
   }
 };
 
+/// Everything a streamed run reports besides the frames themselves.
+struct StreamedRun {
+  std::vector<std::size_t> frame_steps;
+  std::vector<double> residual_norms;
+  std::optional<std::size_t> equilibrium_step;
+};
+
+/// Receives each recorded frame as it is produced: frame index on the
+/// recording grid, the simulation step, and the configuration (valid only
+/// for the duration of the call — copy what you keep).
+using FrameRecorder = std::function<void(
+    std::size_t frame_index, std::size_t step, std::span<const geom::Vec2>)>;
+
+/// The recording grid of a run that executes all `steps` steps: step 0,
+/// every multiple of `stride`, and the final step.
+[[nodiscard]] std::vector<std::size_t> recording_steps(std::size_t steps,
+                                                       std::size_t stride);
+
 /// Draws the paper's initial condition: n particles uniform on the disc of
 /// `radius` centered at the origin.
 [[nodiscard]] std::vector<geom::Vec2> sample_initial_disc(std::size_t n,
@@ -65,5 +98,17 @@ struct Trajectory {
 
 /// Runs one simulation to completion. Fully deterministic in the config.
 [[nodiscard]] Trajectory run_simulation(const SimulationConfig& config);
+
+/// Same, reusing a caller-owned workspace (neighbor backend, drift buffer,
+/// RNG state) across calls — the allocation-free path for repeated runs.
+[[nodiscard]] Trajectory run_simulation(const SimulationConfig& config,
+                                        SimulationWorkspace& workspace);
+
+/// Low-level streamed run: invokes `record_frame` for every recorded frame
+/// instead of materializing a Trajectory. Deterministic in the config;
+/// produces bit-identical positions to `run_simulation`.
+StreamedRun run_simulation_streamed(const SimulationConfig& config,
+                                    SimulationWorkspace& workspace,
+                                    const FrameRecorder& record_frame);
 
 }  // namespace sops::sim

@@ -1,0 +1,31 @@
+#include "sim/workspace.hpp"
+
+#include "sim/simulation.hpp"
+#include "support/error.hpp"
+
+namespace sops::sim {
+
+void SimulationWorkspace::prepare(const SimulationConfig& config) {
+  const NeighborMode resolved = resolve_neighbor_mode(
+      config.neighbor_mode, config.types.size(), config.cutoff_radius);
+  const geom::NeighborBackendKind kind = neighbor_backend_kind(resolved);
+  if (!backend_ || backend_->kind() != kind) {
+    backend_ = geom::make_neighbor_backend(kind);
+  }
+  scaling_table_.emplace(config.model);
+  drift_.reserve(config.types.size());
+}
+
+geom::NeighborBackend& SimulationWorkspace::backend() {
+  support::expect(backend_ != nullptr,
+                  "SimulationWorkspace::backend: prepare() a run first");
+  return *backend_;
+}
+
+const PairScalingTable& SimulationWorkspace::scaling_table() const {
+  support::expect(scaling_table_.has_value(),
+                  "SimulationWorkspace::scaling_table: prepare() a run first");
+  return *scaling_table_;
+}
+
+}  // namespace sops::sim

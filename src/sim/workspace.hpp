@@ -1,0 +1,50 @@
+// Reusable per-run scratch state of the simulation engine.
+//
+// A workspace owns everything a run needs besides the configuration: the
+// drift buffer, the persistent neighbor backend, and the RNG engine. One
+// workspace serves many runs back to back (the ensemble driver hands each
+// worker thread one workspace for its whole chunk of samples), so buffer
+// capacity and the backend's hash-map warm up once and are retained —
+// steady-state stepping performs no allocation.
+//
+// Not thread-safe: use one workspace per worker.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geom/neighbor_backend.hpp"
+#include "geom/vec2.hpp"
+#include "rng/engine.hpp"
+#include "sim/forces.hpp"
+
+namespace sops::sim {
+
+struct SimulationConfig;
+
+class SimulationWorkspace {
+ public:
+  /// Prepares the workspace for a run of `config`: resolves the neighbor
+  /// strategy once, (re)creates the backend only when the resolved kind
+  /// changed since the previous run, and caches the run's pair-scaling
+  /// table. Scratch capacity is always retained.
+  void prepare(const SimulationConfig& config);
+
+  /// The persistent backend for the prepared run.
+  [[nodiscard]] geom::NeighborBackend& backend();
+
+  /// The prepared run's dense pair-parameter table.
+  [[nodiscard]] const PairScalingTable& scaling_table() const;
+
+  [[nodiscard]] std::vector<geom::Vec2>& drift() noexcept { return drift_; }
+  [[nodiscard]] rng::Xoshiro256& engine() noexcept { return engine_; }
+
+ private:
+  std::vector<geom::Vec2> drift_;
+  std::unique_ptr<geom::NeighborBackend> backend_;
+  std::optional<PairScalingTable> scaling_table_;
+  rng::Xoshiro256 engine_{0};
+};
+
+}  // namespace sops::sim

@@ -1,65 +1,10 @@
 #include "support/parallel_for.hpp"
 
-#include <algorithm>
-#include <mutex>
-#include <thread>
-#include <vector>
-
 namespace sops::support {
 
 std::size_t default_thread_count() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
-}
-
-void parallel_for_chunked(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& chunk_body,
-    std::size_t threads) {
-  if (begin >= end) return;
-  if (threads == 0) threads = default_thread_count();
-  const std::size_t count = end - begin;
-  threads = std::min(threads, count);
-
-  if (threads <= 1) {
-    chunk_body(begin, end);
-    return;
-  }
-
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  const std::size_t base = count / threads;
-  const std::size_t extra = count % threads;
-  std::size_t chunk_begin = begin;
-  for (std::size_t w = 0; w < threads; ++w) {
-    const std::size_t chunk_size = base + (w < extra ? 1 : 0);
-    const std::size_t chunk_end = chunk_begin + chunk_size;
-    workers.emplace_back([&, chunk_begin, chunk_end] {
-      try {
-        chunk_body(chunk_begin, chunk_end);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-    chunk_begin = chunk_end;
-  }
-  for (auto& worker : workers) worker.join();
-  if (first_error) std::rethrow_exception(first_error);
-}
-
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t threads) {
-  parallel_for_chunked(
-      begin, end,
-      [&body](std::size_t chunk_begin, std::size_t chunk_end) {
-        for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(i);
-      },
-      threads);
 }
 
 }  // namespace sops::support

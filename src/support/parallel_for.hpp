@@ -5,11 +5,18 @@
 // independent; determinism is the caller's responsibility (in practice each
 // simulation sample owns its RNG substream, so results are identical for any
 // thread count, including 1).
+//
+// Both loops are templated on the body type: the body is invoked directly
+// (inlined into the worker loop), with no std::function type erasure on the
+// per-iteration path.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <exception>
-#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace sops::support {
 
@@ -17,26 +24,68 @@ namespace sops::support {
 /// the hardware concurrency, floored at 1.
 [[nodiscard]] std::size_t default_thread_count() noexcept;
 
-/// Runs `body(i)` for every i in [begin, end) across up to `threads` workers.
+/// Runs `chunk_body(chunk_begin, chunk_end)` over a contiguous partition of
+/// [begin, end), one chunk per worker. Use when per-iteration dispatch
+/// overhead matters (tight numerical kernels) or when a worker should set
+/// up per-chunk state (scratch buffers, workspaces) once.
 ///
 /// - `threads == 0` selects `default_thread_count()`.
 /// - `threads == 1` (or a range of at most one element) runs inline with no
 ///   thread creation, which keeps small problems cheap and makes single-
 ///   threaded debugging trivial.
-/// - Indices are partitioned into contiguous blocks, one per worker, so
-///   neighboring iterations share cache lines of the same output region.
-/// - If any invocation of `body` throws, the first exception is rethrown on
-///   the calling thread after all workers have joined.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t threads = 0);
+/// - If any invocation throws, the first exception is rethrown on the
+///   calling thread after all workers have joined.
+template <typename ChunkBody>
+void parallel_for_chunked(std::size_t begin, std::size_t end,
+                          ChunkBody&& chunk_body, std::size_t threads = 0) {
+  if (begin >= end) return;
+  if (threads == 0) threads = default_thread_count();
+  const std::size_t count = end - begin;
+  threads = std::min(threads, count);
 
-/// Like parallel_for, but hands each worker a contiguous [chunk_begin,
-/// chunk_end) range. Use when per-iteration dispatch overhead matters
-/// (tight numerical kernels).
-void parallel_for_chunked(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& chunk_body,
-    std::size_t threads = 0);
+  if (threads <= 1) {
+    chunk_body(begin, end);
+    return;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const std::size_t base = count / threads;
+  const std::size_t extra = count % threads;
+  std::size_t chunk_begin = begin;
+  for (std::size_t w = 0; w < threads; ++w) {
+    const std::size_t chunk_size = base + (w < extra ? 1 : 0);
+    const std::size_t chunk_end = chunk_begin + chunk_size;
+    workers.emplace_back([&, chunk_begin, chunk_end] {
+      try {
+        chunk_body(chunk_begin, chunk_end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+    chunk_begin = chunk_end;
+  }
+  for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Runs `body(i)` for every i in [begin, end) across up to `threads`
+/// workers. Indices are partitioned into contiguous blocks, one per worker,
+/// so neighboring iterations share cache lines of the same output region.
+/// Same threading/exception semantics as `parallel_for_chunked`.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t threads = 0) {
+  parallel_for_chunked(
+      begin, end,
+      [&body](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+      },
+      threads);
+}
 
 }  // namespace sops::support

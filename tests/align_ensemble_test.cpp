@@ -163,7 +163,9 @@ TEST(AlignEnsemble, ThreadCountDoesNotChangeResult) {
 }
 
 TEST(AlignEnsemble, PreconditionsEnforced) {
-  EXPECT_THROW((void)align_ensemble({}, kTypes), sops::PreconditionError);
+  EXPECT_THROW(
+      (void)align_ensemble(std::vector<std::vector<sops::geom::Vec2>>{}, kTypes),
+      sops::PreconditionError);
   const auto configs = molecule_ensemble(5, kTypes, 0.05, 23);
   std::vector<TypeId> short_types{0, 1};
   EXPECT_THROW((void)align_ensemble(configs, short_types),

@@ -1,0 +1,96 @@
+// FrameStore tests: flat layout, span accessors, and agreement between the
+// streamed ensemble driver and independently run single-sample trajectories.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/frame_store.hpp"
+#include "core/presets.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::core::EnsembleSeries;
+using sops::core::ExperimentConfig;
+using sops::core::FrameStore;
+using sops::core::run_experiment;
+using sops::geom::Vec2;
+
+TEST(FrameStore, DefaultIsEmpty) {
+  const FrameStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.frame_count(), 0u);
+  EXPECT_EQ(store.sample_count(), 0u);
+  EXPECT_EQ(store.bytes(), 0u);
+}
+
+TEST(FrameStore, ShapeAndBytes) {
+  const FrameStore store(3, 4, 5);
+  EXPECT_EQ(store.frame_count(), 3u);
+  EXPECT_EQ(store.sample_count(), 4u);
+  EXPECT_EQ(store.particle_count(), 5u);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.bytes(), 3u * 4u * 5u * sizeof(Vec2));
+  EXPECT_EQ(store[1].size(), 4u);
+  EXPECT_EQ(store[1].particle_count(), 5u);
+  EXPECT_EQ(store.sample(2, 3).size(), 5u);
+}
+
+TEST(FrameStore, SlotsAreContiguousAndDisjoint) {
+  FrameStore store(2, 3, 4);
+  for (std::size_t f = 0; f < 2; ++f) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      const auto slot = store.sample_slot(f, s);
+      for (std::size_t i = 0; i < 4; ++i) {
+        slot[i] = {static_cast<double>(f * 100 + s * 10 + i), 0.0};
+      }
+    }
+  }
+  // Reading back through every accessor sees the writes, and the whole
+  // buffer is one [frame][sample][particle] stride.
+  const Vec2* base = store.front().data();
+  for (std::size_t f = 0; f < 2; ++f) {
+    EXPECT_EQ(store[f].data(), base + f * 3 * 4);
+    for (std::size_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(store.sample(f, s).data(), base + (f * 3 + s) * 4);
+      for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(store[f][s][i].x, static_cast<double>(f * 100 + s * 10 + i));
+      }
+    }
+  }
+  EXPECT_EQ(store.back()[2][3].x, 123.0);
+}
+
+TEST(FrameStore, RejectsEmptyDimensions) {
+  EXPECT_THROW(FrameStore(0, 1, 1), sops::PreconditionError);
+  EXPECT_THROW(FrameStore(1, 0, 1), sops::PreconditionError);
+  EXPECT_THROW(FrameStore(1, 1, 0), sops::PreconditionError);
+}
+
+TEST(StreamedExperiment, MatchesIndependentSingleRuns) {
+  // The flat store must contain, slot for slot, what m independent
+  // run_simulation calls produce for the same streams.
+  sops::sim::SimulationConfig simulation =
+      sops::core::presets::fig4_three_type_collective();
+  simulation.steps = 9;
+  simulation.record_stride = 4;
+  ExperimentConfig experiment(simulation);
+  experiment.samples = 4;
+  const EnsembleSeries series = run_experiment(experiment);
+  EXPECT_EQ(series.frame_steps, (std::vector<std::size_t>{0, 4, 8, 9}));
+
+  for (std::size_t s = 0; s < experiment.samples; ++s) {
+    sops::sim::SimulationConfig sample = simulation;
+    sample.stream = s;
+    const sops::sim::Trajectory trajectory = sops::sim::run_simulation(sample);
+    ASSERT_EQ(trajectory.frame_steps, series.frame_steps);
+    EXPECT_EQ(trajectory.equilibrium_step, series.equilibrium_steps[s]);
+    for (std::size_t f = 0; f < series.frame_count(); ++f) {
+      const auto slot = series.frames.sample(f, s);
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        EXPECT_EQ(slot[i], trajectory.frames[f][i]) << "f=" << f << " s=" << s;
+      }
+    }
+  }
+}
+
+}  // namespace

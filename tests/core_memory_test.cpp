@@ -1,0 +1,96 @@
+// Peak-allocation contract of the streamed ensemble driver.
+//
+// The pre-refactor run_experiment staged m full Trajectory objects and then
+// regrouped them into the series — thousands of per-frame vector
+// allocations and a staging copy of the whole recording. The streamed
+// driver writes every sample directly into the flat FrameStore, so the peak
+// heap usage of a run must stay close to the store's own payload.
+//
+// This file overrides global operator new/delete to track live heap bytes;
+// it is deliberately the only test binary that does.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/experiment.hpp"
+#include "core/presets.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_live_bytes{0};
+std::atomic<std::size_t> g_peak_bytes{0};
+
+void track_alloc(std::size_t size) noexcept {
+  const std::size_t live =
+      g_live_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  std::size_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+constexpr std::size_t kHeader = 16;  // keeps max_align_t alignment
+
+void* tracked_new(std::size_t size) {
+  void* raw = std::malloc(size + kHeader);
+  if (raw == nullptr) throw std::bad_alloc();
+  *static_cast<std::size_t*>(raw) = size;
+  track_alloc(size);
+  return static_cast<char*>(raw) + kHeader;
+}
+
+void tracked_delete(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  void* raw = static_cast<char*>(ptr) - kHeader;
+  g_live_bytes.fetch_sub(*static_cast<std::size_t*>(raw),
+                         std::memory_order_relaxed);
+  std::free(raw);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return tracked_new(size); }
+void* operator new[](std::size_t size) { return tracked_new(size); }
+void operator delete(void* ptr) noexcept { tracked_delete(ptr); }
+void operator delete[](void* ptr) noexcept { tracked_delete(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { tracked_delete(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { tracked_delete(ptr); }
+
+namespace {
+
+TEST(PeakAllocation, StreamedExperimentStaysNearStorePayload) {
+  // Large-m configuration: 256 samples × 64 particles × 9 frames ≈ 2.3 MiB
+  // of positions. The streamed driver's peak beyond the pre-run baseline
+  // must stay close to that payload (workspaces and bookkeeping are small);
+  // a staged driver would roughly double it.
+  sops::sim::SimulationConfig simulation =
+      sops::core::presets::fig4_three_type_collective();
+  simulation.types = sops::sim::evenly_distributed_types(64, 3);
+  simulation.steps = 32;
+  simulation.record_stride = 4;
+  sops::core::ExperimentConfig experiment(simulation);
+  experiment.samples = 256;
+
+  const std::size_t frames = sops::sim::recording_steps(32, 4).size();
+  const std::size_t store_bytes =
+      frames * experiment.samples * 64 * sizeof(sops::geom::Vec2);
+
+  const std::size_t baseline = g_live_bytes.load();
+  g_peak_bytes.store(baseline);
+  const sops::core::EnsembleSeries series =
+      sops::core::run_experiment(experiment);
+  const std::size_t peak_delta = g_peak_bytes.load() - baseline;
+
+  EXPECT_EQ(series.frames.bytes(), store_bytes);
+  // Allow 25% + 512 KiB headroom over the payload for workspaces, thread
+  // stacks' heap use, and allocator bookkeeping.
+  EXPECT_LT(peak_delta, store_bytes + store_bytes / 4 + (512u << 10))
+      << "streamed run peaked at " << peak_delta << " bytes for a "
+      << store_bytes << "-byte store";
+  // Sanity: the run did allocate at least the store itself.
+  EXPECT_GE(peak_delta, store_bytes);
+}
+
+}  // namespace

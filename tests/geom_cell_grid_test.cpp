@@ -133,4 +133,69 @@ TEST(CellGrid, CoincidentPointsSeeEachOther) {
   EXPECT_EQ(grid.neighbors_of(0, 1.0).size(), 2u);
 }
 
+TEST(CellGridRebuild, UnbuiltGridRejectsQueriesAndSizelessRebuild) {
+  CellGrid grid;
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_DOUBLE_EQ(grid.cell_size(), 0.0);
+  // Queries on an unbuilt grid see no candidates (no UB, no probe loop).
+  bool called = false;
+  grid.for_each_within({0.5, 0.5}, 1.0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  const std::vector<Vec2> points{{0, 0}};
+  EXPECT_THROW(grid.rebuild(points), sops::PreconditionError);
+  grid.rebuild(points, 1.0);
+  EXPECT_EQ(grid.size(), 1u);
+}
+
+TEST(CellGridRebuild, MatchesFreshConstructionOnMovingPoints) {
+  // Rebuilding in place over a drifting cloud must agree with a freshly
+  // constructed grid at every step — same neighbor sets AND the same
+  // enumeration order (the engine's bitwise contract).
+  sops::rng::Xoshiro256 engine(77);
+  auto points = random_cloud(120, 6.0, 77);
+  CellGrid reused(points, 1.5);
+  for (int step = 0; step < 130; ++step) {  // crosses the pruning interval
+    for (Vec2& p : points) {
+      p += Vec2{sops::rng::uniform(engine, -0.3, 0.3),
+                sops::rng::uniform(engine, -0.3, 0.3)};
+    }
+    reused.rebuild(points);
+    const CellGrid fresh(points, 1.5);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::vector<std::size_t> from_reused;
+      std::vector<std::size_t> from_fresh;
+      reused.for_each_neighbor(i, 1.5,
+                               [&](std::size_t j) { from_reused.push_back(j); });
+      fresh.for_each_neighbor(i, 1.5,
+                              [&](std::size_t j) { from_fresh.push_back(j); });
+      ASSERT_EQ(from_reused, from_fresh) << "step " << step << " particle " << i;
+    }
+  }
+}
+
+TEST(CellGridRebuild, RebuildCanChangeCellSizeAndPointCount) {
+  CellGrid grid(random_cloud(50, 5.0, 3), 2.0);
+  const auto more_points = random_cloud(200, 8.0, 4);
+  grid.rebuild(more_points, 1.0);
+  EXPECT_EQ(grid.size(), 200u);
+  EXPECT_DOUBLE_EQ(grid.cell_size(), 1.0);
+  for (std::size_t i = 0; i < more_points.size(); ++i) {
+    auto expected = brute_force_neighbors(more_points, i, 1.0);
+    auto actual = grid.neighbors_of(i, 1.0);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(CellGridRebuild, OccupiedCellCountIsReported) {
+  // Four points in four distinct cells, then all in one cell.
+  CellGrid grid(std::vector<Vec2>{{0.5, 0.5}, {1.5, 0.5}, {0.5, 1.5}, {1.5, 1.5}},
+                1.0);
+  EXPECT_EQ(grid.cell_count(), 4u);
+  const std::vector<Vec2> clustered{{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}, {0.4, 0.4}};
+  grid.rebuild(clustered);
+  EXPECT_EQ(grid.cell_count(), 1u);
+}
+
 }  // namespace

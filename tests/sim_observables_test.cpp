@@ -49,7 +49,9 @@ TEST(Rdf, DepletedCoreBelowSpacing) {
   const auto rdf = radial_distribution(points, 3.0, 60);
   // No pairs below the lattice spacing: g ≈ 0 in the core.
   for (std::size_t b = 0; b < rdf.g.size(); ++b) {
-    if (rdf.r[b] < 0.9) EXPECT_NEAR(rdf.g[b], 0.0, 1e-12) << rdf.r[b];
+    if (rdf.r[b] < 0.9) {
+      EXPECT_NEAR(rdf.g[b], 0.0, 1e-12) << rdf.r[b];
+    }
   }
 }
 
