@@ -7,10 +7,14 @@
 // paper's qualitative claim. Absolute values are expected to differ — the
 // substrate is a reimplementation, not the authors' machine.
 //
-// Modes: `--fast` (default; CI-sized ensembles) and `--full` (paper-sized,
-// m = 500+). `SOPS_BENCH_FAST=0` also selects full mode.
+// Modes: `--fast` (default; CI-sized ensembles), `--full` (paper-sized,
+// m = 500+), and `--smoke` (seconds-scale; the configuration ctest runs to
+// catch bit-rot — CHECK lines still print but carry no statistical weight
+// at smoke sizes, and every bench exits 0 regardless of CHECK outcomes).
+// `SOPS_BENCH_FAST=0` also selects full mode.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -24,14 +28,18 @@ namespace sops::bench {
 /// Parsed command line of a figure bench.
 struct BenchArgs {
   bool fast = true;
+  bool smoke = false;
 
-  /// Scales an ensemble size: full mode gets the paper-sized count.
+  /// Scales an ensemble size: full mode gets the paper-sized count; smoke
+  /// mode clamps hard (still enough samples for the k-NN estimators).
   [[nodiscard]] std::size_t samples(std::size_t fast_m,
                                     std::size_t full_m) const noexcept {
+    if (smoke) return std::min<std::size_t>(fast_m, 12);
     return fast ? fast_m : full_m;
   }
   [[nodiscard]] std::size_t steps(std::size_t fast_t,
                                   std::size_t full_t) const noexcept {
+    if (smoke) return std::min<std::size_t>(fast_t, 20);
     return fast ? fast_t : full_t;
   }
 };
@@ -45,6 +53,10 @@ inline BenchArgs parse_args(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--fast") args.fast = true;
     if (arg == "--full") args.fast = false;
+    if (arg == "--smoke") {
+      args.fast = true;
+      args.smoke = true;
+    }
   }
   return args;
 }
@@ -52,8 +64,10 @@ inline BenchArgs parse_args(int argc, char** argv) {
 inline void print_header(std::string_view bench, std::string_view claim,
                          const BenchArgs& args) {
   std::cout << "==============================================================\n"
-            << bench << (args.fast ? "   [fast mode; --full for paper-sized m]"
-                                   : "   [full mode]")
+            << bench
+            << (args.smoke ? "   [smoke mode; exercises the pipeline only]"
+                : args.fast ? "   [fast mode; --full for paper-sized m]"
+                            : "   [full mode]")
             << "\n"
             << "paper claim: " << claim << "\n"
             << "==============================================================\n";

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 
 #include "core/sops.hpp"
@@ -196,6 +197,37 @@ void BM_StepEngine(benchmark::State& state) {
 }
 BENCHMARK(BM_StepEngine)->Arg(64)->Arg(256)->Arg(1024);
 
+void BM_StepEngineIntraStep(benchmark::State& state) {
+  // The cell-sharded intra-step path: one collective, the drift sum
+  // sharded over the grid's cell-major partition. range(0) = n,
+  // range(1) = step threads. Results are bitwise-equal to serial.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto step_threads = static_cast<std::size_t>(state.range(1));
+  auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5, 3, 7);
+  const auto model = default_model(3);
+  const sim::PairScalingTable table(model);
+  sim::IntegratorParams params;
+  rng::Xoshiro256 engine(1);
+  std::vector<geom::Vec2> scratch;
+  geom::CellGridBackend backend;
+  for (auto _ : state) {
+    sim::accumulate_drift(system, table, 3.0, scratch, backend, step_threads);
+    benchmark::DoNotOptimize(sim::total_drift_norm(scratch));
+    sim::apply_euler_maruyama_update(system, scratch, params, engine);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["steps/sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StepEngineIntraStep)
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4})
+    ->Args({4096, 8})
+    ->Args({16384, 1})
+    ->Args({16384, 8});
+
 void BM_KsgMultiInformation(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   rng::Xoshiro256 engine(3);
@@ -287,6 +319,34 @@ double measure_steps_per_sec(std::size_t n, bool use_engine) {
   return static_cast<double>(steps) / seconds;
 }
 
+// Steps/sec of single-sample stepping with the drift sum sharded over
+// `step_threads` workers (the intra-step path).
+double measure_intra_step_steps_per_sec(std::size_t n,
+                                        std::size_t step_threads) {
+  auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5, 3, 7);
+  const auto model = default_model(3);
+  const sim::PairScalingTable table(model);
+  sim::IntegratorParams params;
+  rng::Xoshiro256 engine(1);
+  std::vector<geom::Vec2> scratch;
+  geom::CellGridBackend backend;
+
+  const auto one_step = [&] {
+    sim::accumulate_drift(system, table, 3.0, scratch, backend, step_threads);
+    benchmark::DoNotOptimize(sim::total_drift_norm(scratch));
+    sim::apply_euler_maruyama_update(system, scratch, params, engine);
+  };
+  const int warmup = 20;
+  const int steps = n >= 16384 ? 150 : n >= 4096 ? 500 : 1500;
+  for (int i = 0; i < warmup; ++i) one_step();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < steps; ++i) one_step();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(steps) / seconds;
+}
+
 void emit_engine_json() {
   const std::size_t sizes[] = {64, 256, 1024};
   double speedup_at_1024 = 0.0;
@@ -313,11 +373,80 @@ void emit_engine_json() {
                 "steps/s (%.2fx), %zu bytes/frame\n",
                 n, baseline, engine, speedup, n * sizeof(geom::Vec2));
   }
-  std::fprintf(out, "  ]\n}\n");
+
+  // Intra-step sharding: single-sample stepping of one large collective at
+  // 1/2/4/8 drift threads. The speedup column is against this build's own
+  // threads=1 row, so the number is a pure scaling measurement.
+  const std::size_t intra_sizes[] = {1024, 4096, 16384};
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  double scaling_at_16384x8 = 0.0;
+  std::fprintf(out, "  ],\n  \"intra_step\": [\n");
+  for (std::size_t a = 0; a < 3; ++a) {
+    const std::size_t n = intra_sizes[a];
+    double serial = 0.0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      const std::size_t threads = thread_counts[b];
+      const double rate = measure_intra_step_steps_per_sec(n, threads);
+      if (threads == 1) serial = rate;
+      const double scaling = serial > 0.0 ? rate / serial : 0.0;
+      if (n == 16384 && threads == 8) scaling_at_16384x8 = scaling;
+      std::fprintf(out,
+                   "    {\"n\": %zu, \"threads\": %zu, "
+                   "\"steps_per_sec\": %.1f, \"scaling_vs_serial\": %.3f}%s\n",
+                   n, threads, rate, scaling,
+                   a + 1 < 3 || b + 1 < 4 ? "," : "");
+      std::printf("intra-step n=%zu threads=%zu: %.0f steps/s (%.2fx vs "
+                  "serial)\n",
+                  n, threads, rate, scaling);
+    }
+  }
+  std::fprintf(out, "  ],\n  \"hardware_threads\": %u\n}\n",
+               std::thread::hardware_concurrency());
   std::fclose(out);
   std::printf("CHECK %s engine >= 1.5x seed baseline at n=1024 (%.2fx)\n",
               speedup_at_1024 >= 1.5 ? "[PASS]" : "[FAIL]", speedup_at_1024);
+  std::printf("CHECK %s intra-step >= 3x at n=16384, threads=8 (%.2fx; "
+              "needs >= 8 hardware threads, %u available)\n",
+              scaling_at_16384x8 >= 3.0 ? "[PASS]" : "[FAIL]",
+              scaling_at_16384x8, std::thread::hardware_concurrency());
   std::printf("series written to BENCH_engine.json\n");
+}
+
+// --smoke: a seconds-scale self-check for ctest — steps a small collective
+// serially and sharded, verifying the bitwise contract end to end, without
+// touching BENCH_engine.json.
+int run_smoke() {
+  const std::size_t n = 512;
+  auto serial_system = random_system(n, 34.0, 3, 7);
+  auto sharded_system = serial_system;
+  const auto model = default_model(3);
+  const sim::PairScalingTable table(model);
+  sim::IntegratorParams params;
+  rng::Xoshiro256 serial_engine(1);
+  rng::Xoshiro256 sharded_engine(1);
+  std::vector<geom::Vec2> serial_drift;
+  std::vector<geom::Vec2> sharded_drift;
+  geom::CellGridBackend serial_backend;
+  geom::CellGridBackend sharded_backend;
+  for (int step = 0; step < 25; ++step) {
+    sim::accumulate_drift(serial_system, table, 3.0, serial_drift,
+                          serial_backend, 1);
+    sim::accumulate_drift(sharded_system, table, 3.0, sharded_drift,
+                          sharded_backend, 4);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(serial_drift[i] == sharded_drift[i])) {
+        std::fprintf(stderr, "smoke: drift diverged at step %d particle %zu\n",
+                     step, i);
+        return 1;
+      }
+    }
+    sim::apply_euler_maruyama_update(serial_system, serial_drift, params,
+                                     serial_engine);
+    sim::apply_euler_maruyama_update(sharded_system, sharded_drift, params,
+                                     sharded_engine);
+  }
+  std::printf("smoke: 25 steps, serial == 4-thread sharded bitwise\n");
+  return 0;
 }
 
 }  // namespace
@@ -328,9 +457,15 @@ int main(int argc, char** argv) {
   // overwrite BENCH_engine.json with numbers from a loaded machine.
   bool filtered = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).starts_with("--benchmark_filter")) {
-      filtered = true;
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") return run_smoke();
+    // CI's perf-trend step wants the JSON without paying for the full
+    // google-benchmark suite.
+    if (arg == "--engine-json-only") {
+      emit_engine_json();
+      return 0;
     }
+    if (arg.starts_with("--benchmark_filter")) filtered = true;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -11,6 +11,7 @@
 //   ./cell_sorting [samples] [steps]
 #include <cstdlib>
 #include <iostream>
+#include "example_args.hpp"
 
 #include "core/sops.hpp"
 
@@ -42,8 +43,9 @@ double mixing_index(std::span<const geom::Vec2> points,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t samples = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
-  const std::size_t steps = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 200;
+  const bool smoke = sops::examples::smoke_mode(argc, argv);
+  const std::size_t samples = smoke ? 12 : sops::examples::arg_or(argc, argv, 1, 80);
+  const std::size_t steps = smoke ? 20 : sops::examples::arg_or(argc, argv, 2, 200);
 
   // Differential adhesion: tight same-type packing, looser cross-type.
   sim::InteractionModel model(sim::ForceLawKind::kSpring, 2,

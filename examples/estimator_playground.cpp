@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include "example_args.hpp"
 
 #include "core/sops.hpp"
 
@@ -44,8 +45,9 @@ double equicorrelated_multi_information(std::size_t dim, double loading) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t m = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 600;
-  const std::size_t dim = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 6;
+  const bool smoke = sops::examples::smoke_mode(argc, argv);
+  const std::size_t m = smoke ? 60 : sops::examples::arg_or(argc, argv, 1, 600);
+  const std::size_t dim = smoke ? 4 : sops::examples::arg_or(argc, argv, 2, 6);
 
   const auto blocks = info::uniform_blocks(dim, 1);
   std::cout << "m = " << m << " samples, " << dim

@@ -1,0 +1,31 @@
+// Shared command-line handling for the example binaries.
+//
+// Every example accepts `--smoke`: a seconds-scale configuration that ctest
+// runs (`smoke_<name>`) so the examples cannot bit-rot while only being
+// compiled. Smoke mode overrides the positional size arguments.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <string_view>
+
+namespace sops::examples {
+
+/// True when any argument is `--smoke`.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
+
+/// Positional numeric argument `index` (1-based), or `fallback`.
+inline std::size_t arg_or(int argc, char** argv, int index,
+                          std::size_t fallback) {
+  if (argc <= index || std::string_view(argv[index]) == "--smoke") {
+    return fallback;
+  }
+  return std::strtoul(argv[index], nullptr, 10);
+}
+
+}  // namespace sops::examples

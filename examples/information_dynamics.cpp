@@ -12,12 +12,14 @@
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include "example_args.hpp"
 
 #include "core/sops.hpp"
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const std::size_t steps = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2500;
+  const bool smoke = examples::smoke_mode(argc, argv);
+  const std::size_t steps = smoke ? 60 : examples::arg_or(argc, argv, 1, 2500);
 
   // A small collective so the n² TE matrix stays readable.
   sim::SimulationConfig simulation = core::presets::fig4_three_type_collective();

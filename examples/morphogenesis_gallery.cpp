@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include "example_args.hpp"
 
 #include "core/sops.hpp"
 
@@ -81,7 +82,8 @@ std::vector<Scenario> make_scenarios(std::size_t steps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t steps = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  const bool smoke = sops::examples::smoke_mode(argc, argv);
+  const std::size_t steps = smoke ? 25 : sops::examples::arg_or(argc, argv, 1, 400);
   std::filesystem::create_directories("gallery_out");
 
   for (const Scenario& scenario : make_scenarios(steps)) {

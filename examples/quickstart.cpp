@@ -5,17 +5,19 @@
 // the observer multi-information with the KSG estimator, and prints the
 // I(t) curve plus the final configuration of one sample.
 //
-//   ./quickstart [samples] [steps]
+//   ./quickstart [samples] [steps]   (--smoke: tiny ctest configuration)
 #include <cstdlib>
 #include <iostream>
 
 #include "core/sops.hpp"
+#include "example_args.hpp"
 
 int main(int argc, char** argv) {
   using namespace sops;
 
-  const std::size_t samples = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
-  const std::size_t steps = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 100;
+  const bool smoke = examples::smoke_mode(argc, argv);
+  const std::size_t samples = smoke ? 6 : examples::arg_or(argc, argv, 1, 100);
+  const std::size_t steps = smoke ? 12 : examples::arg_or(argc, argv, 2, 100);
 
   // 1. The system: n = 50 particles, 3 types, r_c = 5 (paper Fig. 4).
   sim::SimulationConfig simulation = core::presets::fig4_three_type_collective();

@@ -14,12 +14,14 @@
 #include <cstdlib>
 #include <iostream>
 #include <numbers>
+#include "example_args.hpp"
 
 #include "core/sops.hpp"
 
 int main(int argc, char** argv) {
   using namespace sops;
-  const std::size_t samples = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  const bool smoke = examples::smoke_mode(argc, argv);
+  const std::size_t samples = smoke ? 12 : examples::arg_or(argc, argv, 1, 300);
 
   sim::SimulationConfig simulation = core::presets::fig5_single_type_rings();
   simulation.record_stride = simulation.steps;  // endpoints only

@@ -34,6 +34,12 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
   series.frames = FrameStore(series.frame_steps.size(), m, n);
   series.equilibrium_steps.assign(m, std::nullopt);
 
+  // The thread budget is allocated exactly once, before any fan-out:
+  // sample workers receive a fixed intra-step share, so parallelism cannot
+  // nest beyond sample_threads × step_threads ≤ threads live workers.
+  const sim::ThreadBudget budget =
+      sim::resolve_parallel_policy(config.parallel, n, m, config.threads);
+
   // One workspace per worker, reused across the worker's whole chunk: the
   // neighbor backend and drift buffer warm up on the first sample and every
   // later sample steps allocation-free.
@@ -42,6 +48,10 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
       [&](std::size_t chunk_begin, std::size_t chunk_end) {
         sim::SimulationWorkspace workspace;
         sim::SimulationConfig sample_config = config.simulation;
+        // The worker's per-sample runs spend exactly the budget's
+        // intra-step share; kWithinStep resolves (m = 1) to that share.
+        sample_config.parallel_policy = sim::ParallelPolicy::kWithinStep;
+        sample_config.threads = budget.step_threads;
         for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
           sample_config.stream = s;
           const sim::StreamedRun run = sim::run_simulation_streamed(
@@ -61,7 +71,7 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
           series.equilibrium_steps[s] = run.equilibrium_step;
         }
       },
-      config.threads);
+      budget.sample_threads);
 
   return series;
 }

@@ -20,7 +20,14 @@ struct ExperimentConfig {
 
   sim::SimulationConfig simulation;
   std::size_t samples = 500;  ///< m
-  std::size_t threads = 0;    ///< worker threads across samples (0 = auto)
+  std::size_t threads = 0;    ///< total worker-thread budget (0 = auto)
+  /// How the thread budget is split between ensemble samples and each
+  /// sample's intra-step drift sharding. kAuto keeps paper-sized ensembles
+  /// (m ≥ threads) fully sample-parallel and moves the budget inside the
+  /// step for single huge collectives; the split is resolved once here, so
+  /// sample workers never nest further fan-outs. Any choice yields bitwise-
+  /// identical results — the policy only redistributes the same work.
+  sim::ParallelPolicy parallel = sim::ParallelPolicy::kAuto;
 };
 
 /// The recorded ensemble: frames[f][s] is sample s at step frame_steps[f],

@@ -46,5 +46,6 @@
 #include "sim/detectors.hpp"
 #include "sim/generators.hpp"
 #include "sim/observables.hpp"
+#include "sim/parallel_policy.hpp"
 #include "sim/simulation.hpp"
 #include "sim/workspace.hpp"

@@ -79,6 +79,54 @@ CellGrid::CellKey CellGrid::key_of(Vec2 p) const noexcept {
           static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
 }
 
+std::span<const std::uint32_t> CellGrid::shard_bounds(std::size_t max_shards) {
+  const auto n = static_cast<std::uint32_t>(entries_.size());
+  shard_bounds_.clear();
+  shard_bounds_.push_back(0);
+  if (max_shards <= 1 || cell_count_ <= 1) {
+    shard_bounds_.push_back(n);
+    return shard_bounds_;
+  }
+
+  // Per-cell pair-count estimate: |cell| × occupancy of its 3×3 block. The
+  // slot table is the only place that still knows each dense cell's integer
+  // coordinates, so the estimate is gathered by walking the occupied slots.
+  shard_cost_.assign(cell_count_, 0.0);
+  for (const Slot& slot : slots_) {
+    if (slot.cell == kEmpty) continue;
+    double block = 0.0;
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const std::int32_t cell = find_cell(slot.x + dx, slot.y + dy);
+        if (cell == kEmpty) continue;
+        const auto c = static_cast<std::size_t>(cell);
+        block += static_cast<double>(starts_[c + 1] - starts_[c]);
+      }
+    }
+    const auto c = static_cast<std::size_t>(slot.cell);
+    shard_cost_[c] = static_cast<double>(starts_[c + 1] - starts_[c]) * block;
+  }
+  double total = 0.0;
+  for (const double cost : shard_cost_) total += cost;
+
+  // Greedy cut: walk cells in dense-id order and close a shard whenever the
+  // running cost passes the next of max_shards equal targets. Every cut is
+  // a CSR bucket boundary, so shards stay cell-aligned.
+  double cut_cost = 0.0;
+  std::size_t shard = 1;
+  for (std::size_t c = 0; c < cell_count_; ++c) {
+    cut_cost += shard_cost_[c];
+    if (shard < max_shards && starts_[c + 1] < n &&
+        cut_cost * static_cast<double>(max_shards) >=
+            total * static_cast<double>(shard)) {
+      shard_bounds_.push_back(starts_[c + 1]);
+      ++shard;
+    }
+  }
+  shard_bounds_.push_back(n);
+  return shard_bounds_;
+}
+
 std::vector<std::size_t> CellGrid::neighbors_of(std::size_t i,
                                                 double radius) const {
   support::expect(i < points_.size(), "CellGrid::neighbors_of: index out of range");

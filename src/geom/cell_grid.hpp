@@ -76,6 +76,27 @@ class CellGrid {
   /// Number of occupied cells of the current build.
   [[nodiscard]] std::size_t cell_count() const noexcept { return cell_count_; }
 
+  /// The CSR point-index block: every indexed point exactly once, grouped by
+  /// cell in dense-cell-id order, ascending point index within each cell.
+  /// Valid until the next rebuild.
+  [[nodiscard]] std::span<const std::uint32_t> bucket_entries() const noexcept {
+    return entries_;
+  }
+
+  /// Cell-major shard partition for intra-step parallelism: at most
+  /// `max_shards` contiguous, cell-aligned ranges of `bucket_entries()`,
+  /// approximately balanced by a per-cell pair-count estimate (bucket size ×
+  /// total 3×3-neighborhood occupancy). Returns ascending boundaries
+  /// (first 0, last size()); shard k owns entries [bounds[k], bounds[k+1]).
+  ///
+  /// Because shards are cell-aligned they hold disjoint particle sets, and
+  /// a particle's own neighbor enumeration never depends on which shard
+  /// visits it — so per-particle drift sums are bitwise-identical for any
+  /// shard count. The span aliases internal scratch; valid until the next
+  /// shard_bounds() call or rebuild.
+  [[nodiscard]] std::span<const std::uint32_t> shard_bounds(
+      std::size_t max_shards);
+
  private:
   struct CellKey {
     std::int64_t x;
@@ -140,6 +161,8 @@ class CellGrid {
   std::vector<std::uint32_t> entries_;  // point indices, bucket-contiguous
   std::vector<std::int32_t> cell_of_;   // per-point dense cell id (scratch)
   std::vector<std::uint32_t> cursors_;  // scatter cursors (scratch)
+  std::vector<double> shard_cost_;          // per-cell pair estimate (scratch)
+  std::vector<std::uint32_t> shard_bounds_; // last computed partition (scratch)
 };
 
 }  // namespace sops::geom

@@ -1,11 +1,37 @@
 #include "geom/neighbor_backend.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "geom/delaunay.hpp"
 #include "support/error.hpp"
 
 namespace sops::geom {
+
+// ------------------------------------------------------------ base class
+
+std::span<const std::uint32_t> NeighborBackend::shard_bounds(
+    std::size_t max_shards) {
+  // Default partition: equal contiguous split of the identity ordering.
+  // Per-particle drift sums are gathers, so any split is bitwise-safe; equal
+  // ranges are a fine balance for backends without occupancy information.
+  const auto n = static_cast<std::uint32_t>(size());
+  const auto shards =
+      static_cast<std::uint32_t>(std::min<std::size_t>(std::max<std::size_t>(
+                                     max_shards, 1),
+                                 std::max<std::uint32_t>(n, 1)));
+  shard_bounds_.clear();
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shard_bounds_.push_back(static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(n) * s) / shards));
+  }
+  shard_bounds_.push_back(n);
+  return shard_bounds_;
+}
+
+std::span<const std::uint32_t> NeighborBackend::shard_order() const noexcept {
+  return {};
+}
 
 // ------------------------------------------------------------- all-pairs
 

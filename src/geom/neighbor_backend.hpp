@@ -49,6 +49,31 @@ class NeighborBackend {
       std::size_t i) = 0;
 
   [[nodiscard]] virtual NeighborBackendKind kind() const noexcept = 0;
+
+  /// Number of points of the current build (0 before the first rebuild).
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// Intra-step shard partition: ascending boundaries (first 0, last size())
+  /// of at most `max_shards` contiguous ranges over the backend's shard
+  /// ordering. Shard k owns ordering positions [bounds[k], bounds[k+1]);
+  /// `shard_order()` maps a position to a particle index (an empty span
+  /// means the identity order). Shards are disjoint particle sets, and each
+  /// particle's neighbor enumeration is independent of the partition, so
+  /// sharded drift accumulation is bitwise-equal to the serial loop for any
+  /// shard count. The default partition is an equal split of [0, size());
+  /// the cell grid overrides it with cell-aligned CSR bucket ranges
+  /// balanced by a pair-count estimate. Call after rebuild(); the span
+  /// aliases internal scratch and stays valid until the next shard_bounds()
+  /// call or rebuild.
+  [[nodiscard]] virtual std::span<const std::uint32_t> shard_bounds(
+      std::size_t max_shards);
+
+  /// Shard-ordering permutation for shard_bounds(); empty span = identity.
+  [[nodiscard]] virtual std::span<const std::uint32_t> shard_order()
+      const noexcept;
+
+ protected:
+  std::vector<std::uint32_t> shard_bounds_;  // scratch for the default split
 };
 
 /// O(n²) reference backend; supports an unbounded radius.
@@ -58,6 +83,9 @@ class AllPairsBackend final : public NeighborBackend {
   [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
   [[nodiscard]] NeighborBackendKind kind() const noexcept override {
     return NeighborBackendKind::kAllPairs;
+  }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return points_.size();
   }
 
  private:
@@ -74,6 +102,21 @@ class CellGridBackend final : public NeighborBackend {
   [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
   [[nodiscard]] NeighborBackendKind kind() const noexcept override {
     return NeighborBackendKind::kCellGrid;
+  }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return grid_.size();
+  }
+
+  /// Cell-aligned CSR bucket ranges balanced by the grid's pair estimate.
+  [[nodiscard]] std::span<const std::uint32_t> shard_bounds(
+      std::size_t max_shards) override {
+    return grid_.shard_bounds(max_shards);
+  }
+
+  /// Cell-major point order: positions index the grid's CSR entry block.
+  [[nodiscard]] std::span<const std::uint32_t> shard_order()
+      const noexcept override {
+    return grid_.bucket_entries();
   }
 
   /// The underlying grid (exposed for capacity-retention tests).
@@ -93,6 +136,16 @@ class DelaunayBackend final : public NeighborBackend {
   [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
   [[nodiscard]] NeighborBackendKind kind() const noexcept override {
     return NeighborBackendKind::kDelaunay;
+  }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// CSR adjacency row of point i; read-only and shared-state-free, so the
+  /// sharded drift path may call it from several threads between rebuilds.
+  [[nodiscard]] std::span<const std::uint32_t> adjacency_row(
+      std::size_t i) const noexcept {
+    return {indices_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
   }
 
  private:

@@ -4,6 +4,7 @@
 
 #include "geom/cell_grid.hpp"
 #include "geom/delaunay.hpp"
+#include "support/parallel_for.hpp"
 
 namespace sops::sim {
 namespace {
@@ -20,20 +21,27 @@ inline geom::Vec2 pair_drift(const ParticleSystem& system,
   return delta * (-scaling);
 }
 
+// Drift of particle i against every other particle within the cut-off —
+// the one definition of the all-pairs sum, shared by the enum-mode path
+// and the serial and sharded backend paths.
+inline geom::Vec2 all_pairs_drift_of(const ParticleSystem& system,
+                                     const PairScalingTable& table,
+                                     double cutoff_sq, std::size_t i) {
+  geom::Vec2 drift{};
+  for (std::size_t j = 0; j < system.size(); ++j) {
+    if (j == i) continue;
+    const double d_sq = geom::dist_sq(system.positions[i], system.positions[j]);
+    if (d_sq < cutoff_sq) drift += pair_drift(system, table, i, j);
+  }
+  return drift;
+}
+
 void accumulate_all_pairs(const ParticleSystem& system,
                           const PairScalingTable& table, double cutoff_radius,
                           std::vector<geom::Vec2>& out) {
-  const std::size_t n = system.size();
   const double cutoff_sq = cutoff_radius * cutoff_radius;
-  for (std::size_t i = 0; i < n; ++i) {
-    geom::Vec2 drift{};
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      const double d_sq =
-          geom::dist_sq(system.positions[i], system.positions[j]);
-      if (d_sq < cutoff_sq) drift += pair_drift(system, table, i, j);
-    }
-    out[i] = drift;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    out[i] = all_pairs_drift_of(system, table, cutoff_sq, i);
   }
 }
 
@@ -70,11 +78,41 @@ void accumulate_delaunay(const ParticleSystem& system,
   }
 }
 
-void check_preconditions(const ParticleSystem& system,
-                         const InteractionModel& model, double cutoff_radius) {
+// The one precondition checker behind every accumulate_drift overload: the
+// enum-mode, backend, and sharded entry points must reject exactly the same
+// inputs, so they all funnel through here.
+void check_drift_preconditions(const ParticleSystem& system,
+                               std::size_t model_types, double cutoff_radius,
+                               bool needs_finite_cutoff) {
   support::expect(cutoff_radius > 0.0, "accumulate_drift: cutoff must be positive");
-  support::expect(system.types_within(model.types()),
+  support::expect(system.types_within(model_types),
                   "accumulate_drift: particle type outside the model");
+  support::expect(!needs_finite_cutoff || std::isfinite(cutoff_radius),
+                  "accumulate_drift: cell grid needs finite r_c");
+}
+
+// Shards the per-particle gather `out[i] = drift_of(i)` over the backend's
+// partition. Shards hold disjoint particles and drift_of is a pure gather,
+// so any partition and worker count produce bitwise-identical output.
+template <typename DriftOf>
+void accumulate_sharded(geom::NeighborBackend& backend, std::size_t step_threads,
+                        const DriftOf& drift_of, std::vector<geom::Vec2>& out) {
+  const std::span<const std::uint32_t> bounds =
+      backend.shard_bounds(step_threads);
+  const std::span<const std::uint32_t> order = backend.shard_order();
+  support::parallel_for_chunked(
+      bounds, [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        if (order.empty()) {
+          for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+            out[i] = drift_of(i);
+          }
+        } else {
+          for (std::size_t k = chunk_begin; k < chunk_end; ++k) {
+            const std::size_t i = order[k];
+            out[i] = drift_of(i);
+          }
+        }
+      });
 }
 
 }  // namespace
@@ -105,14 +143,13 @@ geom::NeighborBackendKind neighbor_backend_kind(NeighborMode resolved_mode) {
 void accumulate_drift(const ParticleSystem& system, const InteractionModel& model,
                       double cutoff_radius, std::vector<geom::Vec2>& out,
                       NeighborMode mode) {
-  check_preconditions(system, model, cutoff_radius);
+  mode = resolve_neighbor_mode(mode, system.size(), cutoff_radius);
+  check_drift_preconditions(system, model.types(), cutoff_radius,
+                            mode == NeighborMode::kCellGrid);
   out.assign(system.size(), geom::Vec2{});
 
   const PairScalingTable table(model);
-  mode = resolve_neighbor_mode(mode, system.size(), cutoff_radius);
   if (mode == NeighborMode::kCellGrid) {
-    support::expect(std::isfinite(cutoff_radius),
-                    "accumulate_drift: cell grid needs finite r_c");
     accumulate_cell_grid(system, table, cutoff_radius, out);
   } else if (mode == NeighborMode::kDelaunay) {
     accumulate_delaunay(system, table, cutoff_radius, out);
@@ -129,37 +166,63 @@ void accumulate_drift(const ParticleSystem& system, const InteractionModel& mode
 
 void accumulate_drift(const ParticleSystem& system, const PairScalingTable& table,
                       double cutoff_radius, std::vector<geom::Vec2>& out,
-                      geom::NeighborBackend& backend) {
-  support::expect(cutoff_radius > 0.0, "accumulate_drift: cutoff must be positive");
-  support::expect(system.types_within(table.types()),
-                  "accumulate_drift: particle type outside the model");
-  support::expect(backend.kind() != geom::NeighborBackendKind::kCellGrid ||
-                      std::isfinite(cutoff_radius),
-                  "accumulate_drift: cell grid needs finite r_c");
+                      geom::NeighborBackend& backend, std::size_t step_threads) {
+  check_drift_preconditions(
+      system, table.types(), cutoff_radius,
+      backend.kind() == geom::NeighborBackendKind::kCellGrid);
   backend.rebuild(system.positions, cutoff_radius);
+  if (step_threads == 0) step_threads = support::default_thread_count();
 
   const std::size_t n = system.size();
   out.assign(n, geom::Vec2{});
 
   // Fused fast paths for the built-in backends: enumerate and accumulate in
   // one inlined loop instead of materializing neighbor spans. Enumeration
-  // order is identical to the generic path, so results are too. Backends
-  // outside this translation unit fall through to the (correct, somewhat
-  // slower) generic span path below.
-  if (const auto* cell_grid =
-          dynamic_cast<const geom::CellGridBackend*>(&backend)) {
+  // order is identical to the generic path, so results are too — and since
+  // every out[i] is a pure gather in that fixed order, the sharded variant
+  // of each path is bitwise-identical to its serial loop. Backends outside
+  // this translation unit fall through to the (correct, somewhat slower)
+  // generic span path below, always serially: NeighborBackend::neighbors()
+  // may alias shared scratch, which the shards' workers must not race on.
+  if (auto* cell_grid = dynamic_cast<geom::CellGridBackend*>(&backend)) {
     const geom::CellGrid& grid = cell_grid->grid();
-    for (std::size_t i = 0; i < n; ++i) {
+    const auto drift_of = [&](std::size_t i) {
       geom::Vec2 drift{};
       grid.for_each_neighbor(i, cutoff_radius, [&](std::size_t j) {
         drift += pair_drift(system, table, i, j);
       });
-      out[i] = drift;
+      return drift;
+    };
+    if (step_threads > 1) {
+      accumulate_sharded(backend, step_threads, drift_of, out);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = drift_of(i);
     }
     return;
   }
   if (dynamic_cast<const geom::AllPairsBackend*>(&backend) != nullptr) {
-    accumulate_all_pairs(system, table, cutoff_radius, out);
+    const double cutoff_sq = cutoff_radius * cutoff_radius;
+    const auto drift_of = [&](std::size_t i) {
+      return all_pairs_drift_of(system, table, cutoff_sq, i);
+    };
+    if (step_threads > 1) {
+      accumulate_sharded(backend, step_threads, drift_of, out);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = drift_of(i);
+    }
+    return;
+  }
+  if (const auto* delaunay =
+          dynamic_cast<const geom::DelaunayBackend*>(&backend);
+      delaunay != nullptr && step_threads > 1) {
+    const auto drift_of = [&](std::size_t i) {
+      geom::Vec2 drift{};
+      for (const std::uint32_t j : delaunay->adjacency_row(i)) {
+        drift += pair_drift(system, table, i, j);
+      }
+      return drift;
+    };
+    accumulate_sharded(backend, step_threads, drift_of, out);
     return;
   }
 

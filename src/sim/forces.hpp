@@ -110,9 +110,18 @@ void accumulate_drift(const ParticleSystem& system, const InteractionModel& mode
 
 /// Same, with a caller-cached scaling table — the engine's steady-state
 /// path: no allocation of any kind per step.
+///
+/// `step_threads` (0 = hardware concurrency) shards the particle loop over
+/// the backend's cell-major partition (NeighborBackend::shard_bounds).
+/// Shards own disjoint particle ranges and every particle keeps its serial
+/// neighbor-enumeration order, so the result is bitwise-identical to
+/// `step_threads == 1` for any thread count and any partition. Backends
+/// outside this translation unit run serially regardless (their neighbor
+/// queries may share scratch state).
 void accumulate_drift(const ParticleSystem& system, const PairScalingTable& table,
                       double cutoff_radius, std::vector<geom::Vec2>& out,
-                      geom::NeighborBackend& backend);
+                      geom::NeighborBackend& backend,
+                      std::size_t step_threads = 1);
 
 /// Sum over particles of ‖drift_i‖₂ — the residual-force statistic the
 /// paper's equilibrium criterion thresholds (§4.1).

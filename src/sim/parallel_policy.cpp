@@ -1,0 +1,61 @@
+#include "sim/parallel_policy.hpp"
+
+#include <algorithm>
+
+#include "support/parallel_for.hpp"
+
+namespace sops::sim {
+namespace {
+
+ThreadBudget across_samples(std::size_t m, std::size_t threads) noexcept {
+  return {std::min(threads, m), 1};
+}
+
+ThreadBudget hybrid(std::size_t m, std::size_t threads) noexcept {
+  // Pick the sample share that wastes the least of the budget: the product
+  // sample × (threads / sample) strands threads whenever sample does not
+  // divide them (e.g. m = 5, threads = 8: 5×1 uses 5 of 8; 4×2 uses all).
+  // Ties go to more sample workers — that axis has no per-step fork cost.
+  std::size_t best_sample = 1;
+  std::size_t best_used = 0;
+  for (std::size_t sample = std::min(threads, m); sample >= 1; --sample) {
+    const std::size_t used = sample * (threads / sample);
+    if (used > best_used) {
+      best_used = used;
+      best_sample = sample;
+    }
+  }
+  return {best_sample, std::max<std::size_t>(threads / best_sample, 1)};
+}
+
+}  // namespace
+
+ThreadBudget resolve_parallel_policy(ParallelPolicy policy, std::size_t n,
+                                     std::size_t m,
+                                     std::size_t threads) noexcept {
+  if (threads == 0) threads = support::default_thread_count();
+  threads = std::max<std::size_t>(threads, 1);
+  m = std::max<std::size_t>(m, 1);
+
+  switch (policy) {
+    case ParallelPolicy::kAcrossSamples:
+      return across_samples(m, threads);
+    case ParallelPolicy::kWithinStep:
+      return {1, threads};
+    case ParallelPolicy::kHybrid:
+      return hybrid(m, threads);
+    case ParallelPolicy::kAuto:
+      break;
+  }
+  // kAuto: enough samples to fill the machine, or a collective too small to
+  // amortize the per-step fork → sample-parallelism only. A single huge
+  // collective goes fully intra-step; in between, samples claim threads
+  // first and each sample worker shards its steps with the leftovers.
+  if (m >= threads || n < kIntraStepMinParticles) {
+    return across_samples(m, threads);
+  }
+  if (m == 1) return {1, threads};
+  return hybrid(m, threads);
+}
+
+}  // namespace sops::sim

@@ -1,0 +1,47 @@
+// Thread-budget allocation between the engine's two axes of parallelism:
+// across ensemble samples (PR 1) and within a single step's drift sum (the
+// cell-sharded path). The policy is resolved exactly once per experiment —
+// sample workers receive a fixed intra-step budget, so nested parallelism
+// is prevented by construction: at most sample_threads × step_threads ≤
+// threads workers are ever live, and a sample worker never re-splits.
+//
+// Rules of thumb encoded in kAuto (see README "Choosing a ParallelPolicy"):
+// sample-parallelism is embarrassingly parallel and allocation-free per
+// worker, so it wins whenever there are at least as many samples as
+// threads; the sharded intra-step path pays one fork/join per step, so it
+// needs large collectives (n ≥ kIntraStepMinParticles) to amortize and is
+// reserved for ensembles too small to occupy the machine by themselves.
+#pragma once
+
+#include <cstddef>
+
+namespace sops::sim {
+
+/// How a run's thread budget is spent.
+enum class ParallelPolicy {
+  kAuto,           ///< pick from (n, m, threads); never worse than serial
+  kAcrossSamples,  ///< all threads on ensemble samples (the PR 1 engine)
+  kWithinStep,     ///< all threads inside each step's drift accumulation
+  kHybrid,         ///< samples first, leftover threads inside each step
+};
+
+/// Collective size below which kAuto never shards a step: the per-step
+/// fork/join costs tens of microseconds, which a small collective's drift
+/// sum cannot amortize.
+inline constexpr std::size_t kIntraStepMinParticles = 2048;
+
+/// A resolved policy: how many workers run samples concurrently, and how
+/// many threads each of those workers may use inside one step.
+struct ThreadBudget {
+  std::size_t sample_threads = 1;
+  std::size_t step_threads = 1;
+};
+
+/// Splits `threads` (0 = hardware concurrency) for an ensemble of `m`
+/// samples of an `n`-particle collective. The result always satisfies
+/// sample_threads × step_threads ≤ max(threads, 1) and both factors ≥ 1.
+[[nodiscard]] ThreadBudget resolve_parallel_policy(ParallelPolicy policy,
+                                                   std::size_t n, std::size_t m,
+                                                   std::size_t threads) noexcept;
+
+}  // namespace sops::sim

@@ -18,6 +18,7 @@
 
 #include "sim/detectors.hpp"
 #include "sim/integrator.hpp"
+#include "sim/parallel_policy.hpp"
 #include "sim/workspace.hpp"
 
 namespace sops::sim {
@@ -54,6 +55,15 @@ struct SimulationConfig {
 
   std::uint64_t seed = 0;    ///< master experiment seed
   std::uint64_t stream = 0;  ///< sample index within the experiment
+
+  /// Thread budget of this single run (0 = hardware concurrency). Spent
+  /// inside each step's drift sum via the resolved `parallel_policy`; the
+  /// default of 1 keeps standalone runs serial, and the ensemble driver
+  /// overwrites it per sample from its own ThreadBudget so nested
+  /// parallelism cannot arise. Never affects results: the sharded drift
+  /// path is bitwise-identical to serial for any thread count.
+  std::size_t threads = 1;
+  ParallelPolicy parallel_policy = ParallelPolicy::kAuto;
 };
 
 /// Recorded run. `frames[f]` is the configuration at step `frame_steps[f]`;

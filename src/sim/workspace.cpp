@@ -14,6 +14,10 @@ void SimulationWorkspace::prepare(const SimulationConfig& config) {
   }
   scaling_table_.emplace(config.model);
   drift_.reserve(config.types.size());
+  step_threads_ = resolve_parallel_policy(config.parallel_policy,
+                                          config.types.size(), 1,
+                                          config.threads)
+                      .step_threads;
 }
 
 geom::NeighborBackend& SimulationWorkspace::backend() {

@@ -40,11 +40,18 @@ class SimulationWorkspace {
   [[nodiscard]] std::vector<geom::Vec2>& drift() noexcept { return drift_; }
   [[nodiscard]] rng::Xoshiro256& engine() noexcept { return engine_; }
 
+  /// Threads the prepared run may spend inside each step's drift sum —
+  /// the config's ParallelPolicy resolved for this single run (m = 1).
+  [[nodiscard]] std::size_t step_threads() const noexcept {
+    return step_threads_;
+  }
+
  private:
   std::vector<geom::Vec2> drift_;
   std::unique_ptr<geom::NeighborBackend> backend_;
   std::optional<PairScalingTable> scaling_table_;
   rng::Xoshiro256 engine_{0};
+  std::size_t step_threads_ = 1;
 };
 
 }  // namespace sops::sim

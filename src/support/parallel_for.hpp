@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <exception>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -68,6 +69,54 @@ void parallel_for_chunked(std::size_t begin, std::size_t end,
       }
     });
     chunk_begin = chunk_end;
+  }
+  for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Explicit-partition overload: runs `chunk_body(bounds[k], bounds[k+1])`
+/// for every k, one worker per chunk, with caller-supplied chunk boundaries
+/// instead of an equal division. `bounds` must be ascending (empty chunks
+/// are skipped); a partition with at most one non-empty chunk runs inline.
+/// The partition is the caller's contract with determinism: boundaries that
+/// do not depend on the machine (e.g. a neighbor structure's cell-aligned
+/// shards) give bitwise-stable results at any worker count. Exception
+/// semantics match the equal-division overload.
+template <typename ChunkBody, typename Index>
+void parallel_for_chunked(std::span<const Index> bounds,
+                          ChunkBody&& chunk_body) {
+  if (bounds.size() < 2) return;
+  std::size_t non_empty = 0;
+  for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+    if (bounds[k] < bounds[k + 1]) ++non_empty;
+  }
+  if (non_empty == 0) return;
+  if (non_empty == 1) {
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      if (bounds[k] < bounds[k + 1]) {
+        chunk_body(static_cast<std::size_t>(bounds[k]),
+                   static_cast<std::size_t>(bounds[k + 1]));
+      }
+    }
+    return;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(non_empty);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+    if (bounds[k] >= bounds[k + 1]) continue;
+    const auto chunk_begin = static_cast<std::size_t>(bounds[k]);
+    const auto chunk_end = static_cast<std::size_t>(bounds[k + 1]);
+    workers.emplace_back([&, chunk_begin, chunk_end] {
+      try {
+        chunk_body(chunk_begin, chunk_end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
   }
   for (auto& worker : workers) worker.join();
   if (first_error) std::rethrow_exception(first_error);

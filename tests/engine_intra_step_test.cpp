@@ -1,0 +1,269 @@
+// Intra-step parallelism: thread-invariance matrix and golden pins.
+//
+// The cell-sharded drift path must be bitwise-identical for any thread
+// count and any ParallelPolicy — sharding only redistributes which worker
+// computes which particle; every particle keeps its serial neighbor
+// enumeration order. These tests pin that contract at three levels: raw
+// drift sums, full fixed-seed trajectories, and whole recorded ensembles,
+// plus hex-literal golden values for the sharded path at n = 1024.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "geom/neighbor_backend.hpp"
+#include "rng/samplers.hpp"
+#include "sim/parallel_policy.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using sops::geom::Vec2;
+using sops::sim::accumulate_drift;
+using sops::sim::ForceLawKind;
+using sops::sim::InteractionModel;
+using sops::sim::PairParams;
+using sops::sim::PairScalingTable;
+using sops::sim::ParallelPolicy;
+using sops::sim::ParticleSystem;
+using sops::sim::resolve_parallel_policy;
+using sops::sim::run_simulation;
+using sops::sim::SimulationConfig;
+using sops::sim::ThreadBudget;
+using sops::sim::Trajectory;
+
+constexpr std::size_t kThreadMatrix[] = {1, 2, 3, 8};
+
+ParticleSystem random_system(std::size_t n, double radius, std::size_t types,
+                             std::uint64_t seed) {
+  sops::rng::Xoshiro256 engine(seed);
+  std::vector<Vec2> positions;
+  std::vector<sops::sim::TypeId> type_ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back(sops::rng::uniform_disc(engine, radius));
+    type_ids.push_back(static_cast<sops::sim::TypeId>(i % types));
+  }
+  return {std::move(positions), std::move(type_ids)};
+}
+
+InteractionModel spring_model(std::size_t types) {
+  return InteractionModel(ForceLawKind::kSpring, types,
+                          PairParams{1.0, 2.0, 1.0, 1.0});
+}
+
+// ------------------------------------------------------ drift invariance
+
+TEST(IntraStepInvariance, DriftBitwiseAcrossThreadCounts) {
+  const auto system = random_system(500, 17.0, 3, 91);
+  const auto model = spring_model(3);
+  const PairScalingTable table(model);
+  for (const sops::geom::NeighborBackendKind kind :
+       {sops::geom::NeighborBackendKind::kAllPairs,
+        sops::geom::NeighborBackendKind::kCellGrid,
+        sops::geom::NeighborBackendKind::kDelaunay}) {
+    std::vector<Vec2> reference;
+    {
+      const auto backend = sops::geom::make_neighbor_backend(kind);
+      accumulate_drift(system, table, 3.0, reference, *backend, 1);
+    }
+    for (const std::size_t threads : kThreadMatrix) {
+      const auto backend = sops::geom::make_neighbor_backend(kind);
+      std::vector<Vec2> sharded;
+      accumulate_drift(system, table, 3.0, sharded, *backend, threads);
+      ASSERT_EQ(reference.size(), sharded.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(reference[i], sharded[i])
+            << "kind " << static_cast<int>(kind) << " threads " << threads
+            << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(IntraStepInvariance, ShardPartitionCoversEveryParticleOnce) {
+  const auto system = random_system(300, 11.0, 2, 5);
+  sops::geom::CellGridBackend backend;
+  backend.rebuild(system.positions, 3.0);
+  for (const std::size_t max_shards : {1u, 2u, 3u, 8u, 64u}) {
+    const auto bounds = backend.shard_bounds(max_shards);
+    const auto order = backend.shard_order();
+    ASSERT_GE(bounds.size(), 2u);
+    ASSERT_LE(bounds.size(), max_shards + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), system.size());
+    std::vector<int> seen(system.size(), 0);
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      ASSERT_LE(bounds[k], bounds[k + 1]);
+      for (std::uint32_t p = bounds[k]; p < bounds[k + 1]; ++p) {
+        ++seen[order[p]];
+      }
+    }
+    for (std::size_t i = 0; i < system.size(); ++i) {
+      EXPECT_EQ(seen[i], 1) << "max_shards " << max_shards << " i " << i;
+    }
+  }
+}
+
+// ------------------------------------------------- trajectory invariance
+
+SimulationConfig matrix_config() {
+  SimulationConfig config(spring_model(3));
+  config.types = sops::sim::evenly_distributed_types(260, 3);
+  config.cutoff_radius = 3.0;
+  config.init_disc_radius = 12.0;
+  config.steps = 12;
+  config.record_stride = 4;
+  config.seed = 314;
+  return config;
+}
+
+void expect_bitwise_equal(const Trajectory& a, const Trajectory& b) {
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  EXPECT_EQ(a.residual_norms, b.residual_norms);
+  EXPECT_EQ(a.equilibrium_step, b.equilibrium_step);
+  for (std::size_t f = 0; f < a.frames.size(); ++f) {
+    ASSERT_EQ(a.frames[f].size(), b.frames[f].size());
+    for (std::size_t i = 0; i < a.frames[f].size(); ++i) {
+      ASSERT_EQ(a.frames[f][i], b.frames[f][i]) << "f " << f << " i " << i;
+    }
+  }
+}
+
+TEST(IntraStepInvariance, TrajectoriesBitwiseAcrossThreadsAndPolicies) {
+  const Trajectory reference = run_simulation(matrix_config());
+  for (const ParallelPolicy policy :
+       {ParallelPolicy::kAuto, ParallelPolicy::kAcrossSamples,
+        ParallelPolicy::kWithinStep, ParallelPolicy::kHybrid}) {
+    for (const std::size_t threads : kThreadMatrix) {
+      SimulationConfig config = matrix_config();
+      config.parallel_policy = policy;
+      config.threads = threads;
+      expect_bitwise_equal(reference, run_simulation(config));
+    }
+  }
+}
+
+TEST(IntraStepInvariance, EnsemblesBitwiseAcrossPolicies) {
+  sops::core::ExperimentConfig reference_config(matrix_config());
+  reference_config.samples = 6;
+  reference_config.threads = 1;
+  reference_config.parallel = ParallelPolicy::kAcrossSamples;
+  const auto reference = sops::core::run_experiment(reference_config);
+
+  for (const ParallelPolicy policy :
+       {ParallelPolicy::kAuto, ParallelPolicy::kAcrossSamples,
+        ParallelPolicy::kWithinStep, ParallelPolicy::kHybrid}) {
+    for (const std::size_t threads : kThreadMatrix) {
+      sops::core::ExperimentConfig config = reference_config;
+      config.parallel = policy;
+      config.threads = threads;
+      const auto series = sops::core::run_experiment(config);
+      ASSERT_EQ(series.frame_count(), reference.frame_count());
+      EXPECT_EQ(series.equilibrium_steps, reference.equilibrium_steps);
+      for (std::size_t f = 0; f < reference.frame_count(); ++f) {
+        for (std::size_t s = 0; s < reference.sample_count(); ++s) {
+          for (std::size_t i = 0; i < reference.particle_count(); ++i) {
+            ASSERT_EQ(series.frames[f][s][i], reference.frames[f][s][i])
+                << "f " << f << " s " << s << " i " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- policy resolution
+
+TEST(ParallelPolicyResolution, BudgetNeverExceedsThreadsAndNeverNests) {
+  for (const std::size_t n : {16u, 2048u, 16384u}) {
+    for (const std::size_t m : {1u, 2u, 8u, 500u}) {
+      for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+        for (const ParallelPolicy policy :
+             {ParallelPolicy::kAuto, ParallelPolicy::kAcrossSamples,
+              ParallelPolicy::kWithinStep, ParallelPolicy::kHybrid}) {
+          const ThreadBudget budget =
+              resolve_parallel_policy(policy, n, m, threads);
+          EXPECT_GE(budget.sample_threads, 1u);
+          EXPECT_GE(budget.step_threads, 1u);
+          EXPECT_LE(budget.sample_threads * budget.step_threads, threads);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelPolicyResolution, AutoPicksTheExpectedAxis) {
+  // Paper-sized ensemble: samples swallow the whole budget.
+  EXPECT_EQ(resolve_parallel_policy(ParallelPolicy::kAuto, 50, 500, 8)
+                .sample_threads,
+            8u);
+  EXPECT_EQ(
+      resolve_parallel_policy(ParallelPolicy::kAuto, 50, 500, 8).step_threads,
+      1u);
+  // Single huge collective: the budget moves inside the step.
+  EXPECT_EQ(resolve_parallel_policy(ParallelPolicy::kAuto, 16384, 1, 8)
+                .step_threads,
+            8u);
+  // Small single collective: serial — the fork would cost more than it buys.
+  EXPECT_EQ(
+      resolve_parallel_policy(ParallelPolicy::kAuto, 256, 1, 8).step_threads,
+      1u);
+  // Few samples of a huge collective: hybrid split.
+  const ThreadBudget hybrid =
+      resolve_parallel_policy(ParallelPolicy::kAuto, 16384, 2, 8);
+  EXPECT_EQ(hybrid.sample_threads, 2u);
+  EXPECT_EQ(hybrid.step_threads, 4u);
+  // Hybrid prefers the split that strands the least budget: m = 5 samples
+  // over 8 threads runs 4×2, not 5×1.
+  const ThreadBudget uneven =
+      resolve_parallel_policy(ParallelPolicy::kAuto, 16384, 5, 8);
+  EXPECT_EQ(uneven.sample_threads, 4u);
+  EXPECT_EQ(uneven.step_threads, 2u);
+}
+
+// ------------------------------------------------------- golden (bitwise)
+
+// Golden values for the sharded path at n = 1024, captured from the serial
+// engine (threads = 1): the sharded run must reproduce them bit for bit at
+// every tested thread count. Any change to neighbor enumeration order,
+// shard layout leaking into summation order, or RNG draw order lands here.
+
+SimulationConfig golden_sharded_config() {
+  SimulationConfig config(spring_model(3));
+  config.types = sops::sim::evenly_distributed_types(1024, 3);
+  config.cutoff_radius = 3.0;
+  config.init_disc_radius = 48.0;
+  config.steps = 5;
+  config.record_stride = 5;
+  config.seed = 2024;
+  config.parallel_policy = ParallelPolicy::kWithinStep;
+  return config;
+}
+
+TEST(GoldenSharded, N1024BitwiseStableAcrossThreadCounts) {
+  const std::vector<double> residuals{
+      0x1.1f20db8c0a9e9p+10,
+      0x1.44cf91919c4c3p+9,
+  };
+  const Vec2 expected_p0{0x1.1f7fb79693556p+5, -0x1.7cbb4277ce2fep+3};
+  const Vec2 expected_p511{0x1.97ceb1e180d78p+3, -0x1.dbd1744fdf6dep+3};
+  const Vec2 expected_p1023{-0x1.c4597914cc6f6p+1, -0x1.7b1ed548d7d35p+5};
+
+  for (const std::size_t threads : kThreadMatrix) {
+    SimulationConfig config = golden_sharded_config();
+    config.threads = threads;
+    const Trajectory trajectory = run_simulation(config);
+    ASSERT_EQ(trajectory.residual_norms.size(), residuals.size());
+    for (std::size_t f = 0; f < residuals.size(); ++f) {
+      EXPECT_EQ(trajectory.residual_norms[f], residuals[f])
+          << "threads " << threads << " frame " << f;
+    }
+    ASSERT_EQ(trajectory.frames.back().size(), 1024u);
+    EXPECT_EQ(trajectory.frames.back()[0], expected_p0) << threads;
+    EXPECT_EQ(trajectory.frames.back()[511], expected_p511) << threads;
+    EXPECT_EQ(trajectory.frames.back()[1023], expected_p1023) << threads;
+  }
+}
+
+}  // namespace

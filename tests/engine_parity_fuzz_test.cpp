@@ -1,0 +1,179 @@
+// Randomized backend-parity fuzzer.
+//
+// ~50 seeded random configurations (collective size, type count, force law,
+// cut-off, initialization disc — all drawn from rng/) assert the engine's
+// structural invariants on every one:
+//
+//  1. all-pairs and cell-grid enumerate the same pair set, so their drifts
+//     agree to 1e-12 (the summation orders differ, hence not bitwise);
+//  2. every persistent backend reproduces its per-step-rebuild enum-mode
+//     path bitwise (same pairs, same enumeration order);
+//  3. the Delaunay backend's radius-pruned adjacency matches a direct
+//     tessellation + pruning reference to 1e-12;
+//  4. the cell-sharded intra-step path is bitwise-equal to the serial loop
+//     for every backend kind.
+//
+// This replaces the previous hand-picked parity cases: random geometry
+// exercises hash-grid cell boundaries, duplicate-distance ties, and sparse/
+// dense occupancy mixes that fixed fixtures never reach.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/delaunay.hpp"
+#include "geom/neighbor_backend.hpp"
+#include "rng/samplers.hpp"
+#include "sim/forces.hpp"
+
+namespace {
+
+using sops::geom::Vec2;
+using sops::sim::accumulate_drift;
+using sops::sim::ForceLawKind;
+using sops::sim::InteractionModel;
+using sops::sim::NeighborMode;
+using sops::sim::PairParams;
+using sops::sim::PairScalingTable;
+using sops::sim::ParticleSystem;
+
+struct FuzzCase {
+  ParticleSystem system;
+  InteractionModel model;
+  double cutoff;
+};
+
+FuzzCase draw_case(std::uint64_t case_id) {
+  sops::rng::Xoshiro256 engine(0xF022 + case_id * 7919);
+  const std::size_t n = 8 + engine() % 280;
+  const std::size_t types = 1 + engine() % 5;
+  const double disc_radius = sops::rng::uniform(engine, 2.0, 12.0);
+  const double cutoff = sops::rng::uniform(engine, 1.0, 6.0);
+  const ForceLawKind kind =
+      case_id % 2 == 0 ? ForceLawKind::kSpring : ForceLawKind::kDoubleGaussian;
+  const PairParams params{sops::rng::uniform(engine, 0.5, 2.0),
+                          sops::rng::uniform(engine, 1.0, 3.0),
+                          sops::rng::uniform(engine, 0.5, 2.0),
+                          sops::rng::uniform(engine, 2.5, 5.0)};
+
+  std::vector<Vec2> positions;
+  std::vector<sops::sim::TypeId> type_ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back(sops::rng::uniform_disc(engine, disc_radius));
+    type_ids.push_back(static_cast<sops::sim::TypeId>(engine() % types));
+  }
+  return {ParticleSystem(std::move(positions), std::move(type_ids)),
+          InteractionModel(kind, types, params), cutoff};
+}
+
+constexpr std::uint64_t kCases = 50;
+
+TEST(ParityFuzz, AllPairsVsCellGridWithin1e12) {
+  for (std::uint64_t c = 0; c < kCases; ++c) {
+    const FuzzCase fuzz = draw_case(c);
+    std::vector<Vec2> brute;
+    std::vector<Vec2> grid;
+    accumulate_drift(fuzz.system, fuzz.model, fuzz.cutoff, brute,
+                     NeighborMode::kAllPairs);
+    accumulate_drift(fuzz.system, fuzz.model, fuzz.cutoff, grid,
+                     NeighborMode::kCellGrid);
+    for (std::size_t i = 0; i < fuzz.system.size(); ++i) {
+      ASSERT_NEAR(brute[i].x, grid[i].x, 1e-12) << "case " << c << " i " << i;
+      ASSERT_NEAR(brute[i].y, grid[i].y, 1e-12) << "case " << c << " i " << i;
+    }
+  }
+}
+
+TEST(ParityFuzz, PersistentBackendsMatchEnumModesBitwise) {
+  const struct {
+    NeighborMode mode;
+    sops::geom::NeighborBackendKind kind;
+  } pairs[] = {
+      {NeighborMode::kAllPairs, sops::geom::NeighborBackendKind::kAllPairs},
+      {NeighborMode::kCellGrid, sops::geom::NeighborBackendKind::kCellGrid},
+      {NeighborMode::kDelaunay, sops::geom::NeighborBackendKind::kDelaunay},
+  };
+  for (std::uint64_t c = 0; c < kCases; ++c) {
+    const FuzzCase fuzz = draw_case(c);
+    for (const auto& pair : pairs) {
+      std::vector<Vec2> via_mode;
+      std::vector<Vec2> via_backend;
+      accumulate_drift(fuzz.system, fuzz.model, fuzz.cutoff, via_mode,
+                       pair.mode);
+      const auto backend = sops::geom::make_neighbor_backend(pair.kind);
+      accumulate_drift(fuzz.system, fuzz.model, fuzz.cutoff, via_backend,
+                       *backend);
+      ASSERT_EQ(via_mode.size(), via_backend.size());
+      for (std::size_t i = 0; i < via_mode.size(); ++i) {
+        ASSERT_EQ(via_mode[i], via_backend[i])
+            << "case " << c << " kind " << static_cast<int>(pair.kind)
+            << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(ParityFuzz, DelaunayBackendMatchesPrunedTessellationWithin1e12) {
+  for (std::uint64_t c = 0; c < kCases; ++c) {
+    const FuzzCase fuzz = draw_case(c);
+    const PairScalingTable table(fuzz.model);
+    const double cutoff_sq = fuzz.cutoff * fuzz.cutoff;
+
+    // Reference: direct tessellation, pruned by the cut-off, in adjacency
+    // order — computed without any backend machinery.
+    const auto adjacency =
+        sops::geom::delaunay_adjacency(fuzz.system.positions);
+    std::vector<Vec2> reference(fuzz.system.size());
+    for (std::size_t i = 0; i < fuzz.system.size(); ++i) {
+      Vec2 drift{};
+      for (const std::size_t j : adjacency[i]) {
+        const Vec2 delta = fuzz.system.positions[i] - fuzz.system.positions[j];
+        const double d_sq = sops::geom::norm_sq(delta);
+        if (d_sq >= cutoff_sq || d_sq == 0.0) continue;
+        const double scaling =
+            table(fuzz.system.types[i], fuzz.system.types[j], std::sqrt(d_sq));
+        drift += delta * (-scaling);
+      }
+      reference[i] = drift;
+    }
+
+    std::vector<Vec2> via_backend;
+    sops::geom::DelaunayBackend backend;
+    accumulate_drift(fuzz.system, fuzz.model, fuzz.cutoff, via_backend,
+                     backend);
+    for (std::size_t i = 0; i < fuzz.system.size(); ++i) {
+      ASSERT_NEAR(reference[i].x, via_backend[i].x, 1e-12)
+          << "case " << c << " i " << i;
+      ASSERT_NEAR(reference[i].y, via_backend[i].y, 1e-12)
+          << "case " << c << " i " << i;
+    }
+  }
+}
+
+TEST(ParityFuzz, ShardedPathBitwiseEqualsSerialForEveryBackend) {
+  for (std::uint64_t c = 0; c < kCases; ++c) {
+    const FuzzCase fuzz = draw_case(c);
+    const PairScalingTable table(fuzz.model);
+    for (const sops::geom::NeighborBackendKind kind :
+         {sops::geom::NeighborBackendKind::kAllPairs,
+          sops::geom::NeighborBackendKind::kCellGrid,
+          sops::geom::NeighborBackendKind::kDelaunay}) {
+      const auto serial_backend = sops::geom::make_neighbor_backend(kind);
+      const auto sharded_backend = sops::geom::make_neighbor_backend(kind);
+      std::vector<Vec2> serial;
+      std::vector<Vec2> sharded;
+      accumulate_drift(fuzz.system, table, fuzz.cutoff, serial,
+                       *serial_backend, 1);
+      accumulate_drift(fuzz.system, table, fuzz.cutoff, sharded,
+                       *sharded_backend, 3);
+      ASSERT_EQ(serial.size(), sharded.size());
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i], sharded[i])
+            << "case " << c << " kind " << static_cast<int>(kind) << " i "
+            << i;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -2,8 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "support/error.hpp"
@@ -137,6 +140,59 @@ TEST(ParallelFor, MoreThreadsThanWorkIsSafe) {
   parallel_for(
       0, 3, [&](std::size_t) { count.fetch_add(1); }, 64);
   EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ExplicitPartition, ChunksFollowCallerBoundaries) {
+  const std::vector<std::uint32_t> bounds{0, 3, 3, 10, 40};
+  std::vector<std::atomic<int>> visits(40);
+  std::mutex chunks_mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunked(std::span<const std::uint32_t>(bounds),
+                       [&](std::size_t begin, std::size_t end) {
+                         {
+                           const std::lock_guard<std::mutex> lock(chunks_mutex);
+                           chunks.emplace_back(begin, end);
+                         }
+                         for (std::size_t i = begin; i < end; ++i) {
+                           visits[i].fetch_add(1);
+                         }
+                       });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+  // The empty chunk [3, 3) is skipped; the three non-empty ones run as given.
+  EXPECT_EQ(chunks.size(), 3u);
+}
+
+TEST(ExplicitPartition, SingleChunkRunsInline) {
+  const std::vector<std::uint32_t> bounds{0, 0, 5, 5};
+  std::thread::id body_thread;
+  parallel_for_chunked(std::span<const std::uint32_t>(bounds),
+                       [&](std::size_t, std::size_t) {
+                         body_thread = std::this_thread::get_id();
+                       });
+  EXPECT_TRUE(body_thread == std::this_thread::get_id());
+}
+
+TEST(ExplicitPartition, DegenerateBoundsAreNoops) {
+  bool called = false;
+  const auto body = [&](std::size_t, std::size_t) { called = true; };
+  parallel_for_chunked(std::span<const std::uint32_t>(), body);
+  const std::vector<std::uint32_t> single{7};
+  parallel_for_chunked(std::span<const std::uint32_t>(single), body);
+  const std::vector<std::uint32_t> all_empty{4, 4, 4};
+  parallel_for_chunked(std::span<const std::uint32_t>(all_empty), body);
+  EXPECT_FALSE(called);
+}
+
+TEST(ExplicitPartition, ExceptionsPropagateToCaller) {
+  const std::vector<std::uint32_t> bounds{0, 10, 20, 30};
+  EXPECT_THROW(
+      parallel_for_chunked(std::span<const std::uint32_t>(bounds),
+                           [](std::size_t begin, std::size_t) {
+                             if (begin == 10) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
 }
 
 TEST(DefaultThreadCount, IsPositive) {

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Append a BENCH_engine.json run to the tracked perf trajectory and gate on
+regressions.
+
+Usage:
+    bench_trend.py <BENCH_engine.json> <BENCH_trend.json> [--label LABEL]
+
+Reads the engine benchmark output, flattens its steps/sec series into named
+metrics, appends one entry to the trend file (creating it if absent), and
+exits non-zero when any metric regressed by more than 10% against the
+baseline: the most recent entry that was not itself flagged as regressed,
+so a bad run cannot ratchet itself in as the next comparison point.
+Entries recorded on different hardware (thread count or CPU model) are
+appended but not gated against each other — steps/sec is not comparable
+across hardware, and a false alarm would train people to ignore the gate.
+"""
+
+import argparse
+import datetime
+import json
+import platform
+import subprocess
+import sys
+
+REGRESSION_TOLERANCE = 0.10
+
+
+def flatten_metrics(engine_json):
+    """BENCH_engine.json -> {metric_name: steps_per_sec}."""
+    metrics = {}
+    for row in engine_json.get("results", []):
+        metrics[f"engine/n={row['n']}"] = row["engine_steps_per_sec"]
+    for row in engine_json.get("intra_step", []):
+        key = f"intra_step/n={row['n']}/threads={row['threads']}"
+        metrics[key] = row["steps_per_sec"]
+    return metrics
+
+
+def cpu_identity():
+    """Best-effort CPU model string; runners with equal vCPU counts can
+    still be different silicon with >10% wall-clock spread."""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def same_hardware(a, b):
+    return (a.get("hardware_threads") == b.get("hardware_threads")
+            and a.get("cpu") == b.get("cpu"))
+
+
+def default_label():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            stderr=subprocess.DEVNULL, text=True).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("engine_json")
+    parser.add_argument("trend_json")
+    parser.add_argument("--label", default=None,
+                        help="entry label (default: git short hash)")
+    args = parser.parse_args()
+
+    with open(args.engine_json) as f:
+        engine = json.load(f)
+    metrics = flatten_metrics(engine)
+    if not metrics:
+        print(f"error: no metrics found in {args.engine_json}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        with open(args.trend_json) as f:
+            trend = json.load(f)
+    except FileNotFoundError:
+        trend = []
+    if not isinstance(trend, list):
+        print(f"error: {args.trend_json} is not a JSON array", file=sys.stderr)
+        return 2
+
+    entry = {
+        "label": args.label or default_label(),
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+                       .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "hardware_threads": engine.get("hardware_threads"),
+        "cpu": cpu_identity(),
+        "metrics": metrics,
+    }
+
+    # Baseline: the newest same-hardware entry that was not itself a
+    # regression — a bad run is recorded but never becomes the next
+    # comparison point, and an interleaved run on foreign hardware does not
+    # reset the gate (the fleet behind CI runners is heterogeneous).
+    baseline = next((e for e in reversed(trend)
+                     if not e.get("regressed") and same_hardware(e, entry)),
+                    None)
+    regressions = []
+    if baseline is None:
+        print(f"trend: no healthy baseline for {entry['hardware_threads']} "
+              f"threads / '{entry['cpu']}'; gate skipped")
+    else:
+        for name, value in sorted(metrics.items()):
+            base = baseline["metrics"].get(name)
+            if base is None or base <= 0:
+                print(f"trend: {name}: new metric ({value:.1f} steps/s)")
+                continue
+            change = (value - base) / base
+            status = "REGRESSION" if change < -REGRESSION_TOLERANCE else "ok"
+            print(f"trend: {name}: {base:.1f} -> {value:.1f} steps/s "
+                  f"({change:+.1%}) {status}")
+            if change < -REGRESSION_TOLERANCE:
+                regressions.append(name)
+
+    # Record the run even when gating fails: the trajectory should show the
+    # regression, not hide it — but flag it so it never becomes a baseline.
+    if regressions:
+        entry["regressed"] = True
+    trend.append(entry)
+    with open(args.trend_json, "w") as f:
+        json.dump(trend, f, indent=2)
+        f.write("\n")
+    print(f"trend: appended entry '{entry['label']}' "
+          f"({len(metrics)} metrics) to {args.trend_json}")
+
+    if regressions:
+        print(f"error: >{REGRESSION_TOLERANCE:.0%} steps/sec regression in: "
+              + ", ".join(regressions), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

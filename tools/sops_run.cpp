@@ -14,11 +14,33 @@
 //   stride  = 25
 //   entropies = true
 //   output  = fig4.csv
+//
+// `sops_run --smoke` runs a tiny built-in Fig. 4 configuration instead of a
+// config file — the ctest smoke entry that keeps the CLI pipeline honest.
 #include <algorithm>
 #include <iostream>
+#include <string_view>
 
 #include "core/config_builder.hpp"
 #include "core/sops.hpp"
+
+namespace {
+
+int run_smoke() {
+  using namespace sops;
+  core::ExperimentConfig experiment(core::presets::fig4_three_type_collective());
+  experiment.samples = 6;
+  experiment.simulation.steps = 10;
+  experiment.simulation.record_stride = 5;
+  const core::EnsembleSeries series = core::run_experiment(experiment);
+  const core::AnalysisResult result = core::analyze_self_organization(series);
+  std::cout << "smoke: " << series.sample_count() << " samples, "
+            << result.points.size() << " analysis points, delta-I = "
+            << result.delta_mi() << " bits\n";
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sops;
@@ -28,6 +50,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (std::string_view(argv[1]) == "--smoke") return run_smoke();
     const io::Config config = io::Config::load(argv[1]);
 
     // Warn about unknown keys — almost always a typo in an experiment file.
