@@ -4,18 +4,26 @@
 // baseline), the KSG estimator, k-d tree queries, and ICP alignment.
 //
 // Besides the google-benchmark suite, the binary always emits
-// BENCH_engine.json with steps/sec of cell-grid stepping for
-// n ∈ {64, 256, 1024}, comparing the batched engine against the seed
-// baseline — the start of the engine's perf trajectory.
+// BENCH_engine.json: steps/sec of cell-grid stepping for n ∈ {64, 256,
+// 1024} (batched engine vs seed baseline), the intra-step sharding series
+// (pooled vs fork-per-step dispatch), the executor layer's per-dispatch
+// overhead, analyzer (KSG) frames/sec, and the run's peak RSS — the
+// engine's perf trajectory, gated by tools/bench_trend.py.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/sops.hpp"
+#include "support/executor.hpp"
 
 namespace {
 
@@ -228,6 +236,37 @@ BENCHMARK(BM_StepEngineIntraStep)
     ->Args({16384, 1})
     ->Args({16384, 8});
 
+void BM_StepEngineIntraStepPooled(benchmark::State& state) {
+  // Same sharded work dispatched onto a persistent TaskPool (the engine's
+  // actual path since the executor layer): per step, a wake/notify
+  // round-trip instead of a thread spawn/join. Bitwise-equal results.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto step_threads = static_cast<std::size_t>(state.range(1));
+  auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5, 3, 7);
+  const auto model = default_model(3);
+  const sim::PairScalingTable table(model);
+  sim::IntegratorParams params;
+  rng::Xoshiro256 engine(1);
+  std::vector<geom::Vec2> scratch;
+  geom::CellGridBackend backend;
+  support::TaskPool pool(step_threads);
+  for (auto _ : state) {
+    sim::accumulate_drift(system, table, 3.0, scratch, backend,
+                          pool.executor());
+    benchmark::DoNotOptimize(sim::total_drift_norm(scratch));
+    sim::apply_euler_maruyama_update(system, scratch, params, engine);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["steps/sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StepEngineIntraStepPooled)
+    ->Args({4096, 2})
+    ->Args({4096, 4})
+    ->Args({4096, 8})
+    ->Args({16384, 8});
+
 void BM_KsgMultiInformation(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   rng::Xoshiro256 engine(3);
@@ -320,9 +359,11 @@ double measure_steps_per_sec(std::size_t n, bool use_engine) {
 }
 
 // Steps/sec of single-sample stepping with the drift sum sharded over
-// `step_threads` workers (the intra-step path).
-double measure_intra_step_steps_per_sec(std::size_t n,
-                                        std::size_t step_threads) {
+// `step_threads` workers (the intra-step path). `pooled` selects the
+// persistent-TaskPool dispatch (the engine's path); otherwise every step
+// forks and joins transient workers (the pre-executor baseline).
+double measure_intra_step_steps_per_sec(std::size_t n, std::size_t step_threads,
+                                        bool pooled) {
   auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5, 3, 7);
   const auto model = default_model(3);
   const sim::PairScalingTable table(model);
@@ -330,9 +371,16 @@ double measure_intra_step_steps_per_sec(std::size_t n,
   rng::Xoshiro256 engine(1);
   std::vector<geom::Vec2> scratch;
   geom::CellGridBackend backend;
+  std::optional<support::TaskPool> pool;
+  if (pooled) pool.emplace(step_threads);
 
   const auto one_step = [&] {
-    sim::accumulate_drift(system, table, 3.0, scratch, backend, step_threads);
+    if (pool.has_value()) {
+      sim::accumulate_drift(system, table, 3.0, scratch, backend,
+                            pool->executor());
+    } else {
+      sim::accumulate_drift(system, table, 3.0, scratch, backend, step_threads);
+    }
     benchmark::DoNotOptimize(sim::total_drift_norm(scratch));
     sim::apply_euler_maruyama_update(system, scratch, params, engine);
   };
@@ -345,6 +393,76 @@ double measure_intra_step_steps_per_sec(std::size_t n,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return static_cast<double>(steps) / seconds;
+}
+
+// Pure dispatch cost: microseconds per empty `width`-chunk batch, spawn vs
+// pool. This is the per-step overhead the intra-step path pays before any
+// drift work — the number kIntraStepMinParticles is derived from.
+double measure_dispatch_us(std::size_t width, bool pooled) {
+  std::optional<support::TaskPool> pool;
+  std::optional<support::SpawnExecutor> spawn;
+  support::Executor* executor;
+  if (pooled) {
+    pool.emplace(width);
+    executor = &pool->executor();
+  } else {
+    spawn.emplace(width);
+    executor = &*spawn;
+  }
+  auto nothing = [](std::size_t k) { benchmark::DoNotOptimize(k); };
+  const int warmup = 50;
+  const int rounds = pooled ? 5000 : 1000;
+  for (int i = 0; i < warmup; ++i) executor->run(width, nothing);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < rounds; ++i) executor->run(width, nothing);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return seconds * 1e6 / static_cast<double>(rounds);
+}
+
+// Analyzer throughput on a fixed mid-sized config: KSG frames/sec through
+// the full align → estimate pipeline (no coarse-graining at n = 24).
+double measure_analyzer_frames_per_sec(std::size_t* frames_out) {
+  sim::SimulationConfig simulation(default_model(3));
+  simulation.types = sim::evenly_distributed_types(24, 3);
+  simulation.cutoff_radius = 3.0;
+  simulation.init_disc_radius = 6.0;
+  simulation.steps = 40;
+  simulation.record_stride = 8;
+  simulation.seed = 99;
+  core::ExperimentConfig experiment(std::move(simulation));
+  experiment.samples = 96;
+  const core::EnsembleSeries series = core::run_experiment(experiment);
+
+  core::AnalysisOptions options;
+  const int warmup = 1;
+  const int rounds = 3;
+  for (int i = 0; i < warmup; ++i) {
+    benchmark::DoNotOptimize(core::analyze_self_organization(series, options));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < rounds; ++i) {
+    benchmark::DoNotOptimize(core::analyze_self_organization(series, options));
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (frames_out != nullptr) *frames_out = series.frame_count();
+  return static_cast<double>(series.frame_count() * rounds) / seconds;
+}
+
+// Peak resident set of this process in KB; 0 when the platform has no
+// getrusage. Linux reports ru_maxrss in KB, macOS in bytes.
+long peak_rss_kb() {
+#if defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss / 1024;
+#elif defined(__unix__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) return usage.ru_maxrss;
+#endif
+  return 0;
 }
 
 void emit_engine_json() {
@@ -375,8 +493,10 @@ void emit_engine_json() {
   }
 
   // Intra-step sharding: single-sample stepping of one large collective at
-  // 1/2/4/8 drift threads. The speedup column is against this build's own
-  // threads=1 row, so the number is a pure scaling measurement.
+  // 1/2/4/8 drift threads, dispatched on the persistent pool (the engine's
+  // path; `steps_per_sec`) and on the fork-per-step baseline
+  // (`spawn_steps_per_sec`). The scaling column is against this build's own
+  // pooled threads=1 row, so the number is a pure scaling measurement.
   const std::size_t intra_sizes[] = {1024, 4096, 16384};
   const std::size_t thread_counts[] = {1, 2, 4, 8};
   double scaling_at_16384x8 = 0.0;
@@ -386,21 +506,57 @@ void emit_engine_json() {
     double serial = 0.0;
     for (std::size_t b = 0; b < 4; ++b) {
       const std::size_t threads = thread_counts[b];
-      const double rate = measure_intra_step_steps_per_sec(n, threads);
+      const double rate = measure_intra_step_steps_per_sec(n, threads, true);
+      const double spawn_rate =
+          measure_intra_step_steps_per_sec(n, threads, false);
       if (threads == 1) serial = rate;
       const double scaling = serial > 0.0 ? rate / serial : 0.0;
       if (n == 16384 && threads == 8) scaling_at_16384x8 = scaling;
       std::fprintf(out,
                    "    {\"n\": %zu, \"threads\": %zu, "
-                   "\"steps_per_sec\": %.1f, \"scaling_vs_serial\": %.3f}%s\n",
-                   n, threads, rate, scaling,
+                   "\"steps_per_sec\": %.1f, \"spawn_steps_per_sec\": %.1f, "
+                   "\"scaling_vs_serial\": %.3f}%s\n",
+                   n, threads, rate, spawn_rate, scaling,
                    a + 1 < 3 || b + 1 < 4 ? "," : "");
-      std::printf("intra-step n=%zu threads=%zu: %.0f steps/s (%.2fx vs "
-                  "serial)\n",
-                  n, threads, rate, scaling);
+      std::printf("intra-step n=%zu threads=%zu: pooled %.0f steps/s, "
+                  "spawn %.0f steps/s (%.2fx vs serial)\n",
+                  n, threads, rate, spawn_rate, scaling);
     }
   }
-  std::fprintf(out, "  ],\n  \"hardware_threads\": %u\n}\n",
+
+  // Per-dispatch overhead of an empty batch at the widths kAuto allocates:
+  // what one step pays before any drift work. kIntraStepMinParticles is
+  // re-derived from the pooled number (see sim/parallel_policy.hpp).
+  const std::size_t dispatch_width = 4;
+  const double spawn_us = measure_dispatch_us(dispatch_width, false);
+  const double pool_us = measure_dispatch_us(dispatch_width, true);
+  std::fprintf(out,
+               "  ],\n  \"dispatch\": {\"width\": %zu, "
+               "\"spawn_us\": %.2f, \"pool_us\": %.2f, "
+               "\"pool_speedup\": %.2f},\n",
+               dispatch_width, spawn_us, pool_us,
+               pool_us > 0.0 ? spawn_us / pool_us : 0.0);
+  std::printf("dispatch width=%zu: spawn %.1f us, pool %.1f us (%.1fx)\n",
+              dispatch_width, spawn_us, pool_us,
+              pool_us > 0.0 ? spawn_us / pool_us : 0.0);
+  std::fprintf(out,
+               "  \"intra_step_min_particles\": {\"pre_executor\": 2048, "
+               "\"current\": %zu},\n",
+               sim::kIntraStepMinParticles);
+
+  // Analyzer throughput (align → KSG per recorded frame) and this run's
+  // peak resident set — both gated by tools/bench_trend.py.
+  std::size_t analyzer_frames = 0;
+  const double frames_per_sec = measure_analyzer_frames_per_sec(&analyzer_frames);
+  std::fprintf(out,
+               "  \"analyzer\": {\"n\": 24, \"samples\": 96, \"frames\": %zu, "
+               "\"frames_per_sec\": %.2f},\n",
+               analyzer_frames, frames_per_sec);
+  std::printf("analyzer: %.1f KSG frames/s (n=24, m=96, %zu frames)\n",
+              frames_per_sec, analyzer_frames);
+
+  std::fprintf(out, "  \"peak_rss_kb\": %ld,\n", peak_rss_kb());
+  std::fprintf(out, "  \"hardware_threads\": %u\n}\n",
                std::thread::hardware_concurrency());
   std::fclose(out);
   std::printf("CHECK %s engine >= 1.5x seed baseline at n=1024 (%.2fx)\n",
@@ -409,6 +565,10 @@ void emit_engine_json() {
               "needs >= 8 hardware threads, %u available)\n",
               scaling_at_16384x8 >= 3.0 ? "[PASS]" : "[FAIL]",
               scaling_at_16384x8, std::thread::hardware_concurrency());
+  std::printf("CHECK %s pool dispatch below spawn-per-step baseline "
+              "(%.1f us vs %.1f us at width %zu)\n",
+              pool_us < spawn_us ? "[PASS]" : "[FAIL]", pool_us, spawn_us,
+              dispatch_width);
   std::printf("series written to BENCH_engine.json\n");
 }
 
@@ -419,22 +579,30 @@ int run_smoke() {
   const std::size_t n = 512;
   auto serial_system = random_system(n, 34.0, 3, 7);
   auto sharded_system = serial_system;
+  auto pooled_system = serial_system;
   const auto model = default_model(3);
   const sim::PairScalingTable table(model);
   sim::IntegratorParams params;
   rng::Xoshiro256 serial_engine(1);
   rng::Xoshiro256 sharded_engine(1);
+  rng::Xoshiro256 pooled_engine(1);
   std::vector<geom::Vec2> serial_drift;
   std::vector<geom::Vec2> sharded_drift;
+  std::vector<geom::Vec2> pooled_drift;
   geom::CellGridBackend serial_backend;
   geom::CellGridBackend sharded_backend;
+  geom::CellGridBackend pooled_backend;
+  support::TaskPool pool(4);
   for (int step = 0; step < 25; ++step) {
     sim::accumulate_drift(serial_system, table, 3.0, serial_drift,
                           serial_backend, 1);
     sim::accumulate_drift(sharded_system, table, 3.0, sharded_drift,
                           sharded_backend, 4);
+    sim::accumulate_drift(pooled_system, table, 3.0, pooled_drift,
+                          pooled_backend, pool.executor());
     for (std::size_t i = 0; i < n; ++i) {
-      if (!(serial_drift[i] == sharded_drift[i])) {
+      if (!(serial_drift[i] == sharded_drift[i]) ||
+          !(serial_drift[i] == pooled_drift[i])) {
         std::fprintf(stderr, "smoke: drift diverged at step %d particle %zu\n",
                      step, i);
         return 1;
@@ -444,8 +612,11 @@ int run_smoke() {
                                      serial_engine);
     sim::apply_euler_maruyama_update(sharded_system, sharded_drift, params,
                                      sharded_engine);
+    sim::apply_euler_maruyama_update(pooled_system, pooled_drift, params,
+                                     pooled_engine);
   }
-  std::printf("smoke: 25 steps, serial == 4-thread sharded bitwise\n");
+  std::printf(
+      "smoke: 25 steps, serial == 4-thread sharded == pooled bitwise\n");
   return 0;
 }
 

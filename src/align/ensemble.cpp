@@ -38,30 +38,32 @@ AlignedEnsemble align_rows(std::span<const std::span<const geom::Vec2>> configs,
   };
   write_row(0, reference);
 
-  support::parallel_for(
-      1, m,
-      [&](std::size_t s) {
-        std::vector<geom::Vec2> moved = geom::centered(configs[s]);
-        if (options.rotations) {
-          const IcpResult icp =
-              align_icp(moved, types, reference, types, options.icp);
-          moved = icp.transform.apply(moved);
-          // The fitted transform may reintroduce a tiny translation; shape
-          // space demands exact centroid-centering, so re-center.
-          moved = geom::centered(moved);
-        }
-        if (options.permutations) {
-          const std::vector<std::size_t> match =
-              match_by_type(moved, types, reference, types);
-          // Observer j of this sample is the particle matched to reference
-          // particle j.
-          std::vector<geom::Vec2> permuted(n);
-          for (std::size_t i = 0; i < n; ++i) permuted[match[i]] = moved[i];
-          moved = std::move(permuted);
-        }
-        write_row(s, moved);
-      },
-      options.threads);
+  const auto align_sample = [&](std::size_t s) {
+    std::vector<geom::Vec2> moved = geom::centered(configs[s]);
+    if (options.rotations) {
+      const IcpResult icp =
+          align_icp(moved, types, reference, types, options.icp);
+      moved = icp.transform.apply(moved);
+      // The fitted transform may reintroduce a tiny translation; shape
+      // space demands exact centroid-centering, so re-center.
+      moved = geom::centered(moved);
+    }
+    if (options.permutations) {
+      const std::vector<std::size_t> match =
+          match_by_type(moved, types, reference, types);
+      // Observer j of this sample is the particle matched to reference
+      // particle j.
+      std::vector<geom::Vec2> permuted(n);
+      for (std::size_t i = 0; i < n; ++i) permuted[match[i]] = moved[i];
+      moved = std::move(permuted);
+    }
+    write_row(s, moved);
+  };
+  if (options.executor != nullptr) {
+    support::parallel_for(*options.executor, 1, m, align_sample);
+  } else {
+    support::parallel_for(1, m, align_sample, options.threads);
+  }
 
   return out;
 }

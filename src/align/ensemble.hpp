@@ -27,6 +27,10 @@
 #include "info/sample_matrix.hpp"
 #include "rng/engine.hpp"
 
+namespace sops::support {
+class Executor;
+}  // namespace sops::support
+
 namespace sops::align {
 
 /// An ensemble reduced to shape space: one row per sample, one 2-wide block
@@ -48,6 +52,12 @@ struct AlignedEnsemble {
 struct EnsembleOptions {
   IcpOptions icp{};
   std::size_t threads = 0;
+  /// When set, the per-sample alignment loop dispatches on this executor (a
+  /// persistent pool slice the caller reuses across frames) and `threads`
+  /// is ignored; when null, a transient fork/join of `threads` workers runs
+  /// per call. Never affects results: every sample's alignment is
+  /// independent and writes its own row.
+  support::Executor* executor = nullptr;
   /// Skip the ICP rotation (still centers and permutes). Used by ablations
   /// to show the effect of factoring rotations out.
   bool rotations = true;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "support/parallel_for.hpp"
+#include "sim/parallel_policy.hpp"
+#include "support/executor.hpp"
 
 namespace sops::core {
 
@@ -45,7 +46,9 @@ AnalysisResult analyze_self_organization(const EnsembleSeries& series,
   result.coarse_grained = coarse;
   result.points.resize(frame_count);
 
-  // Inner stages run single-threaded; parallelism is across frames.
+  // The inner stages never fork on their own (threads = 1); instead each
+  // frame chunk lends its pool slice to both the alignment loop and the
+  // estimator's sample queries (see below). Neither affects results.
   align::EnsembleOptions ensemble_options = options.ensemble;
   ensemble_options.threads = 1;
   info::KsgOptions ksg_options = options.ksg;
@@ -53,52 +56,75 @@ AnalysisResult analyze_self_organization(const EnsembleSeries& series,
 
   std::vector<std::size_t> observer_counts(frame_count, 0);
 
-  support::parallel_for(
-      0, frame_count,
-      [&](std::size_t f) {
-        align::AlignedEnsemble aligned =
-            align::align_ensemble(series.frames[f], series.types, ensemble_options);
-        if (coarse) {
-          // Seeded per frame so frames are independent of evaluation order.
-          rng::Xoshiro256 engine =
-              rng::make_stream(options.kmeans_seed, static_cast<std::uint64_t>(f));
-          aligned = align::coarse_grain_ensemble(aligned, options.kmeans_per_type,
-                                                 engine);
-        }
-        observer_counts[f] = aligned.observer_count();
-
-        TimePoint& point = result.points[f];
-        point.step = series.frame_steps[f];
-        point.multi_information =
-            info::multi_information_ksg(aligned.samples, aligned.blocks, ksg_options);
-
-        if (options.compute_entropies) {
-          point.joint_entropy =
-              info::entropy_kl(aligned.samples, ksg_options.k, 1);
-          point.marginal_entropy_sum = 0.0;
-          for (const info::Block& block : aligned.blocks) {
-            point.marginal_entropy_sum +=
-                info::entropy_kl_block(aligned.samples, block, ksg_options.k, 1);
-          }
-        }
-        if (options.compute_decomposition) {
-          sim::TypeId max_type = 0;
-          for (const sim::TypeId t : aligned.block_types) {
-            max_type = std::max(max_type, t);
-          }
-          const info::ObserverGrouping grouping = info::group_blocks_by_type(
-              aligned.block_types, static_cast<std::size_t>(max_type) + 1);
-          if (grouping.size() >= 2) {
-            point.decomposition = info::decompose_multi_information(
-                aligned.samples, aligned.blocks, grouping, ksg_options);
-          } else {
-            point.decomposition.total = point.multi_information;
-            point.decomposition.between_groups = 0.0;
-            point.decomposition.within_group = {point.multi_information};
-          }
-        }
-      },
+  // One pool for the whole analysis, split like the engine's sample × step
+  // budget — literally: kHybrid's waste-minimizing search divides the
+  // thread budget between frame chunks and each chunk's KSG estimator
+  // (e.g. 8 threads over 5 frames → 4 frame workers × 2 KSG threads, not
+  // 5 × 1 with 3 threads stranded). run_partitioned lends each frame chunk
+  // its disjoint KSG slice; every frame — and within it every KSG call —
+  // reuses the same parked workers, nothing forks per frame.
+  const sim::ThreadBudget split = sim::resolve_parallel_policy(
+      sim::ParallelPolicy::kHybrid, series.particle_count(), frame_count,
       options.threads);
+  const std::size_t frame_workers = split.sample_threads;
+  const std::size_t ksg_share = split.step_threads;
+  support::TaskPool pool(frame_workers * ksg_share);
+
+  auto frame_chunk = [&](std::size_t k, support::Executor& inner_executor) {
+    const support::ChunkRange chunk =
+        support::chunk_range(k, frame_count, frame_workers);
+    info::KsgOptions chunk_ksg = ksg_options;
+    chunk_ksg.executor = &inner_executor;
+    // The alignment loop shares the slice: a KSG-heavy split (e.g. 1 frame
+    // worker × 7 estimator threads when 7 threads meet 5 frames) still
+    // aligns each frame's samples in parallel.
+    align::EnsembleOptions chunk_ensemble = ensemble_options;
+    chunk_ensemble.executor = &inner_executor;
+    for (std::size_t f = chunk.begin; f < chunk.end; ++f) {
+      align::AlignedEnsemble aligned =
+          align::align_ensemble(series.frames[f], series.types, chunk_ensemble);
+      if (coarse) {
+        // Seeded per frame so frames are independent of evaluation order.
+        rng::Xoshiro256 engine =
+            rng::make_stream(options.kmeans_seed, static_cast<std::uint64_t>(f));
+        aligned = align::coarse_grain_ensemble(aligned, options.kmeans_per_type,
+                                               engine);
+      }
+      observer_counts[f] = aligned.observer_count();
+
+      TimePoint& point = result.points[f];
+      point.step = series.frame_steps[f];
+      point.multi_information =
+          info::multi_information_ksg(aligned.samples, aligned.blocks, chunk_ksg);
+
+      if (options.compute_entropies) {
+        point.joint_entropy =
+            info::entropy_kl(aligned.samples, chunk_ksg.k, 1);
+        point.marginal_entropy_sum = 0.0;
+        for (const info::Block& block : aligned.blocks) {
+          point.marginal_entropy_sum +=
+              info::entropy_kl_block(aligned.samples, block, chunk_ksg.k, 1);
+        }
+      }
+      if (options.compute_decomposition) {
+        sim::TypeId max_type = 0;
+        for (const sim::TypeId t : aligned.block_types) {
+          max_type = std::max(max_type, t);
+        }
+        const info::ObserverGrouping grouping = info::group_blocks_by_type(
+            aligned.block_types, static_cast<std::size_t>(max_type) + 1);
+        if (grouping.size() >= 2) {
+          point.decomposition = info::decompose_multi_information(
+              aligned.samples, aligned.blocks, grouping, chunk_ksg);
+        } else {
+          point.decomposition.total = point.multi_information;
+          point.decomposition.between_groups = 0.0;
+          point.decomposition.within_group = {point.multi_information};
+        }
+      }
+    }
+  };
+  pool.run_partitioned(frame_workers, ksg_share, frame_chunk);
 
   result.observer_count = observer_counts.front();
   return result;

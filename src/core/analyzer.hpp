@@ -69,9 +69,13 @@ struct AnalysisResult {
 /// Runs the full measurement pipeline on a recorded ensemble.
 ///
 /// Per frame: align to shape space (centroid + ICP + same-type permutation),
-/// optionally coarse-grain, then estimate. Frames are processed in parallel;
-/// within a frame the estimator runs single-threaded to avoid
-/// oversubscription. Deterministic in (series, options).
+/// optionally coarse-grain, then estimate. One TaskPool of `threads` width
+/// serves the whole analysis: frames are processed in parallel on it, and
+/// when the frame axis cannot absorb the budget (fewer frames than
+/// threads), each frame chunk lends its leftover slice to the KSG
+/// estimator's sample queries — no per-frame thread creation and no
+/// oversubscription. Deterministic in (series, options): neither the frame
+/// partition nor the estimator's width affects any estimate.
 [[nodiscard]] AnalysisResult analyze_self_organization(
     const EnsembleSeries& series, const AnalysisOptions& options = {});
 

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "support/parallel_for.hpp"
+#include "support/executor.hpp"
+#include "support/error.hpp"
 
 namespace sops::core {
 
@@ -39,20 +40,31 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
   // nest beyond sample_threads × step_threads ≤ threads live workers.
   const sim::ThreadBudget budget =
       sim::resolve_parallel_policy(config.parallel, n, m, config.threads);
+  const std::size_t sample_workers = budget.sample_threads;  // ≤ m by resolution
+  const std::size_t step_share = budget.step_threads;
 
-  // One workspace per worker, reused across the worker's whole chunk: the
-  // neighbor backend and drift buffer warm up on the first sample and every
-  // later sample steps allocation-free.
-  support::parallel_for_chunked(
-      0, m,
-      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+  // One pool for the whole experiment, sized to the full budget.
+  // run_partitioned lends sample chunk k a disjoint helper slice for its
+  // per-step drift dispatches while the sample fan-out runs on the rest, so
+  // nested dispatches never contend for a worker and the live-thread count
+  // never exceeds the budget. One workspace per sample chunk, reused across
+  // the chunk's whole run of samples: the neighbor backend and drift buffer
+  // warm up on the first sample and every later sample steps
+  // allocation-free.
+  support::TaskPool pool(sample_workers * step_share);
+  pool.run_partitioned(
+      sample_workers, step_share,
+      [&](std::size_t k, support::Executor& step_executor) {
+        const support::ChunkRange chunk =
+            support::chunk_range(k, m, sample_workers);
         sim::SimulationWorkspace workspace;
+        workspace.lend_executor(&step_executor);
         sim::SimulationConfig sample_config = config.simulation;
-        // The worker's per-sample runs spend exactly the budget's
-        // intra-step share; kWithinStep resolves (m = 1) to that share.
+        // Recorded for introspection; the lent executor's width is what the
+        // workspace actually uses.
         sample_config.parallel_policy = sim::ParallelPolicy::kWithinStep;
-        sample_config.threads = budget.step_threads;
-        for (std::size_t s = chunk_begin; s < chunk_end; ++s) {
+        sample_config.threads = step_share;
+        for (std::size_t s = chunk.begin; s < chunk.end; ++s) {
           sample_config.stream = s;
           const sim::StreamedRun run = sim::run_simulation_streamed(
               sample_config, workspace,
@@ -70,8 +82,7 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
                           "run_experiment: recording grids diverged");
           series.equilibrium_steps[s] = run.equilibrium_step;
         }
-      },
-      budget.sample_threads);
+      });
 
   return series;
 }

@@ -56,9 +56,12 @@ struct EnsembleSeries {
 /// Runs the experiment: samples stream s ∈ [0, m) are simulated in parallel
 /// and recorded straight into the flat frame store (the recording grid is
 /// known upfront, so every sample streams into disjoint pre-sized slots —
-/// no per-trajectory staging copy). Each worker thread reuses one
-/// SimulationWorkspace across its whole chunk of samples. Results are
-/// bitwise-independent of the thread count.
+/// no per-trajectory staging copy). One TaskPool sized to the resolved
+/// budget serves the whole experiment: sample chunks run on it, each chunk
+/// reuses one SimulationWorkspace for all its samples, and each chunk's
+/// per-step drift dispatch is lent a disjoint slice of the same pool — no
+/// per-step thread creation anywhere. Results are bitwise-independent of
+/// the thread count.
 [[nodiscard]] EnsembleSeries run_experiment(const ExperimentConfig& config);
 
 }  // namespace sops::core

@@ -46,32 +46,36 @@ double multi_information_ksg(const SampleMatrix& samples,
   // result does not depend on the thread count.
   std::vector<double> per_sample(m, 0.0);
 
-  support::parallel_for_chunked(
-      0, m,
-      [&](std::size_t begin, std::size_t end) {
-        std::vector<double> scratch;
-        for (std::size_t s = begin; s < end; ++s) {
-          const double eps =
-              kth_joint_distance(samples, blocks, s, options.k, scratch);
-          const double eps_sq = eps * eps;
-          double psi_sum = 0.0;
-          for (const Block& block : blocks) {
-            // c_i: samples strictly closer than ε in this marginal.
-            std::size_t c = 0;
-            for (std::size_t j = 0; j < m; ++j) {
-              if (j == s) continue;
-              if (block_dist_sq(samples, s, j, block) < eps_sq) ++c;
-            }
-            const std::size_t psi_arg =
-                options.convention == KsgConvention::kStandard
-                    ? c + 1
-                    : std::max<std::size_t>(c, 1);
-            psi_sum += digamma_int(psi_arg);
-          }
-          per_sample[s] = psi_sum;
+  const auto query_chunk = [&](std::size_t begin, std::size_t end) {
+    std::vector<double> scratch;
+    for (std::size_t s = begin; s < end; ++s) {
+      const double eps =
+          kth_joint_distance(samples, blocks, s, options.k, scratch);
+      const double eps_sq = eps * eps;
+      double psi_sum = 0.0;
+      for (const Block& block : blocks) {
+        // c_i: samples strictly closer than ε in this marginal.
+        std::size_t c = 0;
+        for (std::size_t j = 0; j < m; ++j) {
+          if (j == s) continue;
+          if (block_dist_sq(samples, s, j, block) < eps_sq) ++c;
         }
-      },
-      options.threads);
+        const std::size_t psi_arg =
+            options.convention == KsgConvention::kStandard
+                ? c + 1
+                : std::max<std::size_t>(c, 1);
+        psi_sum += digamma_int(psi_arg);
+      }
+      per_sample[s] = psi_sum;
+    }
+  };
+  if (options.executor != nullptr) {
+    // Pooled path: the caller's persistent executor serves every frame's
+    // chunked queries — no per-call thread creation.
+    support::parallel_for_chunked(*options.executor, 0, m, query_chunk);
+  } else {
+    support::parallel_for_chunked(0, m, query_chunk, options.threads);
+  }
 
   double mean_psi = 0.0;
   for (const double v : per_sample) mean_psi += v;

@@ -14,6 +14,10 @@
 
 #include "info/sample_matrix.hpp"
 
+namespace sops::support {
+class Executor;
+}  // namespace sops::support
+
 namespace sops::info {
 
 /// Which ψ-argument convention to use for the marginal counts.
@@ -32,6 +36,12 @@ struct KsgOptions {
   std::size_t k = 4;  ///< neighbor order (paper §6 uses 4; §5.3 mentions 5)
   KsgConvention convention = KsgConvention::kStandard;
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// When set, the per-sample query loop dispatches its chunks on this
+  /// executor (a persistent pool the caller reuses across frames) and
+  /// `threads` is ignored; when null, a transient fork/join of `threads`
+  /// workers runs per call. Never affects the estimate: per-sample terms
+  /// are reduced in a fixed order regardless of who computes them.
+  support::Executor* executor = nullptr;
 };
 
 /// Estimates the multi-information between the observer blocks of `samples`,

@@ -92,16 +92,18 @@ void check_drift_preconditions(const ParticleSystem& system,
 }
 
 // Shards the per-particle gather `out[i] = drift_of(i)` over the backend's
-// partition. Shards hold disjoint particles and drift_of is a pure gather,
-// so any partition and worker count produce bitwise-identical output.
+// partition, dispatching the chunks on `executor` (shard count = executor
+// width). Shards hold disjoint particles and drift_of is a pure gather, so
+// any partition and worker count produce bitwise-identical output.
 template <typename DriftOf>
-void accumulate_sharded(geom::NeighborBackend& backend, std::size_t step_threads,
-                        const DriftOf& drift_of, std::vector<geom::Vec2>& out) {
+void accumulate_sharded(geom::NeighborBackend& backend,
+                        support::Executor& executor, const DriftOf& drift_of,
+                        std::vector<geom::Vec2>& out) {
   const std::span<const std::uint32_t> bounds =
-      backend.shard_bounds(step_threads);
+      backend.shard_bounds(executor.width());
   const std::span<const std::uint32_t> order = backend.shard_order();
   support::parallel_for_chunked(
-      bounds, [&](std::size_t chunk_begin, std::size_t chunk_end) {
+      executor, bounds, [&](std::size_t chunk_begin, std::size_t chunk_end) {
         if (order.empty()) {
           for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
             out[i] = drift_of(i);
@@ -167,11 +169,21 @@ void accumulate_drift(const ParticleSystem& system, const InteractionModel& mode
 void accumulate_drift(const ParticleSystem& system, const PairScalingTable& table,
                       double cutoff_radius, std::vector<geom::Vec2>& out,
                       geom::NeighborBackend& backend, std::size_t step_threads) {
+  // The fork-per-call path: a transient SpawnExecutor of the requested
+  // width. Same partition as the pooled overload, so same bits.
+  support::SpawnExecutor executor(step_threads);
+  accumulate_drift(system, table, cutoff_radius, out, backend, executor);
+}
+
+void accumulate_drift(const ParticleSystem& system, const PairScalingTable& table,
+                      double cutoff_radius, std::vector<geom::Vec2>& out,
+                      geom::NeighborBackend& backend,
+                      support::Executor& executor) {
   check_drift_preconditions(
       system, table.types(), cutoff_radius,
       backend.kind() == geom::NeighborBackendKind::kCellGrid);
   backend.rebuild(system.positions, cutoff_radius);
-  if (step_threads == 0) step_threads = support::default_thread_count();
+  const std::size_t width = executor.width();
 
   const std::size_t n = system.size();
   out.assign(n, geom::Vec2{});
@@ -193,8 +205,8 @@ void accumulate_drift(const ParticleSystem& system, const PairScalingTable& tabl
       });
       return drift;
     };
-    if (step_threads > 1) {
-      accumulate_sharded(backend, step_threads, drift_of, out);
+    if (width > 1) {
+      accumulate_sharded(backend, executor, drift_of, out);
     } else {
       for (std::size_t i = 0; i < n; ++i) out[i] = drift_of(i);
     }
@@ -205,8 +217,8 @@ void accumulate_drift(const ParticleSystem& system, const PairScalingTable& tabl
     const auto drift_of = [&](std::size_t i) {
       return all_pairs_drift_of(system, table, cutoff_sq, i);
     };
-    if (step_threads > 1) {
-      accumulate_sharded(backend, step_threads, drift_of, out);
+    if (width > 1) {
+      accumulate_sharded(backend, executor, drift_of, out);
     } else {
       for (std::size_t i = 0; i < n; ++i) out[i] = drift_of(i);
     }
@@ -214,7 +226,7 @@ void accumulate_drift(const ParticleSystem& system, const PairScalingTable& tabl
   }
   if (const auto* delaunay =
           dynamic_cast<const geom::DelaunayBackend*>(&backend);
-      delaunay != nullptr && step_threads > 1) {
+      delaunay != nullptr && width > 1) {
     const auto drift_of = [&](std::size_t i) {
       geom::Vec2 drift{};
       for (const std::uint32_t j : delaunay->adjacency_row(i)) {
@@ -222,7 +234,7 @@ void accumulate_drift(const ParticleSystem& system, const PairScalingTable& tabl
       }
       return drift;
     };
-    accumulate_sharded(backend, step_threads, drift_of, out);
+    accumulate_sharded(backend, executor, drift_of, out);
     return;
   }
 

@@ -23,6 +23,10 @@
 #include "sim/force_law.hpp"
 #include "sim/particle_system.hpp"
 
+namespace sops::support {
+class Executor;
+}  // namespace sops::support
+
 namespace sops::sim {
 
 /// Neighbor-search strategy selection.
@@ -117,11 +121,24 @@ void accumulate_drift(const ParticleSystem& system, const InteractionModel& mode
 /// neighbor-enumeration order, so the result is bitwise-identical to
 /// `step_threads == 1` for any thread count and any partition. Backends
 /// outside this translation unit run serially regardless (their neighbor
-/// queries may share scratch state).
+/// queries may share scratch state). This overload forks and joins
+/// transient workers every call (SpawnExecutor); the engine's hot loop uses
+/// the Executor overload below with a persistent pool instead.
 void accumulate_drift(const ParticleSystem& system, const PairScalingTable& table,
                       double cutoff_radius, std::vector<geom::Vec2>& out,
                       geom::NeighborBackend& backend,
                       std::size_t step_threads = 1);
+
+/// The pooled steady-state path: shard count and worker cap both come from
+/// `executor.width()`, so a run dispatches each step onto the same
+/// persistent runners (SimulationWorkspace owns or borrows them) with no
+/// per-step thread creation. Partition, enumeration order, and therefore
+/// results are bitwise-identical to the `step_threads` overload at the
+/// same width.
+void accumulate_drift(const ParticleSystem& system, const PairScalingTable& table,
+                      double cutoff_radius, std::vector<geom::Vec2>& out,
+                      geom::NeighborBackend& backend,
+                      support::Executor& executor);
 
 /// Sum over particles of ‖drift_i‖₂ — the residual-force statistic the
 /// paper's equilibrium criterion thresholds (§4.1).

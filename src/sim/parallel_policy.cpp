@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "support/parallel_for.hpp"
+#include "support/executor.hpp"
 
 namespace sops::sim {
 namespace {
@@ -48,7 +48,7 @@ ThreadBudget resolve_parallel_policy(ParallelPolicy policy, std::size_t n,
       break;
   }
   // kAuto: enough samples to fill the machine, or a collective too small to
-  // amortize the per-step fork → sample-parallelism only. A single huge
+  // amortize the per-step dispatch → sample-parallelism only. A single huge
   // collective goes fully intra-step; in between, samples claim threads
   // first and each sample worker shards its steps with the leftovers.
   if (m >= threads || n < kIntraStepMinParticles) {

@@ -8,9 +8,9 @@
 // Rules of thumb encoded in kAuto (see README "Choosing a ParallelPolicy"):
 // sample-parallelism is embarrassingly parallel and allocation-free per
 // worker, so it wins whenever there are at least as many samples as
-// threads; the sharded intra-step path pays one fork/join per step, so it
-// needs large collectives (n ≥ kIntraStepMinParticles) to amortize and is
-// reserved for ensembles too small to occupy the machine by themselves.
+// threads; the sharded intra-step path pays one pool dispatch per step, so
+// it needs large collectives (n ≥ kIntraStepMinParticles) to amortize and
+// is reserved for ensembles too small to occupy the machine by themselves.
 #pragma once
 
 #include <cstddef>
@@ -25,10 +25,14 @@ enum class ParallelPolicy {
   kHybrid,         ///< samples first, leftover threads inside each step
 };
 
-/// Collective size below which kAuto never shards a step: the per-step
-/// fork/join costs tens of microseconds, which a small collective's drift
-/// sum cannot amortize.
-inline constexpr std::size_t kIntraStepMinParticles = 2048;
+/// Collective size below which kAuto never shards a step. Re-derived for
+/// the pooled executor: a step's dispatch onto parked workers measures
+/// ~7 µs (BENCH_engine.json `dispatch`, vs ~35 µs for the fork/join that
+/// set the previous floor of 2048), and a 512-particle cell-grid drift sum
+/// costs a few hundred µs — the dispatch is low-single-digit percent
+/// overhead at this size, where the old spawn cost would have eaten the
+/// sharding gain.
+inline constexpr std::size_t kIntraStepMinParticles = 512;
 
 /// A resolved policy: how many workers run samples concurrently, and how
 /// many threads each of those workers may use inside one step.

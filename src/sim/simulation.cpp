@@ -60,10 +60,13 @@ StreamedRun run_simulation_streamed(const SimulationConfig& config,
   // recording (frame t's residual), integration (the step t → t+1), and
   // equilibrium detection (which consumes residuals of steps 0..steps−1).
   bool stop_now = false;
-  const std::size_t step_threads = workspace.step_threads();
+  // One executor for the whole run: the workspace's persistent pool (or a
+  // slice lent by the ensemble driver), so per-step sharding is a dispatch
+  // onto parked workers, not a fork/join.
+  support::Executor& step_executor = workspace.step_executor();
   for (std::size_t t = 0;; ++t) {
     accumulate_drift(system, workspace.scaling_table(), config.cutoff_radius,
-                     drift, backend, step_threads);
+                     drift, backend, step_executor);
 
     const bool on_grid =
         next_grid_index < grid.size() && grid[next_grid_index] == t;

@@ -57,11 +57,12 @@ struct SimulationConfig {
   std::uint64_t stream = 0;  ///< sample index within the experiment
 
   /// Thread budget of this single run (0 = hardware concurrency). Spent
-  /// inside each step's drift sum via the resolved `parallel_policy`; the
-  /// default of 1 keeps standalone runs serial, and the ensemble driver
-  /// overwrites it per sample from its own ThreadBudget so nested
-  /// parallelism cannot arise. Never affects results: the sharded drift
-  /// path is bitwise-identical to serial for any thread count.
+  /// inside each step's drift sum via the resolved `parallel_policy`: the
+  /// workspace sizes a persistent TaskPool to the resolved width (or uses
+  /// the slice an ensemble driver lent it), so sharded steps dispatch onto
+  /// parked workers instead of forking. The default of 1 keeps standalone
+  /// runs serial. Never affects results: the sharded drift path is
+  /// bitwise-identical to serial for any thread count.
   std::size_t threads = 1;
   ParallelPolicy parallel_policy = ParallelPolicy::kAuto;
 };

@@ -1,11 +1,17 @@
 // Reusable per-run scratch state of the simulation engine.
 //
 // A workspace owns everything a run needs besides the configuration: the
-// drift buffer, the persistent neighbor backend, and the RNG engine. One
-// workspace serves many runs back to back (the ensemble driver hands each
-// worker thread one workspace for its whole chunk of samples), so buffer
-// capacity and the backend's hash-map warm up once and are retained —
-// steady-state stepping performs no allocation.
+// drift buffer, the persistent neighbor backend, the RNG engine, and — when
+// the run's resolved policy shards steps — the persistent TaskPool the
+// per-step drift dispatch runs on. One workspace serves many runs back to
+// back (the ensemble driver hands each worker thread one workspace for its
+// whole chunk of samples), so buffer capacity, the backend's hash-map, and
+// the pool's parked workers warm up once and are retained — steady-state
+// stepping performs no allocation and no thread creation.
+//
+// An ensemble driver that already owns a pool lends a slice of it instead
+// (`lend_executor`), so sample × step parallelism never exceeds the
+// experiment's resolved budget in live threads.
 //
 // Not thread-safe: use one workspace per worker.
 #pragma once
@@ -18,6 +24,7 @@
 #include "geom/vec2.hpp"
 #include "rng/engine.hpp"
 #include "sim/forces.hpp"
+#include "support/executor.hpp"
 
 namespace sops::sim {
 
@@ -27,8 +34,11 @@ class SimulationWorkspace {
  public:
   /// Prepares the workspace for a run of `config`: resolves the neighbor
   /// strategy once, (re)creates the backend only when the resolved kind
-  /// changed since the previous run, and caches the run's pair-scaling
-  /// table. Scratch capacity is always retained.
+  /// changed since the previous run, caches the run's pair-scaling table,
+  /// and sizes the step executor — the lent one if set, otherwise an owned
+  /// TaskPool of the resolved intra-step width (created on first use,
+  /// reused while the width stays the same, serial for width 1). Scratch
+  /// capacity is always retained.
   void prepare(const SimulationConfig& config);
 
   /// The persistent backend for the prepared run.
@@ -40,8 +50,20 @@ class SimulationWorkspace {
   [[nodiscard]] std::vector<geom::Vec2>& drift() noexcept { return drift_; }
   [[nodiscard]] rng::Xoshiro256& engine() noexcept { return engine_; }
 
-  /// Threads the prepared run may spend inside each step's drift sum —
-  /// the config's ParallelPolicy resolved for this single run (m = 1).
+  /// Borrows an executor for the intra-step drift dispatch instead of the
+  /// workspace sizing its own pool — the ensemble driver lends each sample
+  /// worker a disjoint slice of the experiment's pool this way. Pass
+  /// nullptr to return to owned sizing. The lent executor must outlive
+  /// every run that uses this workspace.
+  void lend_executor(support::Executor* executor) noexcept {
+    lent_executor_ = executor;
+  }
+
+  /// The executor the prepared run's per-step drift dispatch runs on.
+  [[nodiscard]] support::Executor& step_executor() noexcept;
+
+  /// Width of `step_executor()` — the threads the prepared run may spend
+  /// inside each step's drift sum.
   [[nodiscard]] std::size_t step_threads() const noexcept {
     return step_threads_;
   }
@@ -51,6 +73,9 @@ class SimulationWorkspace {
   std::unique_ptr<geom::NeighborBackend> backend_;
   std::optional<PairScalingTable> scaling_table_;
   rng::Xoshiro256 engine_{0};
+  support::Executor* lent_executor_ = nullptr;
+  std::unique_ptr<support::TaskPool> owned_pool_;
+  support::SerialExecutor serial_executor_;
   std::size_t step_threads_ = 1;
 };
 

@@ -1,89 +1,85 @@
-// Minimal data-parallel loop over an index range.
+// Minimal data-parallel loops over an index range — thin wrappers over the
+// Executor layer (support/executor.hpp).
 //
-// All parallelism in sops goes through this single primitive so that the
+// All parallelism in sops goes through these primitives so that the
 // numerical code stays free of threading concerns. Work items must be
 // independent; determinism is the caller's responsibility (in practice each
-// simulation sample owns its RNG substream, so results are identical for any
-// thread count, including 1).
+// simulation sample owns its RNG substream and each chunk owns a disjoint
+// output range, so results are identical for any width, including 1).
+//
+// The wrappers compute the chunk partition; the executor only decides which
+// runner executes which chunk. Every overload exists in two forms: one
+// taking an Executor& (the engine's pooled paths pass a lent PoolExecutor)
+// and a legacy form taking a thread count, which dispatches on a transient
+// SpawnExecutor — the historical fork/join behavior. The partition is
+// identical in both forms, so switching a call site between them never
+// changes results.
 //
 // Both loops are templated on the body type: the body is invoked directly
-// (inlined into the worker loop), with no std::function type erasure on the
-// per-iteration path.
+// (inlined into the chunk loop), with type erasure only at the chunk level.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
-#include <exception>
-#include <mutex>
 #include <span>
-#include <thread>
-#include <vector>
+
+#include "support/executor.hpp"
 
 namespace sops::support {
 
-/// Returns the worker count used when `threads == 0` is requested:
-/// the hardware concurrency, floored at 1.
-[[nodiscard]] std::size_t default_thread_count() noexcept;
-
-/// Runs `chunk_body(chunk_begin, chunk_end)` over a contiguous partition of
-/// [begin, end), one chunk per worker. Use when per-iteration dispatch
-/// overhead matters (tight numerical kernels) or when a worker should set
-/// up per-chunk state (scratch buffers, workspaces) once.
+/// Runs `chunk_body(chunk_begin, chunk_end)` over a contiguous equal
+/// partition of [begin, end) with `min(executor.width(), count)` chunks.
+/// Use when per-iteration dispatch overhead matters (tight numerical
+/// kernels) or when a worker should set up per-chunk state (scratch
+/// buffers, workspaces) once.
 ///
-/// - `threads == 0` selects `default_thread_count()`.
-/// - `threads == 1` (or a range of at most one element) runs inline with no
-///   thread creation, which keeps small problems cheap and makes single-
-///   threaded debugging trivial.
-/// - If any invocation throws, the first exception is rethrown on the
-///   calling thread after all workers have joined.
+/// A single chunk (width 1, or a range of at most one element) runs inline
+/// with no executor round-trip, which keeps small problems cheap and makes
+/// single-threaded debugging trivial. If any invocation throws, the first
+/// exception is rethrown on the calling thread after all chunks finished
+/// (inline runs propagate immediately).
 template <typename ChunkBody>
-void parallel_for_chunked(std::size_t begin, std::size_t end,
-                          ChunkBody&& chunk_body, std::size_t threads = 0) {
+void parallel_for_chunked(Executor& executor, std::size_t begin,
+                          std::size_t end, ChunkBody&& chunk_body) {
   if (begin >= end) return;
-  if (threads == 0) threads = default_thread_count();
   const std::size_t count = end - begin;
-  threads = std::min(threads, count);
-
-  if (threads <= 1) {
+  const std::size_t chunks = std::min(executor.width(), count);
+  if (chunks <= 1) {
     chunk_body(begin, end);
     return;
   }
+  auto chunk_task = [&](std::size_t k) {
+    const ChunkRange range = chunk_range(k, count, chunks);
+    chunk_body(begin + range.begin, begin + range.end);
+  };
+  executor.run(chunks, chunk_task);
+}
 
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  const std::size_t base = count / threads;
-  const std::size_t extra = count % threads;
-  std::size_t chunk_begin = begin;
-  for (std::size_t w = 0; w < threads; ++w) {
-    const std::size_t chunk_size = base + (w < extra ? 1 : 0);
-    const std::size_t chunk_end = chunk_begin + chunk_size;
-    workers.emplace_back([&, chunk_begin, chunk_end] {
-      try {
-        chunk_body(chunk_begin, chunk_end);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-    chunk_begin = chunk_end;
-  }
-  for (auto& worker : workers) worker.join();
-  if (first_error) std::rethrow_exception(first_error);
+/// Legacy form: same partition and semantics, dispatched on a transient
+/// SpawnExecutor of the given width (0 selects default_thread_count()).
+/// Pooled call sites should prefer the Executor& overload.
+template <typename ChunkBody>
+void parallel_for_chunked(std::size_t begin, std::size_t end,
+                          ChunkBody&& chunk_body, std::size_t threads = 0) {
+  SpawnExecutor executor(threads);
+  parallel_for_chunked(executor, begin, end,
+                       std::forward<ChunkBody>(chunk_body));
 }
 
 /// Explicit-partition overload: runs `chunk_body(bounds[k], bounds[k+1])`
-/// for every k, one worker per chunk, with caller-supplied chunk boundaries
-/// instead of an equal division. `bounds` must be ascending (empty chunks
-/// are skipped); a partition with at most one non-empty chunk runs inline.
+/// for every k with caller-supplied chunk boundaries instead of an equal
+/// division. `bounds` must be ascending (empty chunks are skipped); a
+/// partition with at most one non-empty chunk, or a width-1 executor, runs
+/// inline in index order. Live workers are capped at the executor's width
+/// no matter how many chunks the partition holds — chunks queue and drain
+/// as runners free up.
+///
 /// The partition is the caller's contract with determinism: boundaries that
 /// do not depend on the machine (e.g. a neighbor structure's cell-aligned
-/// shards) give bitwise-stable results at any worker count. Exception
-/// semantics match the equal-division overload.
+/// shards) give bitwise-stable results at any width. Exception semantics
+/// match the equal-division overload.
 template <typename ChunkBody, typename Index>
-void parallel_for_chunked(std::span<const Index> bounds,
+void parallel_for_chunked(Executor& executor, std::span<const Index> bounds,
                           ChunkBody&& chunk_body) {
   if (bounds.size() < 2) return;
   std::size_t non_empty = 0;
@@ -91,7 +87,7 @@ void parallel_for_chunked(std::span<const Index> bounds,
     if (bounds[k] < bounds[k + 1]) ++non_empty;
   }
   if (non_empty == 0) return;
-  if (non_empty == 1) {
+  if (non_empty == 1 || executor.width() <= 1) {
     for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
       if (bounds[k] < bounds[k + 1]) {
         chunk_body(static_cast<std::size_t>(bounds[k]),
@@ -100,41 +96,46 @@ void parallel_for_chunked(std::span<const Index> bounds,
     }
     return;
   }
-
-  std::vector<std::thread> workers;
-  workers.reserve(non_empty);
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
-    if (bounds[k] >= bounds[k + 1]) continue;
-    const auto chunk_begin = static_cast<std::size_t>(bounds[k]);
-    const auto chunk_end = static_cast<std::size_t>(bounds[k + 1]);
-    workers.emplace_back([&, chunk_begin, chunk_end] {
-      try {
-        chunk_body(chunk_begin, chunk_end);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  if (first_error) std::rethrow_exception(first_error);
+  auto chunk_task = [&](std::size_t k) {
+    if (bounds[k] < bounds[k + 1]) {
+      chunk_body(static_cast<std::size_t>(bounds[k]),
+                 static_cast<std::size_t>(bounds[k + 1]));
+    }
+  };
+  executor.run(bounds.size() - 1, chunk_task);
 }
 
-/// Runs `body(i)` for every i in [begin, end) across up to `threads`
-/// workers. Indices are partitioned into contiguous blocks, one per worker,
+/// Legacy explicit-partition form: dispatches on a transient SpawnExecutor
+/// of default_thread_count() width. (Historically this overload spawned one
+/// thread per non-empty chunk with no cap; the executor's width now bounds
+/// live workers.)
+template <typename ChunkBody, typename Index>
+void parallel_for_chunked(std::span<const Index> bounds,
+                          ChunkBody&& chunk_body) {
+  SpawnExecutor executor;
+  parallel_for_chunked(executor, bounds, std::forward<ChunkBody>(chunk_body));
+}
+
+/// Runs `body(i)` for every i in [begin, end) across the executor's
+/// runners. Indices are partitioned into contiguous blocks, one per chunk,
 /// so neighboring iterations share cache lines of the same output region.
-/// Same threading/exception semantics as `parallel_for_chunked`.
+/// Same semantics as `parallel_for_chunked`.
+template <typename Body>
+void parallel_for(Executor& executor, std::size_t begin, std::size_t end,
+                  Body&& body) {
+  parallel_for_chunked(
+      executor, begin, end,
+      [&body](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(i);
+      });
+}
+
+/// Legacy form of `parallel_for` on a transient SpawnExecutor.
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, Body&& body,
                   std::size_t threads = 0) {
-  parallel_for_chunked(
-      begin, end,
-      [&body](std::size_t chunk_begin, std::size_t chunk_end) {
-        for (std::size_t i = chunk_begin; i < chunk_end; ++i) body(i);
-      },
-      threads);
+  SpawnExecutor executor(threads);
+  parallel_for(executor, begin, end, std::forward<Body>(body));
 }
 
 }  // namespace sops::support

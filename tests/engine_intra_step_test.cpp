@@ -8,6 +8,7 @@
 // plus hex-literal golden values for the sharded path at n = 1024.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "rng/samplers.hpp"
 #include "sim/parallel_policy.hpp"
 #include "sim/simulation.hpp"
+#include "support/executor.hpp"
+#include "support/parallel_for.hpp"
 
 namespace {
 
@@ -78,6 +81,72 @@ TEST(IntraStepInvariance, DriftBitwiseAcrossThreadCounts) {
             << " i " << i;
       }
     }
+  }
+}
+
+TEST(IntraStepInvariance, PooledDriftBitwiseMatchesSerialAndSpawn) {
+  // The pooled dispatch (the engine's path) against the serial loop and the
+  // fork-per-call path, across pool widths — including widths far above the
+  // core count and a worker-starved pool against a wide shard partition.
+  const auto system = random_system(700, 19.0, 3, 123);
+  const auto model = spring_model(3);
+  const PairScalingTable table(model);
+  std::vector<Vec2> reference;
+  {
+    sops::geom::CellGridBackend backend;
+    accumulate_drift(system, table, 3.0, reference, backend, 1);
+  }
+  for (const std::size_t width : {2u, 3u, 8u, 32u}) {
+    sops::support::TaskPool pool(width);
+    sops::geom::CellGridBackend backend;
+    std::vector<Vec2> pooled;
+    accumulate_drift(system, table, 3.0, pooled, backend, pool.executor());
+    ASSERT_EQ(reference.size(), pooled.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(reference[i], pooled[i]) << "width " << width << " i " << i;
+    }
+  }
+}
+
+TEST(IntraStepInvariance, WorkerStarvedPoolMatchesSerialOnManyShards) {
+  // More shards than pool workers: chunks queue and drain through the cap;
+  // the partition (not the worker count) fixes the bits.
+  const auto system = random_system(900, 21.0, 2, 77);
+  const auto model = spring_model(2);
+  const PairScalingTable table(model);
+  std::vector<Vec2> reference;
+  sops::geom::CellGridBackend serial_backend;
+  accumulate_drift(system, table, 3.0, reference, serial_backend, 1);
+
+  sops::geom::CellGridBackend backend;
+  backend.rebuild(system.positions, 3.0);
+  const auto bounds = backend.shard_bounds(64);  // many more than 2 workers
+  ASSERT_GT(bounds.size(), 3u);
+  // Same formula and enumeration order as the engine's fused cell-grid
+  // path: for_each_neighbor is scratch-free, so shard workers may share it.
+  const auto drift_of = [&](std::size_t i) {
+    Vec2 drift{};
+    backend.grid().for_each_neighbor(i, 3.0, [&](std::size_t j) {
+      const Vec2 delta = system.positions[i] - system.positions[j];
+      const double d_sq = sops::geom::norm_sq(delta);
+      if (d_sq == 0.0) return;
+      drift += delta * (-table(system.types[i], system.types[j],
+                               std::sqrt(d_sq)));
+    });
+    return drift;
+  };
+  sops::support::TaskPool pool(2);
+  std::vector<Vec2> pooled(system.size());
+  const auto order = backend.shard_order();
+  sops::support::parallel_for_chunked(
+      pool.executor(), bounds, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::size_t i = order[k];
+          pooled[i] = drift_of(i);
+        }
+      });
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(reference[i], pooled[i]) << i;
   }
 }
 
@@ -171,6 +240,41 @@ TEST(IntraStepInvariance, EnsemblesBitwiseAcrossPolicies) {
       }
     }
   }
+}
+
+TEST(ExecutorLifecycle, ConsecutiveExperimentsAreBitwiseIdentical) {
+  // Each run_experiment sizes and tears down its own TaskPool; back-to-back
+  // experiments (and their pools) must neither interfere nor drift.
+  sops::core::ExperimentConfig config(matrix_config());
+  config.samples = 5;
+  config.threads = 4;
+  config.parallel = ParallelPolicy::kHybrid;
+  const auto first = sops::core::run_experiment(config);
+  const auto second = sops::core::run_experiment(config);
+  ASSERT_EQ(first.frame_count(), second.frame_count());
+  EXPECT_EQ(first.equilibrium_steps, second.equilibrium_steps);
+  for (std::size_t f = 0; f < first.frame_count(); ++f) {
+    for (std::size_t s = 0; s < first.sample_count(); ++s) {
+      for (std::size_t i = 0; i < first.particle_count(); ++i) {
+        ASSERT_EQ(first.frames[f][s][i], second.frames[f][s][i])
+            << "f " << f << " s " << s << " i " << i;
+      }
+    }
+  }
+}
+
+TEST(ExecutorLifecycle, WorkspacePoolPersistsAcrossRuns) {
+  // A reused workspace keeps its owned pool between runs; repeated runs
+  // through one workspace must match fresh-workspace runs bit for bit.
+  SimulationConfig config = matrix_config();
+  config.parallel_policy = ParallelPolicy::kWithinStep;
+  config.threads = 4;
+  const Trajectory fresh = run_simulation(config);
+  sops::sim::SimulationWorkspace workspace;
+  const Trajectory first = run_simulation(config, workspace);
+  const Trajectory second = run_simulation(config, workspace);
+  expect_bitwise_equal(fresh, first);
+  expect_bitwise_equal(fresh, second);
 }
 
 // --------------------------------------------------- policy resolution

@@ -1,0 +1,282 @@
+// Executor-layer lifecycle tests: pooled dispatch correctness, worker caps,
+// exception propagation, pool reuse across dispatch rounds, and the
+// disjoint-lending pattern the engine's sample × step nesting relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/executor.hpp"
+#include "support/parallel_for.hpp"
+
+namespace {
+
+using sops::support::Executor;
+using sops::support::PoolExecutor;
+using sops::support::SerialExecutor;
+using sops::support::SpawnExecutor;
+using sops::support::TaskPool;
+
+TEST(SerialExecutorTest, RunsTasksInlineInOrder) {
+  SerialExecutor executor;
+  EXPECT_EQ(executor.width(), 1u);
+  std::vector<std::size_t> order;
+  std::thread::id runner;
+  auto task = [&](std::size_t k) {
+    order.push_back(k);
+    runner = std::this_thread::get_id();
+  };
+  executor.run(5, task);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(TaskPoolTest, WidthCountsTheCaller) {
+  TaskPool pool(4);
+  EXPECT_EQ(pool.width(), 4u);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  EXPECT_EQ(pool.executor().width(), 4u);
+
+  TaskPool serial_pool(1);
+  EXPECT_EQ(serial_pool.width(), 1u);
+  EXPECT_EQ(serial_pool.worker_count(), 0u);
+}
+
+TEST(TaskPoolTest, EveryTaskRunsExactlyOnce) {
+  TaskPool pool(4);
+  for (const std::size_t count : {1u, 3u, 4u, 17u, 100u}) {
+    std::vector<std::atomic<int>> visits(count);
+    auto task = [&](std::size_t k) { visits[k].fetch_add(1); };
+    pool.executor().run(count, task);
+    for (std::size_t k = 0; k < count; ++k) {
+      EXPECT_EQ(visits[k].load(), 1) << "count " << count << " task " << k;
+    }
+  }
+}
+
+TEST(TaskPoolTest, ReusableAcrossManyDispatchRounds) {
+  // The point of the pool: the same parked workers serve dispatch after
+  // dispatch. 500 rounds on one pool must neither leak, wedge, nor skip.
+  TaskPool pool(3);
+  std::atomic<std::size_t> total{0};
+  auto task = [&](std::size_t k) { total.fetch_add(k + 1); };
+  for (int round = 0; round < 500; ++round) pool.executor().run(4, task);
+  EXPECT_EQ(total.load(), 500u * (1 + 2 + 3 + 4));
+}
+
+TEST(TaskPoolTest, ExceptionFromPooledTaskPropagates) {
+  TaskPool pool(4);
+  auto task = [](std::size_t k) {
+    if (k == 2) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(pool.executor().run(8, task), std::runtime_error);
+}
+
+TEST(TaskPoolTest, OtherTasksCompleteWhenOneThrows) {
+  TaskPool pool(2);
+  std::vector<std::atomic<int>> visits(10);
+  auto task = [&](std::size_t k) {
+    visits[k].fetch_add(1);
+    if (k == 0) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(pool.executor().run(10, task), std::runtime_error);
+  for (std::size_t k = 0; k < visits.size(); ++k) {
+    EXPECT_EQ(visits[k].load(), 1) << k;
+  }
+}
+
+TEST(TaskPoolTest, PoolStaysUsableAfterAnException) {
+  TaskPool pool(3);
+  auto throwing = [](std::size_t) { throw std::runtime_error("boom"); };
+  EXPECT_THROW(pool.executor().run(3, throwing), std::runtime_error);
+  std::atomic<int> count{0};
+  auto counting = [&](std::size_t) { count.fetch_add(1); };
+  pool.executor().run(6, counting);
+  EXPECT_EQ(count.load(), 6);
+}
+
+TEST(TaskPoolTest, MoreTasksThanWorkersDrainsThroughTheCap) {
+  // Torture case: far more tasks than runners. Every task must run exactly
+  // once, on at most width() distinct threads.
+  TaskPool pool(3);
+  const std::size_t count = 257;
+  std::vector<std::atomic<int>> visits(count);
+  std::mutex ids_mutex;
+  std::set<std::thread::id> ids;
+  auto task = [&](std::size_t k) {
+    visits[k].fetch_add(1);
+    const std::lock_guard<std::mutex> lock(ids_mutex);
+    ids.insert(std::this_thread::get_id());
+  };
+  pool.executor().run(count, task);
+  for (std::size_t k = 0; k < count; ++k) EXPECT_EQ(visits[k].load(), 1) << k;
+  EXPECT_LE(ids.size(), pool.width());
+}
+
+TEST(TaskPoolTest, LendingDisjointSlicesSupportsNestedDispatch) {
+  // The engine's sample × step pattern: an outer dispatch of S tasks on the
+  // runner slice, each task dispatching inner work on its own helper
+  // slice. S = 2 outer tasks × T = 2: pool width 4 → helper slices
+  // [0,1) and [1,2), runner slice [2,3).
+  TaskPool pool(4);
+  PoolExecutor outer = pool.lend(2, 1);
+  EXPECT_EQ(outer.width(), 2u);
+  std::vector<std::atomic<int>> inner_visits(40);
+  auto outer_task = [&](std::size_t k) {
+    PoolExecutor inner = pool.lend(k, 1);
+    EXPECT_EQ(inner.width(), 2u);
+    auto inner_task = [&](std::size_t j) {
+      inner_visits[k * 20 + j].fetch_add(1);
+    };
+    for (int repeat = 0; repeat < 50; ++repeat) inner.run(20, inner_task);
+  };
+  outer.run(2, outer_task);
+  for (std::size_t i = 0; i < inner_visits.size(); ++i) {
+    EXPECT_EQ(inner_visits[i].load(), 50) << i;
+  }
+}
+
+TEST(TaskPoolTest, RunPartitionedLendsDisjointInnerExecutors) {
+  // The engine's outer × inner pattern through the one shared helper:
+  // 3 outer chunks × inner width 2 on a pool of 6. Inner executors must be
+  // usable concurrently and every inner work item must run exactly once.
+  TaskPool pool(6);
+  std::vector<std::atomic<int>> visits(3 * 30);
+  pool.run_partitioned(
+      3, 2, [&](std::size_t k, sops::support::Executor& inner) {
+        EXPECT_EQ(inner.width(), 2u);
+        auto inner_task = [&](std::size_t j) {
+          visits[k * 30 + j].fetch_add(1);
+        };
+        for (int repeat = 0; repeat < 20; ++repeat) inner.run(30, inner_task);
+      });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 20) << i;
+  }
+}
+
+TEST(ChunkRangeTest, PartitionsExactlyAndMatchesParallelFor) {
+  // chunk_range is the one definition of the equal partition; chunks must
+  // tile [0, count) exactly for awkward counts.
+  for (const std::size_t count : {1u, 7u, 96u, 103u}) {
+    for (const std::size_t chunks : {1u, 2u, 5u, 7u}) {
+      if (chunks > count) continue;
+      std::size_t expected_begin = 0;
+      for (std::size_t k = 0; k < chunks; ++k) {
+        const sops::support::ChunkRange range =
+            sops::support::chunk_range(k, count, chunks);
+        EXPECT_EQ(range.begin, expected_begin)
+            << "count " << count << " chunks " << chunks << " k " << k;
+        EXPECT_GE(range.end, range.begin);
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(expected_begin, count);
+    }
+  }
+}
+
+TEST(TaskPoolTest, LendClampsToTheWorkerRange) {
+  TaskPool pool(3);  // workers 0, 1
+  EXPECT_EQ(pool.lend(0, 2).width(), 3u);
+  EXPECT_EQ(pool.lend(1, 5).width(), 2u);   // clamped to worker 1 only
+  EXPECT_EQ(pool.lend(7, 2).width(), 1u);   // out of range → caller-only
+  EXPECT_EQ(pool.lend(0, 0).width(), 1u);   // explicit caller-only view
+}
+
+TEST(SpawnExecutorTest, CapsLiveWorkersAtWidth) {
+  // The historical explicit-partition overload spawned one thread per
+  // chunk; the executor must bound distinct runners by its width no matter
+  // how many tasks the batch holds.
+  SpawnExecutor executor(3);
+  const std::size_t count = 64;
+  std::vector<std::atomic<int>> visits(count);
+  std::mutex ids_mutex;
+  std::set<std::thread::id> ids;
+  auto task = [&](std::size_t k) {
+    visits[k].fetch_add(1);
+    const std::lock_guard<std::mutex> lock(ids_mutex);
+    ids.insert(std::this_thread::get_id());
+  };
+  executor.run(count, task);
+  for (std::size_t k = 0; k < count; ++k) EXPECT_EQ(visits[k].load(), 1) << k;
+  EXPECT_LE(ids.size(), 3u);
+}
+
+TEST(SpawnExecutorTest, MatchesPooledResultsBitwise) {
+  // Same partition arithmetic + disjoint chunk outputs → the executor
+  // choice can never change bits. Fill a buffer through both and compare.
+  const std::size_t count = 1000;
+  auto fill = [&](Executor& executor) {
+    std::vector<double> out(count, 0.0);
+    sops::support::parallel_for(executor, 0, count, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.75 + 0.5;
+    });
+    return out;
+  };
+  SpawnExecutor spawn(4);
+  TaskPool pool(4);
+  SerialExecutor serial;
+  const std::vector<double> spawn_out = fill(spawn);
+  const std::vector<double> pool_out = fill(pool.executor());
+  const std::vector<double> serial_out = fill(serial);
+  EXPECT_EQ(spawn_out, serial_out);
+  EXPECT_EQ(pool_out, serial_out);
+}
+
+TEST(ParallelForExecutor, ExplicitPartitionCapsWorkersAtExecutorWidth) {
+  // More shards than workers: all chunks processed, ≤ width runners.
+  const std::size_t n = 96;
+  std::vector<std::uint32_t> bounds;
+  for (std::uint32_t b = 0; b <= n; b += 4) bounds.push_back(b);  // 24 chunks
+  TaskPool pool(2);
+  std::vector<std::atomic<int>> visits(n);
+  std::mutex ids_mutex;
+  std::set<std::thread::id> ids;
+  sops::support::parallel_for_chunked(
+      pool.executor(), std::span<const std::uint32_t>(bounds),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+        const std::lock_guard<std::mutex> lock(ids_mutex);
+        ids.insert(std::this_thread::get_id());
+      });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+  EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(ParallelForExecutor, PoolAndLegacyChunkingAgree) {
+  // The Executor& and thread-count forms must produce the identical
+  // contiguous partition: record chunk boundaries through both.
+  const std::size_t count = 103;
+  const std::size_t width = 4;
+  auto partition_of = [&](auto dispatch) {
+    std::mutex chunks_mutex;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    dispatch([&](std::size_t begin, std::size_t end) {
+      const std::lock_guard<std::mutex> lock(chunks_mutex);
+      chunks.emplace_back(begin, end);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  TaskPool pool(width);
+  const auto pooled = partition_of([&](auto body) {
+    sops::support::parallel_for_chunked(pool.executor(), 10, 10 + count, body);
+  });
+  const auto legacy = partition_of([&](auto body) {
+    sops::support::parallel_for_chunked(10, 10 + count, body, width);
+  });
+  EXPECT_EQ(pooled, legacy);
+  ASSERT_EQ(pooled.size(), width);
+  EXPECT_EQ(pooled.front().first, 10u);
+  EXPECT_EQ(pooled.back().second, 10u + count);
+}
+
+}  // namespace

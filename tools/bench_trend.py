@@ -5,14 +5,16 @@ regressions.
 Usage:
     bench_trend.py <BENCH_engine.json> <BENCH_trend.json> [--label LABEL]
 
-Reads the engine benchmark output, flattens its steps/sec series into named
-metrics, appends one entry to the trend file (creating it if absent), and
-exits non-zero when any metric regressed by more than 10% against the
-baseline: the most recent entry that was not itself flagged as regressed,
-so a bad run cannot ratchet itself in as the next comparison point.
-Entries recorded on different hardware (thread count or CPU model) are
-appended but not gated against each other — steps/sec is not comparable
-across hardware, and a false alarm would train people to ignore the gate.
+Reads the engine benchmark output, flattens its series into named metrics,
+appends one entry to the trend file (creating it if absent), and exits
+non-zero when any metric regressed by more than 10% against the baseline:
+the most recent entry that was not itself flagged as regressed, so a bad
+run cannot ratchet itself in as the next comparison point. Most metrics are
+throughputs (higher is better); metrics listed in LOWER_IS_BETTER — peak
+RSS — regress when they *grow* past the tolerance. Entries recorded on
+different hardware (thread count or CPU model) are appended but not gated
+against each other — neither steps/sec nor RSS is comparable across
+hardware, and a false alarm would train people to ignore the gate.
 """
 
 import argparse
@@ -24,16 +26,30 @@ import sys
 
 REGRESSION_TOLERANCE = 0.10
 
+# Metrics where growth, not shrinkage, is the regression.
+LOWER_IS_BETTER = {"peak_rss_kb"}
+
 
 def flatten_metrics(engine_json):
-    """BENCH_engine.json -> {metric_name: steps_per_sec}."""
+    """BENCH_engine.json -> {metric_name: value}."""
     metrics = {}
     for row in engine_json.get("results", []):
         metrics[f"engine/n={row['n']}"] = row["engine_steps_per_sec"]
     for row in engine_json.get("intra_step", []):
         key = f"intra_step/n={row['n']}/threads={row['threads']}"
         metrics[key] = row["steps_per_sec"]
+    analyzer = engine_json.get("analyzer", {})
+    if analyzer.get("frames_per_sec"):
+        metrics["analyzer/frames_per_sec"] = analyzer["frames_per_sec"]
+    if engine_json.get("peak_rss_kb"):
+        metrics["peak_rss_kb"] = float(engine_json["peak_rss_kb"])
     return metrics
+
+
+def is_regression(name, change):
+    if name in LOWER_IS_BETTER:
+        return change > REGRESSION_TOLERANCE
+    return change < -REGRESSION_TOLERANCE
 
 
 def cpu_identity():
@@ -112,13 +128,14 @@ def main():
         for name, value in sorted(metrics.items()):
             base = baseline["metrics"].get(name)
             if base is None or base <= 0:
-                print(f"trend: {name}: new metric ({value:.1f} steps/s)")
+                print(f"trend: {name}: new metric ({value:.1f})")
                 continue
             change = (value - base) / base
-            status = "REGRESSION" if change < -REGRESSION_TOLERANCE else "ok"
-            print(f"trend: {name}: {base:.1f} -> {value:.1f} steps/s "
+            regressed = is_regression(name, change)
+            status = "REGRESSION" if regressed else "ok"
+            print(f"trend: {name}: {base:.1f} -> {value:.1f} "
                   f"({change:+.1%}) {status}")
-            if change < -REGRESSION_TOLERANCE:
+            if regressed:
                 regressions.append(name)
 
     # Record the run even when gating fails: the trajectory should show the
@@ -133,7 +150,7 @@ def main():
           f"({len(metrics)} metrics) to {args.trend_json}")
 
     if regressions:
-        print(f"error: >{REGRESSION_TOLERANCE:.0%} steps/sec regression in: "
+        print(f"error: >{REGRESSION_TOLERANCE:.0%} regression in: "
               + ", ".join(regressions), file=sys.stderr)
         return 1
     return 0
