@@ -7,12 +7,15 @@
 // BENCH_engine.json: steps/sec of cell-grid stepping for n ∈ {64, 256,
 // 1024} (batched engine vs seed baseline), the intra-step sharding series
 // (pooled vs fork-per-step dispatch), the executor layer's per-dispatch
-// overhead, analyzer (KSG) frames/sec, and the run's peak RSS — the
-// engine's perf trajectory, gated by tools/bench_trend.py.
+// overhead, the Verlet/skin opt-in vs the cell grid on post-alignment
+// collectives (speedup, rebuild skip rate, per-backend re-index cost),
+// analyzer (KSG) frames/sec, and the run's peak RSS — the engine's perf
+// trajectory, gated by tools/bench_trend.py.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <optional>
 #include <string_view>
 #include <thread>
@@ -157,6 +160,25 @@ void BM_DriftCellGridPersistent(benchmark::State& state) {
   state.SetComplexityN(static_cast<int64_t>(n));
 }
 BENCHMARK(BM_DriftCellGridPersistent)->Range(32, 2048)->Complexity(benchmark::oN);
+
+void BM_DriftVerletPersistent(benchmark::State& state) {
+  // The Verlet quiet-step cost: the positions never move, so after the
+  // first iteration every call skips the rebuild and pays only the cached
+  // CSR row walk + one distance check per candidate.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5,
+                                    3, 42);
+  const auto model = default_model(3);
+  const sim::PairScalingTable table(model);
+  std::vector<geom::Vec2> drift;
+  geom::VerletListBackend backend;
+  for (auto _ : state) {
+    sim::accumulate_drift(system, table, 3.0, drift, backend);
+    benchmark::DoNotOptimize(drift.data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DriftVerletPersistent)->Range(32, 2048)->Complexity(benchmark::oN);
 
 void BM_StepSeedBaseline(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -328,6 +350,29 @@ BENCHMARK(BM_KMeans)->Range(64, 4096);
 
 // --------------------------------------------------- BENCH_engine.json
 
+// Repetition policy for the JSON series: every timed window is measured
+// `kBenchReps` times and the *best* value is reported — max for
+// throughputs, min for costs. On a shared 1-core container, interference
+// only ever slows a run, so the extremum is the least-biased estimate of
+// the code's own speed (the same reasoning as google-benchmark's
+// min-of-repetitions aggregation); means would gate CI on neighbors'
+// workloads instead of regressions.
+constexpr int kBenchReps = 3;
+
+template <typename Measure>
+double best_throughput(const Measure& measure) {
+  double best = 0.0;
+  for (int r = 0; r < kBenchReps; ++r) best = std::max(best, measure());
+  return best;
+}
+
+template <typename Measure>
+double best_cost(const Measure& measure) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < kBenchReps; ++r) best = std::min(best, measure());
+  return best;
+}
+
 double measure_steps_per_sec(std::size_t n, bool use_engine) {
   auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5, 3, 7);
   const auto model = default_model(3);
@@ -421,6 +466,103 @@ double measure_dispatch_us(std::size_t width, bool pooled) {
   return seconds * 1e6 / static_cast<double>(rounds);
 }
 
+// Verlet/skin vs cell-grid stepping on a post-alignment collective. The
+// system is first settled with the cell grid (the drift has mostly decayed
+// after `kVerletSettleSteps`; this is the slow-moving regime the skin list
+// targets), then clones of the settled state are stepped through each
+// backend with identical RNG streams. Also measures each backend's full
+// re-index cost in isolation (`*_rebuild_us`): the cell grid pays it every
+// step, the Verlet list only on displacement triggers — the skip rate is
+// what turns the more expensive Verlet build into a net win.
+struct VerletBenchRow {
+  double grid_steps_per_sec = 0.0;
+  double verlet_steps_per_sec = 0.0;
+  double skip_rate = 0.0;
+  double grid_rebuild_us = 0.0;
+  double verlet_rebuild_us = 0.0;
+};
+
+constexpr double kVerletBenchSkin = 1.5;
+constexpr int kVerletSettleSteps = 200;
+
+VerletBenchRow measure_verlet_row(std::size_t n) {
+  auto system = random_system(n, std::sqrt(static_cast<double>(n)) * 1.5, 3, 7);
+  const auto model = default_model(3);
+  const sim::PairScalingTable table(model);
+  sim::IntegratorParams params;
+  std::vector<geom::Vec2> drift;
+  geom::CellGridBackend grid;
+  {
+    rng::Xoshiro256 engine(1);
+    for (int i = 0; i < kVerletSettleSteps; ++i) {
+      sim::accumulate_drift(system, table, 3.0, drift, grid);
+      sim::apply_euler_maruyama_update(system, drift, params, engine);
+    }
+  }
+
+  VerletBenchRow row;
+  const int steps = n >= 16384 ? 120 : 400;
+  // Each rep replays the identical settled trajectory (same clone, same
+  // RNG stream), so the skip rate is deterministic and only the wall
+  // clock varies.
+  row.grid_steps_per_sec = best_throughput([&] {
+    auto grid_system = system;
+    rng::Xoshiro256 engine(2);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < steps; ++i) {
+      sim::accumulate_drift(grid_system, table, 3.0, drift, grid);
+      sim::apply_euler_maruyama_update(grid_system, drift, params, engine);
+    }
+    return steps / std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  });
+  row.verlet_steps_per_sec = best_throughput([&] {
+    auto verlet_system = system;
+    rng::Xoshiro256 engine(2);
+    geom::VerletListBackend verlet(kVerletBenchSkin);
+    sim::accumulate_drift(verlet_system, table, 3.0, drift, verlet);  // warm
+    verlet.reset_stats();
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < steps; ++i) {
+      sim::accumulate_drift(verlet_system, table, 3.0, drift, verlet);
+      sim::apply_euler_maruyama_update(verlet_system, drift, params, engine);
+    }
+    const double rate =
+        steps / std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    row.skip_rate = verlet.stats().skip_rate();
+    return rate;
+  });
+  // Isolated full re-index cost at the settled positions.
+  const int rebuilds = 50;
+  row.grid_rebuild_us = best_cost([&] {
+    geom::CellGridBackend fresh;
+    fresh.rebuild(system.positions, 3.0);  // warm capacity
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < rebuilds; ++i) fresh.rebuild(system.positions, 3.0);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count() *
+           1e6 / rebuilds;
+  });
+  row.verlet_rebuild_us = best_cost([&] {
+    geom::VerletListBackend fresh(kVerletBenchSkin);
+    fresh.rebuild(system.positions, 3.0);  // warm capacity
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < rebuilds; ++i) {
+      fresh.invalidate();
+      fresh.rebuild(system.positions, 3.0);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count() *
+           1e6 / rebuilds;
+  });
+  return row;
+}
+
 // Analyzer throughput on a fixed mid-sized config: KSG frames/sec through
 // the full align → estimate pipeline (no coarse-graining at n = 24).
 double measure_analyzer_frames_per_sec(std::size_t* frames_out) {
@@ -477,8 +619,10 @@ void emit_engine_json() {
                     "  \"mode\": \"cell_grid\",\n  \"results\": [\n");
   for (std::size_t k = 0; k < 3; ++k) {
     const std::size_t n = sizes[k];
-    const double baseline = measure_steps_per_sec(n, false);
-    const double engine = measure_steps_per_sec(n, true);
+    const double baseline =
+        best_throughput([&] { return measure_steps_per_sec(n, false); });
+    const double engine =
+        best_throughput([&] { return measure_steps_per_sec(n, true); });
     const double speedup = engine / baseline;
     if (n == 1024) speedup_at_1024 = speedup;
     std::fprintf(out,
@@ -506,9 +650,10 @@ void emit_engine_json() {
     double serial = 0.0;
     for (std::size_t b = 0; b < 4; ++b) {
       const std::size_t threads = thread_counts[b];
-      const double rate = measure_intra_step_steps_per_sec(n, threads, true);
-      const double spawn_rate =
-          measure_intra_step_steps_per_sec(n, threads, false);
+      const double rate = best_throughput(
+          [&] { return measure_intra_step_steps_per_sec(n, threads, true); });
+      const double spawn_rate = best_throughput(
+          [&] { return measure_intra_step_steps_per_sec(n, threads, false); });
       if (threads == 1) serial = rate;
       const double scaling = serial > 0.0 ? rate / serial : 0.0;
       if (n == 16384 && threads == 8) scaling_at_16384x8 = scaling;
@@ -544,6 +689,42 @@ void emit_engine_json() {
                "\"current\": %zu},\n",
                sim::kIntraStepMinParticles);
 
+  // Verlet/skin opt-in on post-alignment collectives, plus per-backend full
+  // re-index cost — all gated by tools/bench_trend.py (throughput and skip
+  // rate on drops, rebuild_us on growth).
+  const std::size_t verlet_sizes[] = {4096, 16384};
+  double verlet_speedup_at_16384 = 0.0;
+  double verlet_skip_rate_at_16384 = 0.0;
+  std::fprintf(out, "  \"verlet\": [\n");
+  for (std::size_t k = 0; k < 2; ++k) {
+    const std::size_t n = verlet_sizes[k];
+    const VerletBenchRow row = measure_verlet_row(n);
+    const double speedup = row.grid_steps_per_sec > 0.0
+                               ? row.verlet_steps_per_sec / row.grid_steps_per_sec
+                               : 0.0;
+    if (n == 16384) {
+      verlet_speedup_at_16384 = speedup;
+      verlet_skip_rate_at_16384 = row.skip_rate;
+    }
+    std::fprintf(out,
+                 "    {\"n\": %zu, \"skin\": %.2f, \"settle_steps\": %d, "
+                 "\"cell_grid_steps_per_sec\": %.1f, "
+                 "\"verlet_steps_per_sec\": %.1f, \"speedup\": %.3f, "
+                 "\"rebuild_skip_rate\": %.3f, "
+                 "\"cell_grid_rebuild_us\": %.1f, "
+                 "\"verlet_rebuild_us\": %.1f}%s\n",
+                 n, kVerletBenchSkin, kVerletSettleSteps,
+                 row.grid_steps_per_sec, row.verlet_steps_per_sec, speedup,
+                 row.skip_rate, row.grid_rebuild_us, row.verlet_rebuild_us,
+                 k + 1 < 2 ? "," : "");
+    std::printf("verlet n=%zu skin=%.1f: grid %.0f steps/s, verlet %.0f "
+                "steps/s (%.2fx), skip rate %.2f, rebuild %.0f vs %.0f us\n",
+                n, kVerletBenchSkin, row.grid_steps_per_sec,
+                row.verlet_steps_per_sec, speedup, row.skip_rate,
+                row.grid_rebuild_us, row.verlet_rebuild_us);
+  }
+  std::fprintf(out, "  ],\n");
+
   // Analyzer throughput (align → KSG per recorded frame) and this run's
   // peak resident set — both gated by tools/bench_trend.py.
   std::size_t analyzer_frames = 0;
@@ -569,6 +750,12 @@ void emit_engine_json() {
               "(%.1f us vs %.1f us at width %zu)\n",
               pool_us < spawn_us ? "[PASS]" : "[FAIL]", pool_us, spawn_us,
               dispatch_width);
+  std::printf("CHECK %s verlet >= 1.3x cell grid at n=16384 post-alignment "
+              "(%.2fx) with skip rate > 0.5 (%.2f)\n",
+              verlet_speedup_at_16384 >= 1.3 && verlet_skip_rate_at_16384 > 0.5
+                  ? "[PASS]"
+                  : "[FAIL]",
+              verlet_speedup_at_16384, verlet_skip_rate_at_16384);
   std::printf("series written to BENCH_engine.json\n");
 }
 
@@ -615,8 +802,35 @@ int run_smoke() {
     sim::apply_euler_maruyama_update(pooled_system, pooled_drift, params,
                                      pooled_engine);
   }
+  // Verlet leg: serial and pooled follow one trajectory; the sharded quiet
+  // steps and displacement-triggered rebuilds must stay bitwise-equal.
+  auto verlet_serial_system = random_system(n, 34.0, 3, 7);
+  auto verlet_pooled_system = verlet_serial_system;
+  rng::Xoshiro256 verlet_serial_engine(1);
+  rng::Xoshiro256 verlet_pooled_engine(1);
+  geom::VerletListBackend verlet_serial;
+  geom::VerletListBackend verlet_pooled;
+  for (int step = 0; step < 25; ++step) {
+    sim::accumulate_drift(verlet_serial_system, table, 3.0, serial_drift,
+                          verlet_serial, 1);
+    sim::accumulate_drift(verlet_pooled_system, table, 3.0, pooled_drift,
+                          verlet_pooled, pool.executor());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(serial_drift[i] == pooled_drift[i])) {
+        std::fprintf(stderr,
+                     "smoke: verlet drift diverged at step %d particle %zu\n",
+                     step, i);
+        return 1;
+      }
+    }
+    sim::apply_euler_maruyama_update(verlet_serial_system, serial_drift,
+                                     params, verlet_serial_engine);
+    sim::apply_euler_maruyama_update(verlet_pooled_system, pooled_drift,
+                                     params, verlet_pooled_engine);
+  }
   std::printf(
-      "smoke: 25 steps, serial == 4-thread sharded == pooled bitwise\n");
+      "smoke: 25 steps, serial == 4-thread sharded == pooled bitwise "
+      "(cell grid + verlet)\n");
   return 0;
 }
 

@@ -98,12 +98,14 @@ AnalysisResult analyze_self_organization(const EnsembleSeries& series,
           info::multi_information_ksg(aligned.samples, aligned.blocks, chunk_ksg);
 
       if (options.compute_entropies) {
+        // Same lent slice as the KSG queries: the entropy curves ride the
+        // persistent pool instead of running serially (or forking).
         point.joint_entropy =
-            info::entropy_kl(aligned.samples, chunk_ksg.k, 1);
+            info::entropy_kl(aligned.samples, chunk_ksg.k, inner_executor);
         point.marginal_entropy_sum = 0.0;
         for (const info::Block& block : aligned.blocks) {
-          point.marginal_entropy_sum +=
-              info::entropy_kl_block(aligned.samples, block, chunk_ksg.k, 1);
+          point.marginal_entropy_sum += info::entropy_kl_block(
+              aligned.samples, block, chunk_ksg.k, inner_executor);
         }
       }
       if (options.compute_decomposition) {

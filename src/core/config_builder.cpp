@@ -102,9 +102,13 @@ ConfiguredExperiment build_experiment(const io::Config& config) {
     simulation.neighbor_mode = sim::NeighborMode::kCellGrid;
   } else if (neighbor == "delaunay") {
     simulation.neighbor_mode = sim::NeighborMode::kDelaunay;
+  } else if (neighbor == "verlet") {
+    simulation.neighbor_mode = sim::NeighborMode::kVerletSkin;
   } else {
     throw Error("config: unknown neighbor mode '" + neighbor + "'");
   }
+  simulation.verlet_skin =
+      config.get_double("verlet_skin", simulation.verlet_skin);
 
   ConfiguredExperiment configured{ExperimentConfig(std::move(simulation)), {}};
   configured.experiment.samples = config.get_size("samples", 200);
@@ -123,7 +127,8 @@ ConfiguredExperiment build_experiment(const io::Config& config) {
 const std::vector<std::string>& known_config_keys() {
   static const std::vector<std::string> keys{
       "preset", "force", "types", "particles", "k", "r", "sigma", "tau",
-      "rc", "neighbor", "steps", "stride", "samples", "seed", "dt", "noise",
+      "rc", "neighbor", "verlet_skin", "steps", "stride", "samples", "seed",
+      "dt", "noise",
       "init_radius", "max_step", "equilibrium_threshold", "equilibrium_hold",
       "analysis_k", "entropies", "decomposition", "kmeans_per_type",
       "coarse_grain_above", "output"};

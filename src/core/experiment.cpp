@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "geom/verlet_list.hpp"
 #include "support/executor.hpp"
 #include "support/error.hpp"
 
@@ -51,6 +52,10 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
   // the chunk's whole run of samples: the neighbor backend and drift buffer
   // warm up on the first sample and every later sample steps
   // allocation-free.
+  // Per-chunk rebuild accounting, merged after the fan-out: every worker
+  // owns its slot, so no synchronization is needed.
+  std::vector<NeighborRebuildStats> chunk_stats(sample_workers);
+
   support::TaskPool pool(sample_workers * step_share);
   pool.run_partitioned(
       sample_workers, step_share,
@@ -82,8 +87,24 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
                           "run_experiment: recording grids diverged");
           series.equilibrium_steps[s] = run.equilibrium_step;
         }
+        // The workspace is chunk-local, so the Verlet backend's lifetime
+        // stats are exactly this chunk's totals. Every other backend
+        // re-indexes each of the chunk's (steps + 1) drift evaluations.
+        if (const geom::VerletListBackend* verlet = workspace.verlet_backend()) {
+          chunk_stats[k].rebuilds = verlet->stats().builds;
+          chunk_stats[k].steps = verlet->stats().steps;
+        } else {
+          const std::size_t evals =
+              (chunk.end - chunk.begin) * (config.simulation.steps + 1);
+          chunk_stats[k].rebuilds = evals;
+          chunk_stats[k].steps = evals;
+        }
       });
 
+  for (const NeighborRebuildStats& stats : chunk_stats) {
+    series.rebuild_stats.rebuilds += stats.rebuilds;
+    series.rebuild_stats.steps += stats.steps;
+  }
   return series;
 }
 

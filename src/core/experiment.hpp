@@ -30,6 +30,22 @@ struct ExperimentConfig {
   sim::ParallelPolicy parallel = sim::ParallelPolicy::kAuto;
 };
 
+/// Aggregated neighbor-list rebuild accounting of one experiment: `steps`
+/// counts every per-step backend refresh across all samples, `rebuilds` the
+/// ones that actually re-indexed. Only NeighborMode::kVerletSkin skips
+/// refreshes, so for every other mode rebuilds == steps (and the skip rate
+/// is 0) — benches and tests assert the Verlet opt-in's skip rate here.
+struct NeighborRebuildStats {
+  std::size_t rebuilds = 0;
+  std::size_t steps = 0;
+
+  [[nodiscard]] double skip_rate() const noexcept {
+    return steps > 0
+               ? 1.0 - static_cast<double>(rebuilds) / static_cast<double>(steps)
+               : 0.0;
+  }
+};
+
 /// The recorded ensemble: frames[f][s] is sample s at step frame_steps[f],
 /// stored as one flat [frame][sample][particle] block (see FrameStore).
 struct EnsembleSeries {
@@ -38,6 +54,8 @@ struct EnsembleSeries {
   FrameStore frames;
   /// Per-sample equilibrium step (if the criterion held during the run).
   std::vector<std::optional<std::size_t>> equilibrium_steps;
+  /// Rebuild accounting summed over all samples (see NeighborRebuildStats).
+  NeighborRebuildStats rebuild_stats;
 
   [[nodiscard]] std::size_t frame_count() const noexcept {
     return frames.frame_count();

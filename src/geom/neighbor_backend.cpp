@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geom/delaunay.hpp"
+#include "geom/verlet_list.hpp"
 #include "support/error.hpp"
 
 namespace sops::geom {
@@ -104,6 +105,8 @@ std::unique_ptr<NeighborBackend> make_neighbor_backend(NeighborBackendKind kind)
       return std::make_unique<CellGridBackend>();
     case NeighborBackendKind::kDelaunay:
       return std::make_unique<DelaunayBackend>();
+    case NeighborBackendKind::kVerletSkin:
+      return std::make_unique<VerletListBackend>();
   }
   support::expect(false, "make_neighbor_backend: unknown kind");
   return nullptr;

@@ -9,7 +9,10 @@
 //
 //  - all-pairs:  ascending particle index,
 //  - cell grid:  3×3 cell block in (dx, dy) order, point order within cells,
-//  - Delaunay:   sorted tessellation adjacency, pruned by the cut-off.
+//  - Delaunay:   sorted tessellation adjacency, pruned by the cut-off,
+//  - Verlet/skin: cached candidate rows in the order of the build-time grid
+//    walk, frozen between rebuilds (rebuild *timing* is trajectory-
+//    dependent; see geom/verlet_list.hpp for the relaxed contract).
 #pragma once
 
 #include <cstdint>
@@ -20,14 +23,23 @@
 #include "geom/cell_grid.hpp"
 #include "geom/vec2.hpp"
 
+namespace sops::support {
+class Executor;
+}  // namespace sops::support
+
 namespace sops::geom {
 
 /// The concrete neighbor-search strategy a backend implements.
 enum class NeighborBackendKind {
-  kAllPairs,  ///< O(n²) reference; the only choice for r_c = ∞
-  kCellGrid,  ///< hashed uniform grid, O(n) per step at bounded density
-  kDelaunay,  ///< direct tessellation neighbors, pruned by r_c
+  kAllPairs,    ///< O(n²) reference; the only choice for r_c = ∞
+  kCellGrid,    ///< hashed uniform grid, O(n) per step at bounded density
+  kDelaunay,    ///< direct tessellation neighbors, pruned by r_c
+  kVerletSkin,  ///< cached skin-radius pair lists, displacement-gated rebuilds
 };
+
+/// Default extra shell of the Verlet/skin backend (position units); see
+/// VerletListBackend. SimulationConfig::verlet_skin starts here.
+inline constexpr double kDefaultVerletSkin = 1.0;
 
 /// Persistent fixed-radius neighbor index: `rebuild` once per step, then
 /// query `neighbors(i)` per particle.
@@ -42,6 +54,16 @@ class NeighborBackend {
   /// Re-indexes `points` for queries with the given radius. The span must
   /// stay valid until the next rebuild. Retains internal capacity.
   virtual void rebuild(std::span<const Vec2> points, double radius) = 0;
+
+  /// Executor-aware rebuild: backends whose rebuild shards (the Verlet
+  /// list's candidate enumeration) dispatch it on `executor`; everyone else
+  /// falls through to the serial rebuild. Results never depend on the
+  /// executor's width.
+  virtual void rebuild(std::span<const Vec2> points, double radius,
+                       support::Executor& executor) {
+    (void)executor;
+    rebuild(points, radius);
+  }
 
   /// Indices j ≠ i with ‖p_j − p_i‖ < radius, in the backend's enumeration
   /// order (Delaunay: tessellation neighbors within the radius).
@@ -79,6 +101,7 @@ class NeighborBackend {
 /// O(n²) reference backend; supports an unbounded radius.
 class AllPairsBackend final : public NeighborBackend {
  public:
+  using NeighborBackend::rebuild;
   void rebuild(std::span<const Vec2> points, double radius) override;
   [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
   [[nodiscard]] NeighborBackendKind kind() const noexcept override {
@@ -98,6 +121,7 @@ class AllPairsBackend final : public NeighborBackend {
 /// retained map/bucket capacity. Requires a finite radius.
 class CellGridBackend final : public NeighborBackend {
  public:
+  using NeighborBackend::rebuild;
   void rebuild(std::span<const Vec2> points, double radius) override;
   [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
   [[nodiscard]] NeighborBackendKind kind() const noexcept override {
@@ -132,6 +156,7 @@ class CellGridBackend final : public NeighborBackend {
 /// adjacency as a CSR list, so queries are span lookups.
 class DelaunayBackend final : public NeighborBackend {
  public:
+  using NeighborBackend::rebuild;
   void rebuild(std::span<const Vec2> points, double radius) override;
   [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
   [[nodiscard]] NeighborBackendKind kind() const noexcept override {

@@ -1,0 +1,155 @@
+#include "geom/verlet_list.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/parallel_for.hpp"
+
+namespace sops::geom {
+
+VerletListBackend::VerletListBackend(double skin) : skin_(skin) {
+  support::expect(skin > 0.0 && std::isfinite(skin),
+                  "VerletListBackend: skin must be positive and finite");
+}
+
+void VerletListBackend::set_skin(double skin) {
+  support::expect(skin > 0.0 && std::isfinite(skin),
+                  "VerletListBackend::set_skin: skin must be positive and finite");
+  if (skin != skin_) {
+    skin_ = skin;
+    valid_ = false;
+  }
+}
+
+bool VerletListBackend::list_still_valid(std::span<const Vec2> points,
+                                         double radius) const noexcept {
+  if (!valid_ || radius != radius_ || points.size() != reference_.size()) {
+    return false;
+  }
+  // Safety condition: while every particle sits within skin/2 of its
+  // reference position, any pair now within `radius` was within
+  // radius + 2·(skin/2) = radius + skin at build time, i.e. inside the
+  // cached rows. A single particle past the threshold invalidates the list.
+  const double limit_sq = (skin_ / 2.0) * (skin_ / 2.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (dist_sq(points[i], reference_[i]) > limit_sq) return false;
+  }
+  return true;
+}
+
+void VerletListBackend::rebuild(std::span<const Vec2> points, double radius) {
+  support::SerialExecutor serial;
+  rebuild(points, radius, serial);
+}
+
+void VerletListBackend::rebuild(std::span<const Vec2> points, double radius,
+                                support::Executor& executor) {
+  support::expect(radius > 0.0 && std::isfinite(radius),
+                  "VerletListBackend: needs a positive finite radius");
+  ++stats_.steps;
+  points_ = points;
+  if (list_still_valid(points, radius)) return;
+  build(points, radius, executor);
+}
+
+void VerletListBackend::build(std::span<const Vec2> points, double radius,
+                              support::Executor& executor) {
+  const std::size_t n = points.size();
+  radius_ = radius;
+  reference_.assign(points.begin(), points.end());
+  const double list_radius = radius + skin_;
+  grid_.rebuild(points, list_radius);
+
+  // Freeze the grid's cell-major point order: it is both the enumeration
+  // backbone of the build passes and the shard ordering until the next
+  // build (the grid itself goes stale the moment particles move on).
+  const std::span<const std::uint32_t> entries = grid_.bucket_entries();
+  order_.assign(entries.begin(), entries.end());
+  const std::span<const std::uint32_t> grid_bounds =
+      grid_.shard_bounds(executor.width());
+  build_bounds_.assign(grid_bounds.begin(), grid_bounds.end());
+
+  // Pass 1 (sharded): per-particle candidate counts. Shards own disjoint
+  // particles, so the writes never race and the counts are width-invariant.
+  counts_.assign(n, 0);
+  support::parallel_for_chunked(
+      executor, std::span<const std::uint32_t>(build_bounds_),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::uint32_t i = order_[k];
+          std::uint32_t count = 0;
+          grid_.for_each_neighbor(i, list_radius, [&](std::size_t) { ++count; });
+          counts_[i] = count;
+        }
+      });
+
+  offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) offsets_[i + 1] = offsets_[i] + counts_[i];
+  indices_.resize(offsets_[n]);
+
+  // Pass 2 (sharded): fill each particle's row in the grid walk's order —
+  // the enumeration order that stays frozen for the list's lifetime.
+  support::parallel_for_chunked(
+      executor, std::span<const std::uint32_t>(build_bounds_),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const std::uint32_t i = order_[k];
+          std::uint32_t* row = indices_.data() + offsets_[i];
+          grid_.for_each_neighbor(i, list_radius, [&](std::size_t j) {
+            *row++ = static_cast<std::uint32_t>(j);
+          });
+        }
+      });
+
+  valid_ = true;
+  ++stats_.builds;
+  shard_cache_width_ = 0;  // the partition must reflect the new rows
+}
+
+std::span<const std::uint32_t> VerletListBackend::neighbors(std::size_t i) {
+  const double radius_sq = radius_ * radius_;
+  scratch_.clear();
+  for (const std::uint32_t j : candidate_row(i)) {
+    if (dist_sq(points_[i], points_[j]) < radius_sq) scratch_.push_back(j);
+  }
+  return scratch_;
+}
+
+std::span<const std::uint32_t> VerletListBackend::shard_bounds(
+    std::size_t max_shards) {
+  const std::size_t n = size();
+  if (max_shards == shard_cache_width_ && !shard_bounds_.empty()) {
+    return shard_bounds_;
+  }
+  shard_bounds_.clear();
+  shard_bounds_.push_back(0);
+  const auto n32 = static_cast<std::uint32_t>(n);
+  if (max_shards <= 1 || n <= 1) {
+    shard_bounds_.push_back(n32);
+    shard_cache_width_ = max_shards;
+    return shard_bounds_;
+  }
+
+  // Greedy equal-cost cut of the frozen order, cost = cached row length + 1
+  // (the +1 keeps candidate-free particles from piling into one shard).
+  // Unlike the cell grid, cuts need no cell alignment: rows are pure
+  // per-particle gathers, so any contiguous split is bitwise-safe.
+  const double total = static_cast<double>(indices_.size() + n);
+  double run = 0.0;
+  std::size_t shard = 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t i = order_[k];
+    run += static_cast<double>(offsets_[i + 1] - offsets_[i] + 1);
+    if (shard < max_shards && k + 1 < n &&
+        run * static_cast<double>(max_shards) >=
+            total * static_cast<double>(shard)) {
+      shard_bounds_.push_back(static_cast<std::uint32_t>(k + 1));
+      ++shard;
+    }
+  }
+  shard_bounds_.push_back(n32);
+  shard_cache_width_ = max_shards;
+  return shard_bounds_;
+}
+
+}  // namespace sops::geom

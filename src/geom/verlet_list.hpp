@@ -1,0 +1,136 @@
+// Verlet/skin neighbor lists: cached fixed-radius pair lists with
+// displacement-triggered rebuilds.
+//
+// The cell-grid backend re-indexes the point set and walks 3×3 cell blocks
+// on every step, even when the collective barely moves (the paper's regime
+// once alignment sets in). A Verlet list instead caches, per particle, every
+// candidate within `radius + skin` at build time; while no particle has
+// moved more than skin/2 since that build, the cached rows still contain
+// every true pair within `radius` — quiet steps iterate flat CSR rows with
+// one distance check per candidate and touch no grid at all. A rebuild is
+// triggered only when some particle's displacement since the reference
+// build exceeds skin/2 (or the point count / query radius changed).
+//
+// Builds are shard-parallel: the internal CellGrid's cell-major partition
+// (`CellGrid::shard_bounds`) splits the candidate enumeration into disjoint
+// particle ranges, so an `Executor` of any width produces the identical
+// list — rows are written per particle, and each row's enumeration order is
+// the grid walk's, independent of the partition.
+//
+// Reproducibility contract (see README "Neighbor backends"): within one
+// list lifetime the enumeration order of every row is frozen at build time,
+// so consecutive quiet steps are bitwise-stable and the sharded drift path
+// equals the serial one bitwise. *When* rebuilds happen depends on the
+// trajectory, though, so cross-mode golden pins do not transfer —
+// NeighborMode::kAuto therefore never selects this backend; it is opt-in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/cell_grid.hpp"
+#include "geom/neighbor_backend.hpp"
+#include "geom/vec2.hpp"
+
+namespace sops::geom {
+
+/// Cached-pair-list backend; opt-in via NeighborMode::kVerletSkin.
+class VerletListBackend final : public NeighborBackend {
+ public:
+  /// `skin` is the extra shell (in position units) beyond the query radius
+  /// that candidates are cached at; a rebuild triggers once any particle
+  /// drifted more than skin/2 from its reference position. Larger skins buy
+  /// longer list lifetimes at the price of more candidates per quiet step.
+  explicit VerletListBackend(double skin = kDefaultVerletSkin);
+
+  /// Changes the skin; invalidates the cached list when the value differs.
+  void set_skin(double skin);
+  [[nodiscard]] double skin() const noexcept { return skin_; }
+
+  using NeighborBackend::rebuild;
+  /// Displacement-gated: a full rebuild (grid + candidate enumeration) only
+  /// when the safety condition no longer holds; otherwise records the step
+  /// and keeps the cached list. Serial build.
+  void rebuild(std::span<const Vec2> points, double radius) override;
+  /// Same, with the candidate enumeration sharded on `executor` (the
+  /// engine's lent step executor). List contents are identical for any
+  /// width.
+  void rebuild(std::span<const Vec2> points, double radius,
+               support::Executor& executor) override;
+
+  /// Filters the cached candidate row by the *current* positions, so the
+  /// result satisfies the NeighborBackend contract exactly (all j with
+  /// ‖p_j − p_i‖ < radius, in frozen build order).
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
+
+  [[nodiscard]] NeighborBackendKind kind() const noexcept override {
+    return NeighborBackendKind::kVerletSkin;
+  }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Contiguous cut of the frozen build order, balanced by cached row
+  /// lengths. Any cut is bitwise-safe (rows are per-particle gathers), so
+  /// unlike the cell grid the partition needs no cell alignment.
+  [[nodiscard]] std::span<const std::uint32_t> shard_bounds(
+      std::size_t max_shards) override;
+
+  /// The cell-major point order frozen at the last build.
+  [[nodiscard]] std::span<const std::uint32_t> shard_order()
+      const noexcept override {
+    return order_;
+  }
+
+  /// Cached candidates of particle i: every j ≠ i within radius + skin of
+  /// the reference build (true neighbors are a subset while the list is
+  /// valid). Read-only and shared-state-free — the sharded drift kernel
+  /// iterates rows from several threads between rebuilds.
+  [[nodiscard]] std::span<const std::uint32_t> candidate_row(
+      std::size_t i) const noexcept {
+    return {indices_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+
+  /// Rebuild accounting across the backend's lifetime: `steps` counts
+  /// rebuild() calls, `builds` the ones that actually rebuilt. The skip
+  /// rate is what the opt-in buys; benches and tests assert on it.
+  struct Stats {
+    std::size_t builds = 0;
+    std::size_t steps = 0;
+    [[nodiscard]] double skip_rate() const noexcept {
+      return steps > 0
+                 ? 1.0 - static_cast<double>(builds) / static_cast<double>(steps)
+                 : 0.0;
+    }
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Forces the next rebuild() to rebuild regardless of displacement
+  /// (benches measure full-rebuild cost this way).
+  void invalidate() noexcept { valid_ = false; }
+
+ private:
+  [[nodiscard]] bool list_still_valid(std::span<const Vec2> points,
+                                      double radius) const noexcept;
+  void build(std::span<const Vec2> points, double radius,
+             support::Executor& executor);
+
+  double skin_;
+  double radius_ = 0.0;
+  bool valid_ = false;
+  std::span<const Vec2> points_;   // positions of the current step
+  std::vector<Vec2> reference_;    // positions of the last build
+  CellGrid grid_;                  // build-time scratch; idle between builds
+  std::vector<std::size_t> offsets_;     // per-particle CSR rows
+  std::vector<std::uint32_t> indices_;   // candidates, row-contiguous
+  std::vector<std::uint32_t> order_;     // frozen cell-major build order
+  std::vector<std::uint32_t> counts_;    // per-particle counts (build pass 1)
+  std::vector<std::uint32_t> build_bounds_;  // build partition (frozen copy)
+  std::vector<std::uint32_t> scratch_;       // neighbors() filter output
+  std::size_t shard_cache_width_ = 0;  // shard_bounds_ is valid for this width
+  Stats stats_;
+};
+
+}  // namespace sops::geom

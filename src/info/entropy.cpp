@@ -30,6 +30,42 @@ double kth_block_distance(const SampleMatrix& samples, const Block& block,
   return std::sqrt(scratch[k - 1]);
 }
 
+// The one implementation behind both dispatch forms: `executor` when the
+// caller lends one, a transient fork/join of `threads` workers otherwise.
+double entropy_kl_block_impl(const SampleMatrix& samples, const Block& block,
+                             std::size_t k, support::Executor* executor,
+                             std::size_t threads) {
+  const std::size_t m = samples.count();
+  support::expect(k >= 1 && m >= k + 1,
+                  "entropy_kl_block: need at least k+1 samples");
+  support::expect(block.offset + block.dim <= samples.dim(),
+                  "entropy_kl_block: block out of range");
+
+  std::vector<double> log_eps(m, 0.0);
+  const auto chunk = [&](std::size_t begin, std::size_t end) {
+    std::vector<double> scratch;
+    for (std::size_t s = begin; s < end; ++s) {
+      const double eps = kth_block_distance(samples, block, s, k, scratch);
+      // Coincident samples yield ε = 0; contribute a strongly negative
+      // but finite term so degenerate ensembles do not produce NaN.
+      log_eps[s] = eps > 0.0 ? std::log2(eps) : -52.0;
+    }
+  };
+  if (executor != nullptr) {
+    support::parallel_for_chunked(*executor, 0, m, chunk);
+  } else {
+    support::parallel_for_chunked(0, m, chunk, threads);
+  }
+
+  double sum_log_eps = 0.0;
+  for (const double v : log_eps) sum_log_eps += v;
+
+  const double d = static_cast<double>(block.dim);
+  return kLog2E * (digamma_int(m) - digamma_int(k)) +
+         log2_unit_ball_volume(block.dim) +
+         d / static_cast<double>(m) * sum_log_eps;
+}
+
 }  // namespace
 
 double log2_unit_ball_volume(std::size_t dim) {
@@ -41,33 +77,12 @@ double log2_unit_ball_volume(std::size_t dim) {
 
 double entropy_kl_block(const SampleMatrix& samples, const Block& block,
                         std::size_t k, std::size_t threads) {
-  const std::size_t m = samples.count();
-  support::expect(k >= 1 && m >= k + 1,
-                  "entropy_kl_block: need at least k+1 samples");
-  support::expect(block.offset + block.dim <= samples.dim(),
-                  "entropy_kl_block: block out of range");
+  return entropy_kl_block_impl(samples, block, k, nullptr, threads);
+}
 
-  std::vector<double> log_eps(m, 0.0);
-  support::parallel_for_chunked(
-      0, m,
-      [&](std::size_t begin, std::size_t end) {
-        std::vector<double> scratch;
-        for (std::size_t s = begin; s < end; ++s) {
-          const double eps = kth_block_distance(samples, block, s, k, scratch);
-          // Coincident samples yield ε = 0; contribute a strongly negative
-          // but finite term so degenerate ensembles do not produce NaN.
-          log_eps[s] = eps > 0.0 ? std::log2(eps) : -52.0;
-        }
-      },
-      threads);
-
-  double sum_log_eps = 0.0;
-  for (const double v : log_eps) sum_log_eps += v;
-
-  const double d = static_cast<double>(block.dim);
-  return kLog2E * (digamma_int(m) - digamma_int(k)) +
-         log2_unit_ball_volume(block.dim) +
-         d / static_cast<double>(m) * sum_log_eps;
+double entropy_kl_block(const SampleMatrix& samples, const Block& block,
+                        std::size_t k, support::Executor& executor) {
+  return entropy_kl_block_impl(samples, block, k, &executor, 1);
 }
 
 double entropy_kl(const SampleMatrix& samples, std::size_t k,
@@ -75,15 +90,39 @@ double entropy_kl(const SampleMatrix& samples, std::size_t k,
   return entropy_kl_block(samples, Block{0, samples.dim()}, k, threads);
 }
 
-double multi_information_kl(const SampleMatrix& samples,
-                            std::span<const Block> blocks, std::size_t k,
-                            std::size_t threads) {
+double entropy_kl(const SampleMatrix& samples, std::size_t k,
+                  support::Executor& executor) {
+  return entropy_kl_block(samples, Block{0, samples.dim()}, k, executor);
+}
+
+namespace {
+
+double multi_information_kl_impl(const SampleMatrix& samples,
+                                 std::span<const Block> blocks, std::size_t k,
+                                 support::Executor* executor,
+                                 std::size_t threads) {
   validate_blocks(blocks, samples.dim());
   double marginal_sum = 0.0;
   for (const Block& block : blocks) {
-    marginal_sum += entropy_kl_block(samples, block, k, threads);
+    marginal_sum += entropy_kl_block_impl(samples, block, k, executor, threads);
   }
-  return marginal_sum - entropy_kl(samples, k, threads);
+  return marginal_sum -
+         entropy_kl_block_impl(samples, Block{0, samples.dim()}, k, executor,
+                               threads);
+}
+
+}  // namespace
+
+double multi_information_kl(const SampleMatrix& samples,
+                            std::span<const Block> blocks, std::size_t k,
+                            std::size_t threads) {
+  return multi_information_kl_impl(samples, blocks, k, nullptr, threads);
+}
+
+double multi_information_kl(const SampleMatrix& samples,
+                            std::span<const Block> blocks, std::size_t k,
+                            support::Executor& executor) {
+  return multi_information_kl_impl(samples, blocks, k, &executor, 1);
 }
 
 double gaussian_entropy_bits(std::size_t dim, double sigma) {

@@ -11,6 +11,10 @@
 
 #include "info/sample_matrix.hpp"
 
+namespace sops::support {
+class Executor;
+}  // namespace sops::support
+
 namespace sops::info {
 
 /// Kozachenko–Leonenko estimate of the differential entropy h(X) in bits,
@@ -35,6 +39,21 @@ namespace sops::info {
                                           std::span<const Block> blocks,
                                           std::size_t k = 4,
                                           std::size_t threads = 0);
+
+/// Executor-aware forms (mirroring KsgOptions::executor): the per-sample
+/// query loop dispatches on a caller-lent executor — a persistent pool the
+/// batch analysis reuses across frames — instead of forking transient
+/// workers per call. Estimates are identical to the `threads` forms for
+/// any width (per-sample terms are reduced in a fixed order).
+[[nodiscard]] double entropy_kl(const SampleMatrix& samples, std::size_t k,
+                                support::Executor& executor);
+[[nodiscard]] double entropy_kl_block(const SampleMatrix& samples,
+                                      const Block& block, std::size_t k,
+                                      support::Executor& executor);
+[[nodiscard]] double multi_information_kl(const SampleMatrix& samples,
+                                          std::span<const Block> blocks,
+                                          std::size_t k,
+                                          support::Executor& executor);
 
 /// log₂ of the volume of the D-dimensional unit L2 ball.
 [[nodiscard]] double log2_unit_ball_volume(std::size_t dim);

@@ -50,22 +50,25 @@ std::vector<double> kde_log2_density(const SampleMatrix& samples,
       std::log2(static_cast<double>(m - 1));
 
   std::vector<double> log_density(m, 0.0);
-  support::parallel_for_chunked(
-      0, m,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t s = begin; s < end; ++s) {
-          double sum = 0.0;
-          for (std::size_t j = 0; j < m; ++j) {
-            if (j == s) continue;
-            sum += std::exp(-block_dist_sq(samples, s, j, block) * inv_two_h_sq);
-          }
-          // Floor at the smallest positive double to keep log finite for
-          // isolated samples.
-          log_density[s] =
-              std::log2(std::max(sum, 1e-300)) + log2_norm;
-        }
-      },
-      options.threads);
+  const auto chunk = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j == s) continue;
+        sum += std::exp(-block_dist_sq(samples, s, j, block) * inv_two_h_sq);
+      }
+      // Floor at the smallest positive double to keep log finite for
+      // isolated samples.
+      log_density[s] = std::log2(std::max(sum, 1e-300)) + log2_norm;
+    }
+  };
+  if (options.executor != nullptr) {
+    // Pooled path: the caller's persistent executor serves every density
+    // evaluation of the batch — no per-call thread creation.
+    support::parallel_for_chunked(*options.executor, 0, m, chunk);
+  } else {
+    support::parallel_for_chunked(0, m, chunk, options.threads);
+  }
   return log_density;
 }
 

@@ -15,6 +15,10 @@
 
 #include "info/sample_matrix.hpp"
 
+namespace sops::support {
+class Executor;
+}  // namespace sops::support
+
 namespace sops::info {
 
 /// KDE estimator options.
@@ -23,6 +27,11 @@ struct KdeOptions {
   /// h = scale · σ̂ · m^{−1/(d+4)}.
   double bandwidth_scale = 1.0;
   std::size_t threads = 0;
+  /// When set, density evaluations dispatch their sample chunks on this
+  /// executor (a persistent pool the caller reuses across calls) and
+  /// `threads` is ignored — mirroring KsgOptions::executor. Never affects
+  /// the estimate.
+  support::Executor* executor = nullptr;
 };
 
 /// Leave-one-out log₂ density estimate of block coordinates at each sample;

@@ -20,58 +20,75 @@ double joint_dist(const SampleMatrix& samples, std::size_t s, std::size_t j,
   return std::sqrt(d_sq);
 }
 
-}  // namespace
-
-double conditional_mutual_information_ksg(const SampleMatrix& samples,
-                                          const Block& a, const Block& b,
-                                          const Block& c, std::size_t k,
-                                          std::size_t threads) {
+// One implementation behind both dispatch forms of the conditional MI:
+// the caller's lent executor when present, a transient fork/join otherwise.
+double conditional_mi_impl(const SampleMatrix& samples, const Block& a,
+                           const Block& b, const Block& c, std::size_t k,
+                           support::Executor* executor, std::size_t threads) {
   const std::size_t m = samples.count();
   support::expect(k >= 1, "conditional MI: k must be >= 1");
   support::expect(m >= k + 1, "conditional MI: need at least k+1 samples");
   validate_blocks(std::vector<Block>{a, b, c}, samples.dim());
 
   std::vector<double> per_sample(m, 0.0);
-  support::parallel_for_chunked(
-      0, m,
-      [&](std::size_t begin, std::size_t end) {
-        std::vector<double> scratch;
-        for (std::size_t s = begin; s < end; ++s) {
-          scratch.clear();
-          scratch.reserve(m - 1);
-          for (std::size_t j = 0; j < m; ++j) {
-            if (j != s) scratch.push_back(joint_dist(samples, s, j, a, b, c));
-          }
-          std::nth_element(scratch.begin(),
-                           scratch.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                           scratch.end());
-          const double eps = scratch[k - 1];
-          const double eps_sq = eps * eps;
+  const auto chunk = [&](std::size_t begin, std::size_t end) {
+    std::vector<double> scratch;
+    for (std::size_t s = begin; s < end; ++s) {
+      scratch.clear();
+      scratch.reserve(m - 1);
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j != s) scratch.push_back(joint_dist(samples, s, j, a, b, c));
+      }
+      std::nth_element(scratch.begin(),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                       scratch.end());
+      const double eps = scratch[k - 1];
+      const double eps_sq = eps * eps;
 
-          // Marginal counts in the (a,c), (b,c) and (c) subspaces, strictly
-          // within ε (Frenzel–Pompe convention).
-          std::size_t n_ac = 0;
-          std::size_t n_bc = 0;
-          std::size_t n_c = 0;
-          for (std::size_t j = 0; j < m; ++j) {
-            if (j == s) continue;
-            const double dc = block_dist_sq(samples, s, j, c);
-            if (dc >= eps_sq) continue;
-            ++n_c;
-            if (std::max(dc, block_dist_sq(samples, s, j, a)) < eps_sq) ++n_ac;
-            if (std::max(dc, block_dist_sq(samples, s, j, b)) < eps_sq) ++n_bc;
-          }
-          per_sample[s] = digamma_int(n_ac + 1) + digamma_int(n_bc + 1) -
-                          digamma_int(n_c + 1);
-        }
-      },
-      threads);
+      // Marginal counts in the (a,c), (b,c) and (c) subspaces, strictly
+      // within ε (Frenzel–Pompe convention).
+      std::size_t n_ac = 0;
+      std::size_t n_bc = 0;
+      std::size_t n_c = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j == s) continue;
+        const double dc = block_dist_sq(samples, s, j, c);
+        if (dc >= eps_sq) continue;
+        ++n_c;
+        if (std::max(dc, block_dist_sq(samples, s, j, a)) < eps_sq) ++n_ac;
+        if (std::max(dc, block_dist_sq(samples, s, j, b)) < eps_sq) ++n_bc;
+      }
+      per_sample[s] = digamma_int(n_ac + 1) + digamma_int(n_bc + 1) -
+                      digamma_int(n_c + 1);
+    }
+  };
+  if (executor != nullptr) {
+    support::parallel_for_chunked(*executor, 0, m, chunk);
+  } else {
+    support::parallel_for_chunked(0, m, chunk, threads);
+  }
 
   double mean_psi = 0.0;
   for (const double v : per_sample) mean_psi += v;
   mean_psi /= static_cast<double>(m);
 
   return (digamma_int(k) - mean_psi) * std::numbers::log2e;
+}
+
+}  // namespace
+
+double conditional_mutual_information_ksg(const SampleMatrix& samples,
+                                          const Block& a, const Block& b,
+                                          const Block& c, std::size_t k,
+                                          std::size_t threads) {
+  return conditional_mi_impl(samples, a, b, c, k, nullptr, threads);
+}
+
+double conditional_mutual_information_ksg(const SampleMatrix& samples,
+                                          const Block& a, const Block& b,
+                                          const Block& c, std::size_t k,
+                                          support::Executor& executor) {
+  return conditional_mi_impl(samples, a, b, c, k, &executor, 1);
 }
 
 double transfer_entropy(std::span<const double> source,
@@ -101,6 +118,10 @@ double transfer_entropy(std::span<const double> source,
   const Block future{0, dim};
   const Block src{dim, dim};
   const Block present{2 * dim, dim};
+  if (options.executor != nullptr) {
+    return conditional_mutual_information_ksg(samples, future, src, present,
+                                              options.k, *options.executor);
+  }
   return conditional_mutual_information_ksg(samples, future, src, present,
                                             options.k, options.threads);
 }
@@ -146,17 +167,22 @@ std::vector<std::vector<double>> transfer_entropy_matrix(
   }
 
   std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  // The pair fan-out is the parallel axis; each estimator call stays
+  // serial so the lent (or transient) workers are never oversubscribed.
   TransferEntropyOptions inner = options;
   inner.threads = 1;
-  support::parallel_for(
-      0, n * n,
-      [&](std::size_t cell) {
-        const std::size_t a = cell / n;
-        const std::size_t b = cell % n;
-        if (a == b) return;
-        matrix[a][b] = transfer_entropy(series[a], series[b], 2, inner);
-      },
-      options.threads);
+  inner.executor = nullptr;
+  const auto cell_body = [&](std::size_t cell) {
+    const std::size_t a = cell / n;
+    const std::size_t b = cell % n;
+    if (a == b) return;
+    matrix[a][b] = transfer_entropy(series[a], series[b], 2, inner);
+  };
+  if (options.executor != nullptr) {
+    support::parallel_for(*options.executor, 0, n * n, cell_body);
+  } else {
+    support::parallel_for(0, n * n, cell_body, options.threads);
+  }
   return matrix;
 }
 
@@ -184,6 +210,7 @@ double active_information_storage(std::span<const double> series,
   KsgOptions ksg;
   ksg.k = options.k;
   ksg.threads = options.threads;
+  ksg.executor = options.executor;
   return multi_information_ksg(samples, dim, ksg);
 }
 

@@ -28,6 +28,10 @@
 #include "geom/vec2.hpp"
 #include "info/sample_matrix.hpp"
 
+namespace sops::support {
+class Executor;
+}  // namespace sops::support
+
 namespace sops::info {
 
 /// Options for the conditional estimators.
@@ -35,6 +39,12 @@ struct TransferEntropyOptions {
   std::size_t k = 4;        ///< neighbor order
   std::size_t lag = 1;      ///< time offset between "present" and "next"
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// When set, the estimator's parallel loops (per-sample queries; the TE
+  /// matrix's pair fan-out) dispatch on this executor and `threads` is
+  /// ignored — mirroring KsgOptions::executor, so batch analyses reuse one
+  /// persistent pool instead of forking workers per call. Never affects
+  /// the estimate.
+  support::Executor* executor = nullptr;
 };
 
 /// KSG/Frenzel–Pompe conditional mutual information I(A ; B | C) in bits.
@@ -44,6 +54,13 @@ struct TransferEntropyOptions {
 [[nodiscard]] double conditional_mutual_information_ksg(
     const SampleMatrix& samples, const Block& a, const Block& b,
     const Block& c, std::size_t k = 4, std::size_t threads = 0);
+
+/// Executor-aware form: per-sample queries dispatch on the caller's lent
+/// executor instead of forking `threads` transient workers. Identical
+/// estimate for any width.
+[[nodiscard]] double conditional_mutual_information_ksg(
+    const SampleMatrix& samples, const Block& a, const Block& b,
+    const Block& c, std::size_t k, support::Executor& executor);
 
 /// Transfer entropy (bits) between two scalar-block time series.
 ///

@@ -4,6 +4,7 @@
 
 #include "geom/cell_grid.hpp"
 #include "geom/delaunay.hpp"
+#include "geom/verlet_list.hpp"
 #include "support/parallel_for.hpp"
 
 namespace sops::sim {
@@ -120,11 +121,26 @@ void accumulate_sharded(geom::NeighborBackend& backend,
 }  // namespace
 
 NeighborMode resolve_neighbor_mode(NeighborMode mode, std::size_t n,
-                                   double cutoff_radius) noexcept {
-  if (mode != NeighborMode::kAuto) return mode;
-  const bool unbounded = !std::isfinite(cutoff_radius);
-  return (unbounded || n < 64) ? NeighborMode::kAllPairs
-                               : NeighborMode::kCellGrid;
+                                   double cutoff_radius) {
+  // Exhaustive on purpose: a mode value outside the enum (a cast, a
+  // version-skewed config) must fail here, loudly, instead of riding a
+  // default branch into whatever backend happens to be listed first.
+  switch (mode) {
+    case NeighborMode::kAuto: {
+      // kAuto never picks kVerletSkin: the opt-in relaxes rebuild timing,
+      // which existing cross-mode golden pins must not inherit silently.
+      const bool unbounded = !std::isfinite(cutoff_radius);
+      return (unbounded || n < 64) ? NeighborMode::kAllPairs
+                                   : NeighborMode::kCellGrid;
+    }
+    case NeighborMode::kAllPairs:
+    case NeighborMode::kCellGrid:
+    case NeighborMode::kDelaunay:
+    case NeighborMode::kVerletSkin:
+      return mode;
+  }
+  support::expect(false, "resolve_neighbor_mode: unknown NeighborMode value");
+  return NeighborMode::kAllPairs;
 }
 
 geom::NeighborBackendKind neighbor_backend_kind(NeighborMode resolved_mode) {
@@ -135,6 +151,8 @@ geom::NeighborBackendKind neighbor_backend_kind(NeighborMode resolved_mode) {
       return geom::NeighborBackendKind::kCellGrid;
     case NeighborMode::kDelaunay:
       return geom::NeighborBackendKind::kDelaunay;
+    case NeighborMode::kVerletSkin:
+      return geom::NeighborBackendKind::kVerletSkin;
     case NeighborMode::kAuto:
       break;
   }
@@ -147,7 +165,17 @@ void accumulate_drift(const ParticleSystem& system, const InteractionModel& mode
                       NeighborMode mode) {
   mode = resolve_neighbor_mode(mode, system.size(), cutoff_radius);
   check_drift_preconditions(system, model.types(), cutoff_radius,
-                            mode == NeighborMode::kCellGrid);
+                            mode == NeighborMode::kCellGrid ||
+                                mode == NeighborMode::kVerletSkin);
+  if (mode == NeighborMode::kVerletSkin) {
+    // The enum path is the per-call reference: a fresh list (default skin)
+    // built and consumed once — same pair set as the cell grid, enumerated
+    // in the build walk's order.
+    geom::VerletListBackend backend;
+    accumulate_drift(system, PairScalingTable(model), cutoff_radius, out,
+                     backend, std::size_t{1});
+    return;
+  }
   out.assign(system.size(), geom::Vec2{});
 
   const PairScalingTable table(model);
@@ -181,8 +209,12 @@ void accumulate_drift(const ParticleSystem& system, const PairScalingTable& tabl
                       support::Executor& executor) {
   check_drift_preconditions(
       system, table.types(), cutoff_radius,
-      backend.kind() == geom::NeighborBackendKind::kCellGrid);
-  backend.rebuild(system.positions, cutoff_radius);
+      backend.kind() == geom::NeighborBackendKind::kCellGrid ||
+          backend.kind() == geom::NeighborBackendKind::kVerletSkin);
+  // Executor-aware: the Verlet backend shards its (occasional) candidate
+  // enumeration on the same lent workers the drift sum uses; everyone else
+  // rebuilds serially as before.
+  backend.rebuild(system.positions, cutoff_radius, executor);
   const std::size_t width = executor.width();
 
   const std::size_t n = system.size();
@@ -216,6 +248,32 @@ void accumulate_drift(const ParticleSystem& system, const PairScalingTable& tabl
     const double cutoff_sq = cutoff_radius * cutoff_radius;
     const auto drift_of = [&](std::size_t i) {
       return all_pairs_drift_of(system, table, cutoff_sq, i);
+    };
+    if (width > 1) {
+      accumulate_sharded(backend, executor, drift_of, out);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = drift_of(i);
+    }
+    return;
+  }
+  if (const auto* verlet =
+          dynamic_cast<const geom::VerletListBackend*>(&backend)) {
+    // The pair-list kernel: iterate the cached candidate rows (within
+    // r_c + skin at build time) and apply the true cut-off per pair at the
+    // *current* positions. On quiet steps this is the whole neighbor cost —
+    // flat CSR reads, no hash probes, no cell walk. Row order is frozen at
+    // build time, so between rebuilds the sum is bitwise-stable and the
+    // sharded variant equals the serial loop.
+    const double cutoff_sq = cutoff_radius * cutoff_radius;
+    const auto drift_of = [&](std::size_t i) {
+      geom::Vec2 drift{};
+      for (const std::uint32_t j : verlet->candidate_row(i)) {
+        if (geom::dist_sq(system.positions[i], system.positions[j]) <
+            cutoff_sq) {
+          drift += pair_drift(system, table, i, j);
+        }
+      }
+      return drift;
     };
     if (width > 1) {
       accumulate_sharded(backend, executor, drift_of, out);

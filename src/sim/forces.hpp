@@ -39,6 +39,14 @@ enum class NeighborMode {
   /// [10] that §4.1 deliberately drops. A finite r_c additionally prunes
   /// tessellation edges longer than the cut-off.
   kDelaunay,
+  /// Verlet/skin cached pair lists (geom::VerletListBackend): candidates
+  /// within r_c + skin are cached and only rebuilt once a particle drifted
+  /// past skin/2 — quiet steps skip index construction entirely. Opt-in:
+  /// rebuild *timing* is trajectory-dependent, so cross-mode golden pins do
+  /// not transfer and kAuto never selects it (within-list enumeration order
+  /// stays frozen, so runs remain bitwise-reproducible per mode). Requires
+  /// finite r_c; skin comes from SimulationConfig::verlet_skin.
+  kVerletSkin,
 };
 
 /// The value used for an unbounded interaction radius (r_c = ∞).
@@ -84,11 +92,13 @@ class PairScalingTable {
 };
 
 /// Resolves kAuto to the concrete strategy for a collective of `n`
-/// particles and cut-off `cutoff_radius`; concrete modes pass through.
-/// Never returns kAuto.
+/// particles and cut-off `cutoff_radius`; concrete modes pass through
+/// (kAuto never picks kVerletSkin — it is opt-in, see the enum). Never
+/// returns kAuto; throws PreconditionError on a mode value outside the
+/// enum instead of silently passing it through.
 [[nodiscard]] NeighborMode resolve_neighbor_mode(NeighborMode mode,
                                                  std::size_t n,
-                                                 double cutoff_radius) noexcept;
+                                                 double cutoff_radius);
 
 /// The backend kind implementing a resolved (non-kAuto) neighbor mode.
 [[nodiscard]] geom::NeighborBackendKind neighbor_backend_kind(

@@ -1,5 +1,6 @@
 #include "sim/workspace.hpp"
 
+#include "geom/verlet_list.hpp"
 #include "sim/simulation.hpp"
 #include "support/error.hpp"
 
@@ -11,6 +12,17 @@ void SimulationWorkspace::prepare(const SimulationConfig& config) {
   const geom::NeighborBackendKind kind = neighbor_backend_kind(resolved);
   if (!backend_ || backend_->kind() != kind) {
     backend_ = geom::make_neighbor_backend(kind);
+  }
+  if (kind == geom::NeighborBackendKind::kVerletSkin) {
+    auto& verlet = static_cast<geom::VerletListBackend&>(*backend_);
+    verlet.set_skin(config.verlet_skin);
+    // A run must not inherit the previous run's frozen enumeration order:
+    // if the new initial positions happened to sit within skin/2 of the
+    // stale reference build, the list would be reused and the trajectory
+    // would depend on workspace history (and thus on how an ensemble's
+    // samples were chunked over workers). One forced build per run keeps
+    // every run a pure function of its config; capacity stays warm.
+    verlet.invalidate();
   }
   scaling_table_.emplace(config.model);
   drift_.reserve(config.types.size());
@@ -39,6 +51,11 @@ support::Executor& SimulationWorkspace::step_executor() noexcept {
     return owned_pool_->executor();
   }
   return serial_executor_;
+}
+
+const geom::VerletListBackend* SimulationWorkspace::verlet_backend()
+    const noexcept {
+  return dynamic_cast<const geom::VerletListBackend*>(backend_.get());
 }
 
 geom::NeighborBackend& SimulationWorkspace::backend() {

@@ -23,8 +23,10 @@
 
 #include "geom/delaunay.hpp"
 #include "geom/neighbor_backend.hpp"
+#include "geom/verlet_list.hpp"
 #include "rng/samplers.hpp"
 #include "sim/forces.hpp"
+#include "sim/integrator.hpp"
 
 namespace {
 
@@ -92,6 +94,9 @@ TEST(ParityFuzz, PersistentBackendsMatchEnumModesBitwise) {
       {NeighborMode::kAllPairs, sops::geom::NeighborBackendKind::kAllPairs},
       {NeighborMode::kCellGrid, sops::geom::NeighborBackendKind::kCellGrid},
       {NeighborMode::kDelaunay, sops::geom::NeighborBackendKind::kDelaunay},
+      // A fresh Verlet list (one call, one build at the default skin) must
+      // reproduce the enum-mode reference bitwise, like every backend.
+      {NeighborMode::kVerletSkin, sops::geom::NeighborBackendKind::kVerletSkin},
   };
   for (std::uint64_t c = 0; c < kCases; ++c) {
     const FuzzCase fuzz = draw_case(c);
@@ -150,6 +155,48 @@ TEST(ParityFuzz, DelaunayBackendMatchesPrunedTessellationWithin1e12) {
   }
 }
 
+TEST(ParityFuzz, VerletSkinTracksCellGridAlongTrajectoriesWithin1e12) {
+  // Same seeded configurations as the other parity cases, but followed
+  // along a real trajectory so the Verlet backend's displacement gating
+  // (skips, stale-list filtering, triggered rebuilds) is exercised against
+  // the cell grid on the identical positions. Tolerance-based on purpose:
+  // the two modes enumerate the same pair set in different orders, and the
+  // Verlet rebuild cadence is trajectory-dependent, so bitwise pins do not
+  // transfer across modes.
+  std::size_t total_steps = 0;
+  std::size_t total_builds = 0;
+  for (std::uint64_t c = 0; c < kCases; c += 5) {
+    FuzzCase fuzz = draw_case(c);
+    const PairScalingTable table(fuzz.model);
+    sops::geom::CellGridBackend grid_backend;
+    sops::geom::VerletListBackend verlet_backend;
+    sops::sim::IntegratorParams params;
+    sops::rng::Xoshiro256 engine(0xBEE5 + c);
+    std::vector<Vec2> grid_drift;
+    std::vector<Vec2> verlet_drift;
+    for (int step = 0; step < 25; ++step) {
+      accumulate_drift(fuzz.system, table, fuzz.cutoff, grid_drift,
+                       grid_backend, std::size_t{1});
+      accumulate_drift(fuzz.system, table, fuzz.cutoff, verlet_drift,
+                       verlet_backend, std::size_t{1});
+      for (std::size_t i = 0; i < fuzz.system.size(); ++i) {
+        ASSERT_NEAR(grid_drift[i].x, verlet_drift[i].x, 1e-12)
+            << "case " << c << " step " << step << " i " << i;
+        ASSERT_NEAR(grid_drift[i].y, verlet_drift[i].y, 1e-12)
+            << "case " << c << " step " << step << " i " << i;
+      }
+      // Advance on the grid drift: one shared trajectory for both backends.
+      sops::sim::apply_euler_maruyama_update(fuzz.system, grid_drift, params,
+                                             engine);
+    }
+    total_steps += verlet_backend.stats().steps;
+    total_builds += verlet_backend.stats().builds;
+  }
+  // The gating must actually have skipped rebuilds somewhere across the
+  // sweep — otherwise this test exercised nothing beyond a fresh build.
+  EXPECT_LT(total_builds, total_steps);
+}
+
 TEST(ParityFuzz, ShardedPathBitwiseEqualsSerialForEveryBackend) {
   for (std::uint64_t c = 0; c < kCases; ++c) {
     const FuzzCase fuzz = draw_case(c);
@@ -157,7 +204,8 @@ TEST(ParityFuzz, ShardedPathBitwiseEqualsSerialForEveryBackend) {
     for (const sops::geom::NeighborBackendKind kind :
          {sops::geom::NeighborBackendKind::kAllPairs,
           sops::geom::NeighborBackendKind::kCellGrid,
-          sops::geom::NeighborBackendKind::kDelaunay}) {
+          sops::geom::NeighborBackendKind::kDelaunay,
+          sops::geom::NeighborBackendKind::kVerletSkin}) {
       const auto serial_backend = sops::geom::make_neighbor_backend(kind);
       const auto sharded_backend = sops::geom::make_neighbor_backend(kind);
       std::vector<Vec2> serial;

@@ -8,6 +8,7 @@
 #include "rng/engine.hpp"
 #include "rng/samplers.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 
 namespace {
 
@@ -124,6 +125,22 @@ TEST(KlMultiInformation, IndependentNearZero) {
   const SampleMatrix samples = gaussian_samples(1500, 2, 1.0, 37);
   const std::vector<Block> blocks{{0, 1}, {1, 1}};
   EXPECT_NEAR(multi_information_kl(samples, blocks, 4), 0.0, 0.15);
+}
+
+TEST(KlEntropy, LentExecutorMatchesThreadsForm) {
+  // The executor overloads (batch analyses lend a persistent pool) must be
+  // bit-identical to the transient fork/join forms: per-sample terms are
+  // reduced in a fixed order regardless of who computes them.
+  const SampleMatrix samples = gaussian_samples(600, 4, 1.0, 11);
+  sops::support::TaskPool pool(3);
+  EXPECT_DOUBLE_EQ(entropy_kl(samples, 4, std::size_t{2}),
+                   entropy_kl(samples, 4, pool.executor()));
+  const Block block{1, 2};
+  EXPECT_DOUBLE_EQ(entropy_kl_block(samples, block, 4, std::size_t{2}),
+                   entropy_kl_block(samples, block, 4, pool.executor()));
+  const std::vector<Block> blocks{{0, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(multi_information_kl(samples, blocks, 4, std::size_t{2}),
+                   multi_information_kl(samples, blocks, 4, pool.executor()));
 }
 
 }  // namespace

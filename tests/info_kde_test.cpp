@@ -8,6 +8,7 @@
 #include "rng/engine.hpp"
 #include "rng/samplers.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 
 namespace {
 
@@ -128,6 +129,20 @@ TEST(KdeMi, PreconditionsEnforced) {
   bad.bandwidth_scale = 0.0;
   EXPECT_THROW((void)multi_information_kde(ok, blocks, bad),
                sops::PreconditionError);
+}
+
+TEST(KdeMultiInformation, LentExecutorMatchesThreadsForm) {
+  // KdeOptions::executor mirrors KsgOptions::executor: a lent persistent
+  // pool replaces per-call forks and never changes the estimate.
+  const SampleMatrix samples = correlated_pair(400, 0.8, 21);
+  const std::vector<Block> blocks{{0, 1}, {1, 1}};
+  KdeOptions threaded;
+  threaded.threads = 2;
+  sops::support::TaskPool pool(3);
+  KdeOptions pooled;
+  pooled.executor = &pool.executor();
+  EXPECT_DOUBLE_EQ(multi_information_kde(samples, blocks, threaded),
+                   multi_information_kde(samples, blocks, pooled));
 }
 
 }  // namespace

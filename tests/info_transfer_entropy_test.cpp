@@ -7,6 +7,7 @@
 #include "info/transfer_entropy.hpp"
 #include "rng/samplers.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 
 namespace {
 
@@ -246,6 +247,22 @@ TEST(ActiveInformationStorage, ParticleHelperRuns) {
     p = p * 0.8 + sops::rng::normal_vec2(engine, 0.5);
   }
   EXPECT_GT(sops::info::particle_active_information_storage(frames, 0), 0.3);
+}
+
+TEST(TransferEntropy, LentExecutorMatchesThreadsForm) {
+  // TransferEntropyOptions::executor mirrors KsgOptions::executor; the
+  // estimate never depends on who runs the per-sample queries.
+  const CoupledSeries series = coupled_ar(400, 0.8, 9);
+  TransferEntropyOptions threaded;
+  threaded.threads = 2;
+  sops::support::TaskPool pool(3);
+  TransferEntropyOptions pooled;
+  pooled.executor = &pool.executor();
+  EXPECT_DOUBLE_EQ(transfer_entropy(series.x, series.y, 1, threaded),
+                   transfer_entropy(series.x, series.y, 1, pooled));
+  EXPECT_DOUBLE_EQ(
+      sops::info::active_information_storage(series.y, 1, threaded),
+      sops::info::active_information_storage(series.y, 1, pooled));
 }
 
 }  // namespace

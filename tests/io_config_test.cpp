@@ -127,7 +127,8 @@ TEST(ConfigBuilder, NeighborModes) {
            {"auto", sops::sim::NeighborMode::kAuto},
            {"all_pairs", sops::sim::NeighborMode::kAllPairs},
            {"cell_grid", sops::sim::NeighborMode::kCellGrid},
-           {"delaunay", sops::sim::NeighborMode::kDelaunay}}) {
+           {"delaunay", sops::sim::NeighborMode::kDelaunay},
+           {"verlet", sops::sim::NeighborMode::kVerletSkin}}) {
     const Config config = Config::parse("neighbor = " + name + "\n");
     EXPECT_EQ(build_experiment(config).experiment.simulation.neighbor_mode,
               mode)
@@ -135,6 +136,11 @@ TEST(ConfigBuilder, NeighborModes) {
   }
   const Config bad = Config::parse("neighbor = quantum\n");
   EXPECT_THROW((void)build_experiment(bad), sops::Error);
+
+  const Config skinned =
+      Config::parse("neighbor = verlet\nverlet_skin = 0.75\n");
+  EXPECT_DOUBLE_EQ(build_experiment(skinned).experiment.simulation.verlet_skin,
+                   0.75);
 }
 
 TEST(ConfigBuilder, AnalysisOptions) {

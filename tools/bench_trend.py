@@ -28,26 +28,49 @@ REGRESSION_TOLERANCE = 0.10
 
 # Metrics where growth, not shrinkage, is the regression.
 LOWER_IS_BETTER = {"peak_rss_kb"}
+# Per-backend rebuild costs are emitted per collective size; any metric
+# under these prefixes gates on growth too.
+LOWER_IS_BETTER_PREFIXES = ("rebuild_us/",)
 
 
 def flatten_metrics(engine_json):
-    """BENCH_engine.json -> {metric_name: value}."""
+    """BENCH_engine.json -> ({metric_name: value}, {ungated_names}).
+
+    Ungated metrics are recorded in the trend but never gate: intra-step
+    rows with more drift threads than the machine has hardware threads
+    measure the scheduler's time-slicing of an oversubscribed pool, not the
+    code — their run-to-run spread far exceeds the tolerance, and a false
+    alarm would train people to ignore the gate.
+    """
     metrics = {}
+    ungated = set()
+    hardware = engine_json.get("hardware_threads") or 0
     for row in engine_json.get("results", []):
         metrics[f"engine/n={row['n']}"] = row["engine_steps_per_sec"]
     for row in engine_json.get("intra_step", []):
         key = f"intra_step/n={row['n']}/threads={row['threads']}"
         metrics[key] = row["steps_per_sec"]
+        if hardware and row["threads"] > hardware:
+            ungated.add(key)
+    for row in engine_json.get("verlet", []):
+        n = row["n"]
+        metrics[f"verlet/steps_per_sec/n={n}"] = row["verlet_steps_per_sec"]
+        # HIGHER_IS_BETTER (the default direction): the displacement gating
+        # must keep skipping rebuilds on slow-moving collectives.
+        metrics[f"verlet/rebuild_skip_rate/n={n}"] = row["rebuild_skip_rate"]
+        # LOWER_IS_BETTER via prefix: full re-index cost per backend.
+        metrics[f"rebuild_us/cell_grid/n={n}"] = row["cell_grid_rebuild_us"]
+        metrics[f"rebuild_us/verlet/n={n}"] = row["verlet_rebuild_us"]
     analyzer = engine_json.get("analyzer", {})
     if analyzer.get("frames_per_sec"):
         metrics["analyzer/frames_per_sec"] = analyzer["frames_per_sec"]
     if engine_json.get("peak_rss_kb"):
         metrics["peak_rss_kb"] = float(engine_json["peak_rss_kb"])
-    return metrics
+    return metrics, ungated
 
 
 def is_regression(name, change):
-    if name in LOWER_IS_BETTER:
+    if name in LOWER_IS_BETTER or name.startswith(LOWER_IS_BETTER_PREFIXES):
         return change > REGRESSION_TOLERANCE
     return change < -REGRESSION_TOLERANCE
 
@@ -89,7 +112,7 @@ def main():
 
     with open(args.engine_json) as f:
         engine = json.load(f)
-    metrics = flatten_metrics(engine)
+    metrics, ungated = flatten_metrics(engine)
     if not metrics:
         print(f"error: no metrics found in {args.engine_json}",
               file=sys.stderr)
@@ -125,10 +148,24 @@ def main():
         print(f"trend: no healthy baseline for {entry['hardware_threads']} "
               f"threads / '{entry['cpu']}'; gate skipped")
     else:
+        # peak RSS is a whole-run high-water mark: when the benchmark's
+        # metric *set* changed (a section was added or removed), the run
+        # does different work and its RSS is not comparable to the
+        # baseline's — same logic as the hardware guard. Per-metric numbers
+        # still gate; RSS re-baselines with this entry.
+        workload_changed = set(metrics) != set(baseline["metrics"])
         for name, value in sorted(metrics.items()):
             base = baseline["metrics"].get(name)
             if base is None or base <= 0:
                 print(f"trend: {name}: new metric ({value:.1f})")
+                continue
+            if name == "peak_rss_kb" and workload_changed:
+                print(f"trend: {name}: {base:.1f} -> {value:.1f} "
+                      f"(workload changed; re-baselined, not gated)")
+                continue
+            if name in ungated:
+                print(f"trend: {name}: {base:.1f} -> {value:.1f} "
+                      f"(oversubscribed on this hardware; recorded, not gated)")
                 continue
             change = (value - base) / base
             regressed = is_regression(name, change)
