@@ -23,6 +23,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 #include "core/sops.hpp"
@@ -594,6 +595,51 @@ double measure_analyzer_frames_per_sec(std::size_t* frames_out) {
   return static_cast<double>(series.frame_count() * rounds) / seconds;
 }
 
+// Current resident set of this process in KB (VmRSS via /proc/self/statm);
+// 0 when unavailable. Unlike the peak, deltas of the current RSS let one
+// process compare the footprint of two storage backings back to back.
+long current_rss_kb() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  long size_pages = 0;
+  long resident_pages = 0;
+  const int fields = std::fscanf(statm, "%ld %ld", &size_pages, &resident_pages);
+  std::fclose(statm);
+  if (fields != 2) return 0;
+  return resident_pages * (static_cast<long>(sysconf(_SC_PAGESIZE)) / 1024);
+#else
+  return 0;
+#endif
+}
+
+// Resident-set cost of recording a paper-sized ensemble into a FrameStore:
+// fills every [frame][sample] slot the way the streamed driver does
+// (per-sample, flushing each finished sample's extents), and reports the
+// RSS delta while the store is still alive. Heap backing pays the full
+// payload; the mapped spill path pushes finished extents to disk and
+// drops their pages, so its delta stays far below the store's bytes().
+long measure_frame_store_fill_rss_kb(core::StorageMode mode,
+                                     std::size_t frames, std::size_t samples,
+                                     std::size_t particles) {
+  core::FrameStoreOptions options;
+  options.mode = mode;
+  const long before = current_rss_kb();
+  core::FrameStore store(frames, samples, particles, options);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t f = 0; f < frames; ++f) {
+      auto slot = store.sample_slot(f, s);
+      for (std::size_t i = 0; i < slot.size(); ++i) {
+        slot[i] = {static_cast<double>(s + i), static_cast<double>(f)};
+      }
+    }
+    store.flush_samples(s, s + 1);
+  }
+  const long delta = current_rss_kb() - before;
+  benchmark::DoNotOptimize(store.sample(0, 0).data());
+  return delta > 0 ? delta : 0;
+}
+
 // Peak resident set of this process in KB; 0 when the platform has no
 // getrusage. Linux reports ru_maxrss in KB, macOS in bytes.
 long peak_rss_kb() {
@@ -736,7 +782,41 @@ void emit_engine_json() {
   std::printf("analyzer: %.1f KSG frames/s (n=24, m=96, %zu frames)\n",
               frames_per_sec, analyzer_frames);
 
-  std::fprintf(out, "  \"peak_rss_kb\": %ld,\n", peak_rss_kb());
+  // Read the engine's whole-run high-water mark *before* the frame-store
+  // fill below: the fill's deliberate 125 MiB heap allocation would
+  // otherwise become the process peak and mask engine RSS regressions.
+  const long engine_peak_rss_kb = peak_rss_kb();
+
+  // FrameStore footprint at paper-sized m (the spill path's target
+  // workload: m = 500 samples of n = 1024 particles on a long-stride
+  // recording grid). Runs last so the 125 MiB fills cannot perturb the
+  // timed sections above. bytes_per_frame is the deterministic per-frame
+  // payload, gated on growth by bench_trend.py like RSS; the fill deltas
+  // record how much of that payload stays resident per backing — the
+  // mapped spill must keep the recording footprint well below the heap
+  // mode's (recorded, not gated: small RSS numbers jitter).
+  const std::size_t fs_frames = 16;
+  const std::size_t fs_samples = 500;
+  const std::size_t fs_particles = 1024;
+  const long heap_fill_kb = measure_frame_store_fill_rss_kb(
+      core::StorageMode::kHeap, fs_frames, fs_samples, fs_particles);
+  const long mapped_fill_kb = measure_frame_store_fill_rss_kb(
+      core::StorageMode::kMapped, fs_frames, fs_samples, fs_particles);
+  const std::size_t fs_bytes_per_frame =
+      fs_samples * fs_particles * sizeof(geom::Vec2);
+  std::fprintf(out,
+               "  \"frame_store\": {\"frames\": %zu, \"samples\": %zu, "
+               "\"particles\": %zu, \"bytes_per_frame\": %zu, "
+               "\"heap_fill_rss_delta_kb\": %ld, "
+               "\"mapped_fill_rss_delta_kb\": %ld},\n",
+               fs_frames, fs_samples, fs_particles, fs_bytes_per_frame,
+               heap_fill_kb, mapped_fill_kb);
+  std::printf("frame store m=%zu n=%zu F=%zu: %zu bytes/frame, fill RSS "
+              "heap %ld KB vs mapped %ld KB\n",
+              fs_samples, fs_particles, fs_frames, fs_bytes_per_frame,
+              heap_fill_kb, mapped_fill_kb);
+
+  std::fprintf(out, "  \"peak_rss_kb\": %ld,\n", engine_peak_rss_kb);
   std::fprintf(out, "  \"hardware_threads\": %u\n}\n",
                std::thread::hardware_concurrency());
   std::fclose(out);
@@ -756,6 +836,12 @@ void emit_engine_json() {
                   ? "[PASS]"
                   : "[FAIL]",
               verlet_speedup_at_16384, verlet_skip_rate_at_16384);
+  std::printf("CHECK %s mapped frame store keeps < 50%% of the heap "
+              "recording footprint resident (%ld vs %ld KB at m=%zu)\n",
+              heap_fill_kb <= 0 ? "[SKIP, no /proc/self/statm]"
+              : mapped_fill_kb < heap_fill_kb / 2 ? "[PASS]"
+                                                  : "[FAIL]",
+              mapped_fill_kb, heap_fill_kb, fs_samples);
   std::printf("series written to BENCH_engine.json\n");
 }
 

@@ -1,6 +1,8 @@
 #include "core/config_builder.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "core/presets.hpp"
 #include "support/error.hpp"
@@ -109,9 +111,51 @@ ConfiguredExperiment build_experiment(const io::Config& config) {
   }
   simulation.verlet_skin =
       config.get_double("verlet_skin", simulation.verlet_skin);
+  // Validate the opt-in here, where the error can name the key: a zero or
+  // negative skin reaches the backend as a list that never skips a rebuild
+  // (or, below zero, misses pairs), and the Verlet grid build needs a
+  // finite positive cut-off.
+  if (!(simulation.verlet_skin > 0.0) ||
+      !std::isfinite(simulation.verlet_skin)) {
+    throw Error("config: 'verlet_skin' must be positive and finite, got '" +
+                config.get_string("verlet_skin", "") + "'");
+  }
+  if (simulation.neighbor_mode == sim::NeighborMode::kVerletSkin &&
+      !(simulation.cutoff_radius > 0.0 &&
+        std::isfinite(simulation.cutoff_radius))) {
+    throw Error(
+        "config: 'neighbor = verlet' needs a finite positive cut-off "
+        "radius 'rc'");
+  }
 
   ConfiguredExperiment configured{ExperimentConfig(std::move(simulation)), {}};
   configured.experiment.samples = config.get_size("samples", 200);
+
+  const std::string storage = config.get_string("frame_storage", "heap");
+  if (storage == "heap") {
+    configured.experiment.storage.mode = StorageMode::kHeap;
+  } else if (storage == "mapped") {
+    configured.experiment.storage.mode = StorageMode::kMapped;
+  } else if (storage == "auto") {
+    configured.experiment.storage.mode = StorageMode::kAuto;
+  } else {
+    throw Error("config: unknown frame_storage mode '" + storage + "'");
+  }
+  configured.experiment.storage.spill_dir =
+      config.get_string("spill_dir", configured.experiment.storage.spill_dir);
+  const double threshold_mb = config.get_double(
+      "spill_threshold_mb",
+      static_cast<double>(configured.experiment.storage.auto_spill_bytes) /
+          (1024.0 * 1024.0));
+  if (!(threshold_mb >= 0.0)) {
+    throw Error("config: 'spill_threshold_mb' must be non-negative");
+  }
+  const double threshold_bytes = threshold_mb * 1024.0 * 1024.0;
+  // "inf" (or any value past 2^64) means "never auto-spill".
+  configured.experiment.storage.auto_spill_bytes =
+      threshold_bytes >= 18446744073709551616.0
+          ? std::numeric_limits<std::size_t>::max()
+          : static_cast<std::size_t>(threshold_bytes);
 
   configured.analysis.ksg.k = config.get_size("analysis_k", 4);
   configured.analysis.compute_entropies =
@@ -128,6 +172,7 @@ const std::vector<std::string>& known_config_keys() {
   static const std::vector<std::string> keys{
       "preset", "force", "types", "particles", "k", "r", "sigma", "tau",
       "rc", "neighbor", "verlet_skin", "steps", "stride", "samples", "seed",
+      "frame_storage", "spill_dir", "spill_threshold_mb",
       "dt", "noise",
       "init_radius", "max_step", "equilibrium_threshold", "equilibrium_hold",
       "analysis_k", "entropies", "decomposition", "kmeans_per_type",

@@ -12,7 +12,13 @@
 //   k, r, sigma, tau   either a single number (all pairs) or an l×l
 //                 matrix with rows separated by ';'
 //   rc            cut-off radius (number or 'inf')
-//   neighbor      auto | all_pairs | cell_grid | delaunay
+//   neighbor      auto | all_pairs | cell_grid | delaunay | verlet
+//   verlet_skin   extra candidate shell of neighbor = verlet (> 0, finite)
+//   frame_storage heap | mapped | auto — backing of the recorded FrameStore
+//                 (auto spills to a memory-mapped file once the projected
+//                 recording crosses spill_threshold_mb)
+//   spill_dir     directory mapped recordings spill into (default '.')
+//   spill_threshold_mb   auto-spill threshold in MiB ('inf' = never)
 //   steps, stride, samples, seed, dt, noise, init_radius, max_step
 //   equilibrium_threshold, equilibrium_hold
 //   analysis_k            KSG neighbor order

@@ -33,7 +33,8 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
   series.types = config.simulation.types;
   series.frame_steps = sim::recording_steps(config.simulation.steps,
                                             config.simulation.record_stride);
-  series.frames = FrameStore(series.frame_steps.size(), m, n);
+  series.frames =
+      FrameStore(series.frame_steps.size(), m, n, config.storage);
   series.equilibrium_steps.assign(m, std::nullopt);
 
   // The thread budget is allocated exactly once, before any fan-out:
@@ -86,6 +87,14 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
           support::expect(run.frame_steps == series.frame_steps,
                           "run_experiment: recording grids diverged");
           series.equilibrium_steps[s] = run.equilibrium_step;
+          // Spilled stores: the sample's extents (one per frame — disjoint
+          // file ranges across samples, mirroring the disjoint sample_slot
+          // writes) are complete, so push them to disk and drop their pages
+          // from the resident set before the next sample dirties more.
+          // Sharded over the chunk's lent step executor — idle between
+          // samples — to keep the flush off the sample fan-out. No-op on
+          // heap backing.
+          series.frames.flush_samples(s, s + 1, &step_executor);
         }
         // The workspace is chunk-local, so the Verlet backend's lifetime
         // stats are exactly this chunk's totals. Every other backend
@@ -105,6 +114,9 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
     series.rebuild_stats.rebuilds += stats.rebuilds;
     series.rebuild_stats.steps += stats.steps;
   }
+  // Recording finished: whoever consumes the series next (the analyzer's
+  // frame-by-frame pass) reads the spilled pages back front to back.
+  series.frames.advise_sequential_reads();
   return series;
 }
 

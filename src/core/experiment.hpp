@@ -21,6 +21,14 @@ struct ExperimentConfig {
   sim::SimulationConfig simulation;
   std::size_t samples = 500;  ///< m
   std::size_t threads = 0;    ///< total worker-thread budget (0 = auto)
+  /// Backing of the recorded FrameStore (config keys `frame_storage`,
+  /// `spill_dir`, `spill_threshold_mb`). The recording grid F·m·n is known
+  /// before the first step, so a mapped store is created at full size
+  /// upfront and each sample's extents are flushed to disk — and dropped
+  /// from the resident set — as soon as the sample finishes, off the
+  /// sample fan-out via the chunk's lent step executor. Purely a storage
+  /// choice: recorded positions are bitwise-identical in every mode.
+  FrameStoreOptions storage{};
   /// How the thread budget is split between ensemble samples and each
   /// sample's intra-step drift sharding. kAuto keeps paper-sized ensembles
   /// (m ≥ threads) fully sample-parallel and moves the budget inside the

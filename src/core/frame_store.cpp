@@ -1,15 +1,111 @@
 #include "core/frame_store.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <string>
+
 #include "support/error.hpp"
+#include "support/executor.hpp"
+#include "support/parallel_for.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace sops::core {
+namespace {
+
+// Spill files are private scratch; the name only has to be unique within
+// the machine for the store's lifetime (MappedBuffer opens O_EXCL, so a
+// collision falls back to heap instead of clobbering a live recording).
+// pid + counter disambiguate live processes; the timestamp keeps a pid
+// recycled after a crashed run (whose leaked file still holds the old
+// name) from colliding with it.
+std::string next_spill_path(const std::string& spill_dir) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  const auto stamp = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  std::string dir = spill_dir.empty() ? std::string(".") : spill_dir;
+  if (dir.back() != '/') dir += '/';
+  return dir + "sops_frames_" + std::to_string(pid) + "_" +
+         std::to_string(stamp) + "_" + std::to_string(id) + ".spill";
+}
+
+}  // namespace
 
 FrameStore::FrameStore(std::size_t frames, std::size_t samples,
                        std::size_t particles)
+    : FrameStore(frames, samples, particles, FrameStoreOptions{}) {}
+
+FrameStore::FrameStore(std::size_t frames, std::size_t samples,
+                       std::size_t particles, const FrameStoreOptions& options)
     : frames_(frames), samples_(samples), particles_(particles) {
   support::expect(frames >= 1 && samples >= 1 && particles >= 1,
                   "FrameStore: all dimensions must be positive");
-  data_.resize(frames * samples * particles);
+  const std::size_t payload = bytes();
+  const bool spill =
+      options.mode == StorageMode::kMapped ||
+      (options.mode == StorageMode::kAuto && payload >= options.auto_spill_bytes);
+  if (spill) {
+    // kEmpty: on failure the store resizes its own typed vector below —
+    // the buffer's default heap fallback would be a discarded full-payload
+    // allocation.
+    io::MappedBuffer buffer(next_spill_path(options.spill_dir), payload,
+                            io::MappedBuffer::OnFailure::kEmpty);
+    if (buffer.mapped()) {
+      // Fresh file pages read as zero, matching the heap vector's value
+      // initialization; Vec2 is an implicit-lifetime type, so the mapped
+      // block is usable as a Vec2 array without touching its pages (an
+      // explicit construction pass would fault the whole payload in
+      // upfront, defeating the spill).
+      data_ = static_cast<geom::Vec2*>(buffer.data());
+      buffer_ = std::move(buffer);
+      return;
+    }
+    fallback_reason_ = buffer.fallback_reason();
+  }
+  heap_.resize(frames * samples * particles);
+  data_ = heap_.data();
+}
+
+geom::FrameView FrameStore::front() const {
+  support::expect(!empty(), "FrameStore::front: store has no frames");
+  return (*this)[0];
+}
+
+geom::FrameView FrameStore::back() const {
+  support::expect(!empty(), "FrameStore::back: store has no frames");
+  return (*this)[frames_ - 1];
+}
+
+void FrameStore::flush_samples(std::size_t begin, std::size_t end,
+                               support::Executor* executor) {
+  support::expect(begin <= end && end <= samples_,
+                  "FrameStore::flush_samples: sample range out of bounds");
+  if (!buffer_.mapped() || begin == end) return;
+  // Sample range [begin, end) of frame f is one contiguous extent; extents
+  // of different frames (and of disjoint sample ranges) never overlap, so
+  // any sharding of the frame axis flushes disjoint file ranges.
+  const std::size_t extent = (end - begin) * particles_ * sizeof(geom::Vec2);
+  const auto flush_frame = [&](std::size_t f) {
+    const std::size_t offset =
+        (f * samples_ + begin) * particles_ * sizeof(geom::Vec2);
+    buffer_.flush(offset, extent);
+    buffer_.release(offset, extent);
+  };
+  if (executor == nullptr || executor->width() <= 1 || frames_ == 1) {
+    for (std::size_t f = 0; f < frames_; ++f) flush_frame(f);
+    return;
+  }
+  support::parallel_for(*executor, 0, frames_,
+                        [&](std::size_t f) { flush_frame(f); });
 }
 
 }  // namespace sops::core

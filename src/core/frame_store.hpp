@@ -7,22 +7,62 @@
 // frames straight into its slots (no staging copy, no per-frame
 // allocations). Views hand out spans, keeping the analyzer/alignment call
 // sites pointer-free.
+//
+// Storage backing is selectable (StorageMode): the default keeps the block
+// on the heap; `kMapped` backs it with a memory-mapped spill file created
+// at full size upfront — the recording grid F·m·n is known before the
+// first step — so paper-sized recordings (m = 500+, long stride) stop
+// being RAM-bound: producers still write disjoint sample_slot spans
+// concurrently, and flush_samples() pushes finished extents to disk and
+// drops them from the resident set while the run continues. `kAuto` spills
+// only when the projected payload crosses a threshold. The swap is purely
+// a storage-layer concern: every accessor hands out the same spans/views
+// either way, so the analyzer and alignment paths run unchanged on mapped
+// recordings. Mapping failures (unwritable spill_dir, …) fall back to heap
+// silently — see io::MappedBuffer.
 #pragma once
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "geom/frame_view.hpp"
 #include "geom/vec2.hpp"
+#include "io/mapped_buffer.hpp"
+
+namespace sops::support {
+class Executor;
+}  // namespace sops::support
 
 namespace sops::core {
+
+/// Where a FrameStore keeps its position block.
+enum class StorageMode {
+  kHeap,    ///< std::vector backing (the default)
+  kMapped,  ///< mmap'd spill file, created at full size upfront
+  kAuto,    ///< kMapped once the projected bytes() crosses auto_spill_bytes
+};
+
+/// Backing selection for a FrameStore (config keys `frame_storage`,
+/// `spill_dir`, `spill_threshold_mb` — see core/config_builder.hpp).
+struct FrameStoreOptions {
+  StorageMode mode = StorageMode::kHeap;
+  /// Directory the spill file is created in (must exist; an unwritable or
+  /// missing directory falls back to heap).
+  std::string spill_dir = ".";
+  /// kAuto spills once frames·samples·particles·sizeof(Vec2) is at least
+  /// this many bytes. Default: 256 MiB.
+  std::size_t auto_spill_bytes = std::size_t{256} << 20;
+};
 
 /// Owning [frame][sample][particle] position block.
 class FrameStore {
  public:
   FrameStore() = default;
   FrameStore(std::size_t frames, std::size_t samples, std::size_t particles);
+  FrameStore(std::size_t frames, std::size_t samples, std::size_t particles,
+             const FrameStoreOptions& options);
 
   [[nodiscard]] std::size_t frame_count() const noexcept { return frames_; }
   [[nodiscard]] std::size_t sample_count() const noexcept { return samples_; }
@@ -35,36 +75,71 @@ class FrameStore {
 
   /// View of frame f: all m samples at one recorded step.
   [[nodiscard]] geom::FrameView operator[](std::size_t f) const noexcept {
-    return {data_.data() + f * samples_ * particles_, samples_, particles_};
+    return {data_ + f * samples_ * particles_, samples_, particles_};
   }
-  [[nodiscard]] geom::FrameView front() const noexcept { return (*this)[0]; }
-  [[nodiscard]] geom::FrameView back() const noexcept {
-    return (*this)[frames_ - 1];
-  }
+  /// First / last frame. Throws PreconditionError on an empty store — a
+  /// zero-frame recording has no frames to view, and the former noexcept
+  /// accessors underflowed frames_ - 1 into a wild out-of-bounds view.
+  [[nodiscard]] geom::FrameView front() const;
+  [[nodiscard]] geom::FrameView back() const;
 
   /// Configuration of sample s at frame f.
   [[nodiscard]] std::span<const geom::Vec2> sample(std::size_t f,
                                                    std::size_t s) const noexcept {
-    return {data_.data() + (f * samples_ + s) * particles_, particles_};
+    return {data_ + (f * samples_ + s) * particles_, particles_};
   }
   /// Writable slot for streaming producers. Distinct (f, s) slots are
-  /// disjoint memory and may be filled concurrently.
+  /// disjoint memory and may be filled concurrently (mapped or heap —
+  /// the backing never changes the layout).
   [[nodiscard]] std::span<geom::Vec2> sample_slot(std::size_t f,
                                                   std::size_t s) noexcept {
-    return {data_.data() + (f * samples_ + s) * particles_, particles_};
+    return {data_ + (f * samples_ + s) * particles_, particles_};
   }
 
   /// Size of the position payload in bytes (the per-frame footprint the
   /// perf bench reports is bytes() / frame_count()).
   [[nodiscard]] std::size_t bytes() const noexcept {
-    return data_.size() * sizeof(geom::Vec2);
+    return frames_ * samples_ * particles_ * sizeof(geom::Vec2);
   }
+
+  /// The backing actually in use: kHeap or kMapped, never kAuto (and kHeap
+  /// when a requested mapping fell back).
+  [[nodiscard]] StorageMode storage() const noexcept {
+    return buffer_.mapped() ? StorageMode::kMapped : StorageMode::kHeap;
+  }
+  /// Path of the spill file; empty when heap-backed.
+  [[nodiscard]] const std::string& spill_path() const noexcept {
+    return buffer_.path();
+  }
+  /// Why a requested mapping fell back to heap; empty otherwise.
+  [[nodiscard]] const std::string& spill_fallback_reason() const noexcept {
+    return fallback_reason_;
+  }
+
+  /// Pushes the extents of samples [begin, end) — across every frame — to
+  /// the spill file and drops their pages from the resident set. Sample
+  /// ranges are contiguous within each frame, so the per-frame extents are
+  /// disjoint file ranges: concurrent flushes of disjoint sample ranges
+  /// (one per ensemble chunk) are safe, exactly like concurrent
+  /// sample_slot writes. When `executor` is non-null the per-frame msync
+  /// calls are sharded over its width (the engine lends its step executor,
+  /// keeping the flush off the sample fan-out). No-op on heap backing.
+  void flush_samples(std::size_t begin, std::size_t end,
+                     support::Executor* executor = nullptr);
+
+  /// Hints the kernel that the store will now be read front to back — the
+  /// analyzer's frame-by-frame pass over a finished recording. No-op on
+  /// heap backing.
+  void advise_sequential_reads() noexcept { buffer_.advise_sequential(); }
 
  private:
   std::size_t frames_ = 0;
   std::size_t samples_ = 0;
   std::size_t particles_ = 0;
-  std::vector<geom::Vec2> data_;
+  geom::Vec2* data_ = nullptr;  // into heap_ or buffer_; stable under move
+  std::vector<geom::Vec2> heap_;
+  io::MappedBuffer buffer_;  // engaged only when actually mapped
+  std::string fallback_reason_;
 };
 
 }  // namespace sops::core

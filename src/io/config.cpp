@@ -1,5 +1,7 @@
 #include "io/config.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
@@ -22,15 +24,42 @@ std::string trim(const std::string& s) {
 double parse_double(const std::string& key, const std::string& value) {
   // std::from_chars for doubles is incomplete on some libstdc++ versions for
   // special values; strtod with full-consumption check is portable here.
+  // strtod alone is too lenient for experiment files, so this rejects what
+  // it would silently accept: trailing garbage, hex floats, "nan", and
+  // overflowing magnitudes — each with an error naming the key, since a
+  // value that half-parses is almost always a typo in a setup.
   const std::string trimmed = trim(value);
-  if (trimmed == "inf" || trimmed == "infinity") {
-    return std::numeric_limits<double>::infinity();
+  // Signed, case-insensitive infinity — the spellings strtod accepted
+  // before the stricter character filter below existed.
+  {
+    std::string folded;
+    for (const char c : trimmed) {
+      folded += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    const bool negative = folded.starts_with("-");
+    if (negative || folded.starts_with("+")) folded.erase(0, 1);
+    if (folded == "inf" || folded == "infinity") {
+      const double infinity = std::numeric_limits<double>::infinity();
+      return negative ? -infinity : infinity;
+    }
   }
-  char* end = nullptr;
-  const double parsed = std::strtod(trimmed.c_str(), &end);
-  if (end != trimmed.c_str() + trimmed.size() || trimmed.empty()) {
+  // No decimal number contains these; they only appear in hex floats
+  // ("0x1p3") and "nan", neither of which belongs in a config.
+  if (trimmed.empty() ||
+      trimmed.find_first_of("xXnN") != std::string::npos) {
     throw Error("config: key '" + key + "' has non-numeric value '" + value +
                 "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size()) {
+    throw Error("config: key '" + key + "' has non-numeric value '" + value +
+                "' (trailing characters after the number)");
+  }
+  if (errno == ERANGE && std::abs(parsed) == HUGE_VAL) {
+    // Overflow; underflow-to-zero (also ERANGE) is accepted as 0.
+    throw Error("config: key '" + key + "' is out of range: '" + value + "'");
   }
   return parsed;
 }
@@ -95,6 +124,12 @@ std::size_t Config::get_size(const std::string& key, std::size_t fallback) const
   const double parsed = parse_double(key, *value);
   if (parsed < 0 || parsed != std::floor(parsed)) {
     throw Error("config: key '" + key + "' must be a non-negative integer");
+  }
+  // 2^64: the smallest double no size_t can represent. Without this check
+  // the cast below is undefined for oversized values ("1e30") and for the
+  // infinity parse_double lets through for "rc = inf"-style keys.
+  if (parsed >= 18446744073709551616.0) {
+    throw Error("config: key '" + key + "' is out of range: '" + *value + "'");
   }
   return static_cast<std::size_t>(parsed);
 }

@@ -1,0 +1,190 @@
+#include "io/mapped_buffer.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SOPS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define SOPS_HAVE_MMAP 0
+#endif
+
+namespace sops::io {
+namespace {
+
+#if SOPS_HAVE_MMAP
+std::size_t page_size() noexcept {
+  static const std::size_t size = [] {
+    const long reported = ::sysconf(_SC_PAGESIZE);
+    return reported > 0 ? static_cast<std::size_t>(reported)
+                        : std::size_t{4096};
+  }();
+  return size;
+}
+#endif
+
+std::string errno_message(const char* operation) {
+  return std::string(operation) + ": " + std::strerror(errno);
+}
+
+#if SOPS_HAVE_MMAP
+// Reserves the file's blocks so a full filesystem fails here (clean heap
+// fallback) instead of SIGBUS-ing the first write to an unbackable page.
+// Returns 0 on success, an errno otherwise. macOS has no posix_fallocate;
+// its best-effort F_PREALLOCATE is not a guarantee, so the sparse-file
+// risk is accepted there.
+int reserve_blocks(int fd, std::size_t bytes) {
+#if defined(__APPLE__)
+  (void)fd;
+  (void)bytes;
+  return 0;
+#else
+  return ::posix_fallocate(fd, 0, static_cast<off_t>(bytes));
+#endif
+}
+#endif
+
+}  // namespace
+
+MappedBuffer::MappedBuffer(const std::string& path, std::size_t bytes,
+                           OnFailure on_failure) {
+  support::expect(bytes > 0, "MappedBuffer: size must be positive");
+  support::expect(!path.empty(), "MappedBuffer: path must be non-empty");
+  size_ = bytes;
+#if SOPS_HAVE_MMAP
+  // O_EXCL: a spill file is private scratch — colliding with an existing
+  // path means two stores picked the same name, and silently truncating the
+  // other one would corrupt a live recording. Callers pick unique names.
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0600);
+  if (fd_ < 0) {
+    fallback_reason_ = errno_message("open");
+  } else if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+    fallback_reason_ = errno_message("ftruncate");
+  } else if (const int alloc_errno = reserve_blocks(fd_, bytes);
+             alloc_errno != 0) {
+    errno = alloc_errno;
+    fallback_reason_ = errno_message("posix_fallocate");
+  } else {
+    void* mapping = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                           fd_, 0);
+    if (mapping == MAP_FAILED) {
+      fallback_reason_ = errno_message("mmap");
+    } else {
+      data_ = static_cast<std::byte*>(mapping);
+      mapped_ = true;
+      path_ = path;
+      return;
+    }
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path.c_str());
+    fd_ = -1;
+  }
+#else
+  fallback_reason_ = "mmap unavailable on this platform";
+#endif
+  if (on_failure == OnFailure::kEmpty) {
+    size_ = 0;
+    return;
+  }
+  heap_.resize(bytes);  // zero-initialized, matching fresh file pages
+  data_ = heap_.data();
+}
+
+MappedBuffer::~MappedBuffer() { reset(); }
+
+MappedBuffer::MappedBuffer(MappedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      fd_(std::exchange(other.fd_, -1)),
+      mapped_(std::exchange(other.mapped_, false)),
+      path_(std::move(other.path_)),
+      fallback_reason_(std::move(other.fallback_reason_)),
+      heap_(std::move(other.heap_)) {
+  other.path_.clear();
+  other.fallback_reason_.clear();
+}
+
+MappedBuffer& MappedBuffer::operator=(MappedBuffer&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+    mapped_ = std::exchange(other.mapped_, false);
+    path_ = std::move(other.path_);
+    fallback_reason_ = std::move(other.fallback_reason_);
+    heap_ = std::move(other.heap_);
+    other.path_.clear();
+    other.fallback_reason_.clear();
+  }
+  return *this;
+}
+
+void MappedBuffer::reset() noexcept {
+#if SOPS_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) ::munmap(data_, size_);
+  if (fd_ >= 0) ::close(fd_);
+  if (!path_.empty()) ::unlink(path_.c_str());
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  fd_ = -1;
+  mapped_ = false;
+  path_.clear();
+  fallback_reason_.clear();
+  heap_.clear();
+}
+
+bool MappedBuffer::flush(std::size_t offset, std::size_t length) noexcept {
+#if SOPS_HAVE_MMAP
+  if (!mapped_ || length == 0) return true;
+  if (offset >= size_) return true;
+  length = std::min(length, size_ - offset);
+  const std::size_t page = page_size();
+  const std::size_t begin = (offset / page) * page;
+  const std::size_t end = offset + length;
+  // MS_ASYNC: schedule writeback without blocking the caller — spill data
+  // is scratch (no durability contract), and callers flush from simulation
+  // workers where a synchronous disk stall per sample would serialize the
+  // run on I/O. Dirty pages stay safe in the page cache either way.
+  return ::msync(data_ + begin, end - begin, MS_ASYNC) == 0;
+#else
+  (void)offset;
+  (void)length;
+  return true;
+#endif
+}
+
+bool MappedBuffer::release(std::size_t offset, std::size_t length) noexcept {
+#if SOPS_HAVE_MMAP
+  if (!mapped_ || length == 0) return true;
+  if (offset >= size_) return true;
+  length = std::min(length, size_ - offset);
+  const std::size_t page = page_size();
+  const std::size_t begin = ((offset + page - 1) / page) * page;
+  const std::size_t end = ((offset + length) / page) * page;
+  if (begin >= end) return true;  // extent smaller than one whole page
+  return ::madvise(data_ + begin, end - begin, MADV_DONTNEED) == 0;
+#else
+  (void)offset;
+  (void)length;
+  return true;
+#endif
+}
+
+void MappedBuffer::advise_sequential() noexcept {
+#if SOPS_HAVE_MMAP
+  if (mapped_ && size_ > 0) ::madvise(data_, size_, MADV_SEQUENTIAL);
+#endif
+}
+
+}  // namespace sops::io

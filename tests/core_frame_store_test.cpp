@@ -21,6 +21,16 @@ TEST(FrameStore, DefaultIsEmpty) {
   EXPECT_EQ(store.frame_count(), 0u);
   EXPECT_EQ(store.sample_count(), 0u);
   EXPECT_EQ(store.bytes(), 0u);
+  EXPECT_EQ(store.storage(), sops::core::StorageMode::kHeap);
+}
+
+TEST(FrameStore, FrontBackThrowOnEmptyStore) {
+  // frames_ - 1 used to wrap at frames_ == 0 and hand out a wild view; an
+  // empty store (default-constructed, or a zero-frame recording) must fail
+  // loudly instead.
+  const FrameStore store;
+  EXPECT_THROW((void)store.front(), sops::PreconditionError);
+  EXPECT_THROW((void)store.back(), sops::PreconditionError);
 }
 
 TEST(FrameStore, ShapeAndBytes) {
@@ -64,6 +74,87 @@ TEST(FrameStore, RejectsEmptyDimensions) {
   EXPECT_THROW(FrameStore(0, 1, 1), sops::PreconditionError);
   EXPECT_THROW(FrameStore(1, 0, 1), sops::PreconditionError);
   EXPECT_THROW(FrameStore(1, 1, 0), sops::PreconditionError);
+  sops::core::FrameStoreOptions mapped;
+  mapped.mode = sops::core::StorageMode::kMapped;
+  EXPECT_THROW(FrameStore(0, 1, 1, mapped), sops::PreconditionError);
+}
+
+TEST(FrameStore, MappedStoreSameLayoutAndZeroed) {
+  sops::core::FrameStoreOptions options;
+  options.mode = sops::core::StorageMode::kMapped;
+  options.spill_dir = ::testing::TempDir();
+  FrameStore store(2, 3, 4, options);
+  if (store.storage() != sops::core::StorageMode::kMapped) {
+    GTEST_SKIP() << "mmap unavailable: " << store.spill_fallback_reason();
+  }
+  EXPECT_FALSE(store.spill_path().empty());
+  EXPECT_EQ(store.bytes(), 2u * 3u * 4u * sizeof(Vec2));
+  // Same flat [frame][sample][particle] stride as the heap backing, and
+  // fresh file pages read as zero like a value-initialized vector.
+  const Vec2* base = store.front().data();
+  for (std::size_t f = 0; f < 2; ++f) {
+    EXPECT_EQ(store[f].data(), base + f * 3 * 4);
+    for (std::size_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(store.sample(f, s).data(), base + (f * 3 + s) * 4);
+      for (const Vec2& v : store.sample(f, s)) {
+        EXPECT_EQ(v.x, 0.0);
+        EXPECT_EQ(v.y, 0.0);
+      }
+    }
+  }
+  // Writes land and survive a flush + page release round-trip.
+  store.sample_slot(1, 2)[3] = {42.0, -1.0};
+  store.flush_samples(0, 3);
+  EXPECT_EQ(store.sample(1, 2)[3], (Vec2{42.0, -1.0}));
+}
+
+TEST(FrameStore, AutoModeSpillsOnThresholdOnly) {
+  sops::core::FrameStoreOptions options;
+  options.mode = sops::core::StorageMode::kAuto;
+  options.spill_dir = ::testing::TempDir();
+  options.auto_spill_bytes = 1;  // any payload crosses it
+  const FrameStore spilled(2, 3, 4, options);
+  options.auto_spill_bytes = std::size_t{1} << 40;
+  const FrameStore kept(2, 3, 4, options);
+  EXPECT_EQ(kept.storage(), sops::core::StorageMode::kHeap);
+  EXPECT_TRUE(kept.spill_path().empty());
+  if (spilled.storage() == sops::core::StorageMode::kMapped) {
+    EXPECT_FALSE(spilled.spill_path().empty());
+  }
+}
+
+TEST(FrameStore, UnwritableSpillDirFallsBackToHeap) {
+  sops::core::FrameStoreOptions options;
+  options.mode = sops::core::StorageMode::kMapped;
+  options.spill_dir = "/nonexistent/sops-spill-dir";
+  FrameStore store(2, 3, 4, options);
+  EXPECT_EQ(store.storage(), sops::core::StorageMode::kHeap);
+  EXPECT_TRUE(store.spill_path().empty());
+  EXPECT_FALSE(store.spill_fallback_reason().empty());
+  // The fallback is fully functional storage.
+  store.sample_slot(0, 0)[0] = {1.0, 2.0};
+  store.flush_samples(0, 3);  // no-op on heap
+  EXPECT_EQ(store.sample(0, 0)[0], (Vec2{1.0, 2.0}));
+  // An out-of-range flush is a caller bug, not a silent no-op.
+  EXPECT_THROW(store.flush_samples(0, 4), sops::PreconditionError);
+}
+
+TEST(StreamedExperiment, StrideBeyondStepsStillRecordsFrames) {
+  // The audit behind the empty-store guards: a recording grid always
+  // contains step 0 and the final step, so even stride > steps yields a
+  // two-frame store and front()/back() stay in bounds.
+  sops::sim::SimulationConfig simulation =
+      sops::core::presets::fig4_three_type_collective();
+  simulation.steps = 3;
+  simulation.record_stride = 100;
+  ExperimentConfig experiment(simulation);
+  experiment.samples = 2;
+  const EnsembleSeries series = run_experiment(experiment);
+  EXPECT_EQ(series.frame_steps, (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(series.frames.frame_count(), 2u);
+  EXPECT_EQ(series.frames.front().size(), 2u);
+  EXPECT_EQ(series.frames.back().particle_count(),
+            simulation.types.size());
 }
 
 TEST(StreamedExperiment, MatchesIndependentSingleRuns) {

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "core/config_builder.hpp"
 #include "io/config.hpp"
@@ -75,10 +77,58 @@ TEST(Config, NonNumericValueThrows) {
   EXPECT_THROW((void)config.get_double("x", 0.0), sops::Error);
 }
 
+TEST(Config, TrailingGarbageThrows) {
+  // A half-parsed number is almost always a typo; "0.5abc" must not
+  // silently become 0.5.
+  const Config config = Config::parse("x = 0.5abc\nlist = 1.0 2.0zz\n");
+  EXPECT_THROW((void)config.get_double("x", 0.0), sops::Error);
+  EXPECT_THROW((void)config.get_size("x", 0), sops::Error);
+  EXPECT_THROW((void)config.get_list("list"), sops::Error);
+}
+
+TEST(Config, RejectsStrtodLeniencies) {
+  // strtod accepts hex floats and nan; neither belongs in experiment files.
+  const Config config = Config::parse("a = 0x10\nb = nan\nc = NAN\n");
+  for (const char* key : {"a", "b", "c"}) {
+    EXPECT_THROW((void)config.get_double(key, 0.0), sops::Error) << key;
+  }
+  // The infinity spellings strtod always accepted still parse: any case,
+  // optionally signed.
+  for (const char* spelling : {"inf", "Inf", "INF", "infinity", "Infinity",
+                               "+inf", "+Infinity"}) {
+    const double parsed = Config::parse(std::string("rc = ") + spelling + "\n")
+                              .get_double("rc", 0);
+    EXPECT_TRUE(std::isinf(parsed) && parsed > 0) << spelling;
+  }
+  const double negative =
+      Config::parse("x = -INF\n").get_double("x", 0);
+  EXPECT_TRUE(std::isinf(negative) && negative < 0);
+}
+
+TEST(Config, OutOfRangeValuesThrow) {
+  const Config config = Config::parse("big = 1e999\nneg = -1e999\n");
+  EXPECT_THROW((void)config.get_double("big", 0.0), sops::Error);
+  EXPECT_THROW((void)config.get_double("neg", 0.0), sops::Error);
+  // Underflow-to-zero is not an error.
+  EXPECT_DOUBLE_EQ(Config::parse("tiny = 1e-400\n").get_double("tiny", 1.0),
+                   0.0);
+}
+
 TEST(Config, NonIntegerSizeThrows) {
   const Config config = Config::parse("n = 2.5\nm = -1\n");
   EXPECT_THROW((void)config.get_size("n", 0), sops::Error);
   EXPECT_THROW((void)config.get_size("m", 0), sops::Error);
+}
+
+TEST(Config, SizeBeyondSizeTypeThrows) {
+  // These passed the integrality check and then hit an undefined
+  // double-to-size_t cast; now they fail with the key named.
+  const Config config = Config::parse("n = 1e30\nm = inf\n");
+  EXPECT_THROW((void)config.get_size("n", 0), sops::Error);
+  EXPECT_THROW((void)config.get_size("m", 0), sops::Error);
+  // The largest exactly-representable values below 2^64 still parse.
+  EXPECT_EQ(Config::parse("k = 1e15\n").get_size("k", 0),
+            1000000000000000ull);
 }
 
 TEST(Config, LoadMissingFileThrows) {
@@ -129,7 +179,8 @@ TEST(ConfigBuilder, NeighborModes) {
            {"cell_grid", sops::sim::NeighborMode::kCellGrid},
            {"delaunay", sops::sim::NeighborMode::kDelaunay},
            {"verlet", sops::sim::NeighborMode::kVerletSkin}}) {
-    const Config config = Config::parse("neighbor = " + name + "\n");
+    // rc given because neighbor = verlet requires a finite positive cut-off.
+    const Config config = Config::parse("neighbor = " + name + "\nrc = 3\n");
     EXPECT_EQ(build_experiment(config).experiment.simulation.neighbor_mode,
               mode)
         << name;
@@ -138,9 +189,64 @@ TEST(ConfigBuilder, NeighborModes) {
   EXPECT_THROW((void)build_experiment(bad), sops::Error);
 
   const Config skinned =
-      Config::parse("neighbor = verlet\nverlet_skin = 0.75\n");
+      Config::parse("neighbor = verlet\nrc = 3\nverlet_skin = 0.75\n");
   EXPECT_DOUBLE_EQ(build_experiment(skinned).experiment.simulation.verlet_skin,
                    0.75);
+}
+
+TEST(ConfigBuilder, RejectsInvalidVerletSetups) {
+  // Zero/negative skin builds a backend that never skips a rebuild (or
+  // misses pairs); catch it at config-build time with the key named.
+  for (const char* skin : {"0", "-0.5", "inf"}) {
+    const Config config = Config::parse(
+        std::string("neighbor = verlet\nrc = 3\nverlet_skin = ") + skin + "\n");
+    EXPECT_THROW((void)build_experiment(config), sops::Error) << skin;
+  }
+  // A bad skin is rejected even when another mode ignores it (typo guard).
+  EXPECT_THROW((void)build_experiment(Config::parse(
+                   "neighbor = cell_grid\nrc = 3\nverlet_skin = -1\n")),
+               sops::Error);
+  // verlet needs a finite positive rc: the candidate grid is built at
+  // rc + skin.
+  for (const char* rc : {"0", "-2", "inf"}) {
+    const Config config = Config::parse(
+        std::string("neighbor = verlet\nrc = ") + rc + "\n");
+    EXPECT_THROW((void)build_experiment(config), sops::Error) << rc;
+  }
+  // The same rc values stay legal for other modes (rc = inf is the
+  // documented unbounded all-pairs setup).
+  EXPECT_EQ(build_experiment(Config::parse("neighbor = all_pairs\nrc = inf\n"))
+                .experiment.simulation.neighbor_mode,
+            sops::sim::NeighborMode::kAllPairs);
+}
+
+TEST(ConfigBuilder, FrameStorageModes) {
+  using sops::core::StorageMode;
+  EXPECT_EQ(build_experiment(Config::parse("")).experiment.storage.mode,
+            StorageMode::kHeap);
+  EXPECT_EQ(build_experiment(Config::parse("frame_storage = mapped\n"))
+                .experiment.storage.mode,
+            StorageMode::kMapped);
+  EXPECT_EQ(build_experiment(Config::parse("frame_storage = auto\n"))
+                .experiment.storage.mode,
+            StorageMode::kAuto);
+  EXPECT_THROW((void)build_experiment(Config::parse("frame_storage = disk\n")),
+               sops::Error);
+
+  const auto configured = build_experiment(Config::parse(
+      "frame_storage = auto\n"
+      "spill_dir = /tmp/spills\n"
+      "spill_threshold_mb = 2\n"));
+  EXPECT_EQ(configured.experiment.storage.spill_dir, "/tmp/spills");
+  EXPECT_EQ(configured.experiment.storage.auto_spill_bytes, 2u << 20);
+
+  // 'inf' disables auto spilling instead of hitting an undefined cast.
+  EXPECT_EQ(build_experiment(Config::parse("spill_threshold_mb = inf\n"))
+                .experiment.storage.auto_spill_bytes,
+            std::numeric_limits<std::size_t>::max());
+  EXPECT_THROW((void)build_experiment(
+                   Config::parse("spill_threshold_mb = -1\n")),
+               sops::Error);
 }
 
 TEST(ConfigBuilder, AnalysisOptions) {

@@ -1,10 +1,15 @@
-// I/O tests: CSV round-trip, chart/scatter/SVG rendering sanity.
+// I/O tests: CSV round-trip, chart/scatter/SVG rendering sanity, and the
+// MappedBuffer spill primitive.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <filesystem>
 #include <sstream>
+#include <utility>
 
 #include "io/ascii_chart.hpp"
 #include "io/csv.hpp"
+#include "io/mapped_buffer.hpp"
 #include "io/svg.hpp"
 #include "support/error.hpp"
 
@@ -173,6 +178,73 @@ TEST(TextFile, WriteFailsOnBadPath) {
   EXPECT_THROW(
       sops::io::write_text_file("/nonexistent-dir/x.svg", "content"),
       sops::Error);
+}
+
+TEST(MappedBuffer, MapsWritesFlushesAndCleansUp) {
+  using sops::io::MappedBuffer;
+  const std::string path =
+      ::testing::TempDir() + "sops_mapped_buffer_test.bin";
+  std::filesystem::remove(path);
+  {
+    MappedBuffer buffer(path, 1 << 16);
+    if (!buffer.mapped()) {
+      GTEST_SKIP() << "mmap unavailable: " << buffer.fallback_reason();
+    }
+    EXPECT_EQ(buffer.size(), std::size_t{1} << 16);
+    EXPECT_EQ(buffer.path(), path);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    auto* bytes = static_cast<unsigned char*>(buffer.data());
+    // Fresh file pages read as zero.
+    EXPECT_EQ(bytes[0], 0);
+    EXPECT_EQ(bytes[(1 << 16) - 1], 0);
+    std::memset(bytes, 0xAB, 1 << 16);
+    // Data survives a flush + page-release round-trip (release drops the
+    // pages from the resident set; the file/page cache repopulates them).
+    EXPECT_TRUE(buffer.flush(0, 1 << 16));
+    EXPECT_TRUE(buffer.release(0, 1 << 16));
+    EXPECT_EQ(bytes[0], 0xAB);
+    EXPECT_EQ(bytes[(1 << 16) - 1], 0xAB);
+    // Sub-page ranges round safely (flush widens, release shrinks to whole
+    // interior pages — possibly to nothing).
+    EXPECT_TRUE(buffer.flush(100, 50));
+    EXPECT_TRUE(buffer.release(100, 50));
+    // A second buffer refuses to clobber the live file (O_EXCL) and falls
+    // back to heap.
+    MappedBuffer collision(path, 4096);
+    EXPECT_FALSE(collision.mapped());
+    EXPECT_FALSE(collision.fallback_reason().empty());
+    EXPECT_NE(collision.data(), nullptr);
+    // Move transfers the mapping and the cleanup duty.
+    MappedBuffer moved = std::move(buffer);
+    EXPECT_TRUE(moved.mapped());
+    EXPECT_EQ(static_cast<unsigned char*>(moved.data())[5], 0xAB);
+  }
+  // Scratch semantics: the backing file is unlinked with the buffer.
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(MappedBuffer, FallsBackToHeapOnUnwritablePath) {
+  sops::io::MappedBuffer buffer("/nonexistent-dir/spill.bin", 4096);
+  EXPECT_FALSE(buffer.mapped());
+  EXPECT_FALSE(buffer.fallback_reason().empty());
+  EXPECT_TRUE(buffer.path().empty());
+  ASSERT_NE(buffer.data(), nullptr);
+  // The fallback is working zeroed storage; flush/release are no-ops.
+  auto* bytes = static_cast<unsigned char*>(buffer.data());
+  EXPECT_EQ(bytes[0], 0);
+  bytes[0] = 7;
+  EXPECT_TRUE(buffer.flush(0, 4096));
+  EXPECT_TRUE(buffer.release(0, 4096));
+  EXPECT_EQ(bytes[0], 7);
+
+  // kEmpty: callers with their own fallback storage get no discarded
+  // full-payload allocation, just the failure report.
+  sops::io::MappedBuffer empty("/nonexistent-dir/spill.bin", 4096,
+                               sops::io::MappedBuffer::OnFailure::kEmpty);
+  EXPECT_FALSE(empty.mapped());
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
+  EXPECT_FALSE(empty.fallback_reason().empty());
 }
 
 }  // namespace

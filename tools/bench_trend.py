@@ -11,7 +11,8 @@ non-zero when any metric regressed by more than 10% against the baseline:
 the most recent entry that was not itself flagged as regressed, so a bad
 run cannot ratchet itself in as the next comparison point. Most metrics are
 throughputs (higher is better); metrics listed in LOWER_IS_BETTER — peak
-RSS — regress when they *grow* past the tolerance. Entries recorded on
+RSS, the paper-sized frame-store bytes/frame — regress when they *grow*
+past the tolerance. Entries recorded on
 different hardware (thread count or CPU model) are appended but not gated
 against each other — neither steps/sec nor RSS is comparable across
 hardware, and a false alarm would train people to ignore the gate.
@@ -27,7 +28,7 @@ import sys
 REGRESSION_TOLERANCE = 0.10
 
 # Metrics where growth, not shrinkage, is the regression.
-LOWER_IS_BETTER = {"peak_rss_kb"}
+LOWER_IS_BETTER = {"peak_rss_kb", "frame_store_bytes_per_frame"}
 # Per-backend rebuild costs are emitted per collective size; any metric
 # under these prefixes gates on growth too.
 LOWER_IS_BETTER_PREFIXES = ("rebuild_us/",)
@@ -39,8 +40,9 @@ def flatten_metrics(engine_json):
     Ungated metrics are recorded in the trend but never gate: intra-step
     rows with more drift threads than the machine has hardware threads
     measure the scheduler's time-slicing of an oversubscribed pool, not the
-    code — their run-to-run spread far exceeds the tolerance, and a false
-    alarm would train people to ignore the gate.
+    code, and the frame-store fill RSS deltas are small absolute numbers
+    whose run-to-run spread far exceeds the tolerance. A false alarm would
+    train people to ignore the gate.
     """
     metrics = {}
     ungated = set()
@@ -64,6 +66,22 @@ def flatten_metrics(engine_json):
     analyzer = engine_json.get("analyzer", {})
     if analyzer.get("frames_per_sec"):
         metrics["analyzer/frames_per_sec"] = analyzer["frames_per_sec"]
+    frame_store = engine_json.get("frame_store", {})
+    if frame_store.get("bytes_per_frame"):
+        # LOWER_IS_BETTER: the paper-sized per-frame payload is
+        # deterministic, so any growth is a real footprint regression
+        # (e.g. padding crept into the position type).
+        metrics["frame_store_bytes_per_frame"] = float(
+            frame_store["bytes_per_frame"])
+    for key in ("heap_fill_rss_delta_kb", "mapped_fill_rss_delta_kb"):
+        # A delta of 0 KB is the spill path working perfectly — record it.
+        if frame_store.get(key) is not None:
+            # Recorded for the trajectory (the spill path's whole point is
+            # mapped << heap) but not gated: small RSS deltas jitter past
+            # any sane tolerance.
+            name = f"frame_store/{key}"
+            metrics[name] = float(frame_store[key])
+            ungated.add(name)
     if engine_json.get("peak_rss_kb"):
         metrics["peak_rss_kb"] = float(engine_json["peak_rss_kb"])
     return metrics, ungated
@@ -165,7 +183,7 @@ def main():
                 continue
             if name in ungated:
                 print(f"trend: {name}: {base:.1f} -> {value:.1f} "
-                      f"(oversubscribed on this hardware; recorded, not gated)")
+                      f"(recorded, not gated — see flatten_metrics)")
                 continue
             change = (value - base) / base
             regressed = is_regression(name, change)

@@ -69,6 +69,20 @@ int main(int argc, char** argv) {
 
     const core::EnsembleSeries series =
         core::run_experiment(configured.experiment);
+    if (configured.experiment.storage.mode != core::StorageMode::kHeap) {
+      if (series.frames.storage() == core::StorageMode::kMapped) {
+        const std::size_t bytes = series.frames.bytes();
+        std::cout << "recording spilled to " << series.frames.spill_path();
+        if (bytes >= 1024 * 1024) {
+          std::cout << " (" << bytes / (1024 * 1024) << " MiB mapped)\n";
+        } else {
+          std::cout << " (" << bytes / 1024 << " KiB mapped)\n";
+        }
+      } else if (!series.frames.spill_fallback_reason().empty()) {
+        std::cerr << "warning: frame_storage fell back to heap: "
+                  << series.frames.spill_fallback_reason() << "\n";
+      }
+    }
     const core::AnalysisResult result =
         core::analyze_self_organization(series, configured.analysis);
 
