@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
         pair_system, cycling_model, sim::kUnboundedRadius, cycle_params,
         cycle_engine, cycle_scratch);
     equilibrium_fired |= eq_detector.update(residual);
-    if (!cycle) cycle = cycle_detector.update(pair_system.positions);
+    if (!cycle) cycle = cycle_detector.update(pair_system.positions_aos());
   }
   std::cout << "(c) asymmetric chaser/evader: equilibrium criterion "
             << (equilibrium_fired ? "fired (unexpected)" : "never fired")

@@ -75,14 +75,16 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
           const sim::StreamedRun run = sim::run_simulation_streamed(
               sample_config, workspace,
               [&](std::size_t f, std::size_t step,
-                  std::span<const geom::Vec2> positions) {
+                  geom::PositionLanes positions) {
                 // The store was pre-sized from recording_steps(); a frame
                 // outside that grid must fail here, not write out of bounds.
                 support::expect(f < series.frame_steps.size() &&
                                     step == series.frame_steps[f],
                                 "run_experiment: recording grid diverged");
                 const auto slot = series.frames.sample_slot(f, s);
-                std::copy(positions.begin(), positions.end(), slot.begin());
+                for (std::size_t i = 0; i < positions.size(); ++i) {
+                  slot[i] = positions[i];
+                }
               });
           support::expect(run.frame_steps == series.frame_steps,
                           "run_experiment: recording grids diverged");

@@ -1,5 +1,6 @@
 #include "geom/cell_grid.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -7,20 +8,35 @@
 
 namespace sops::geom {
 
+CellGrid::CellGrid(PositionLanes points, double cell_size) {
+  rebuild(points, cell_size);
+}
+
 CellGrid::CellGrid(std::span<const Vec2> points, double cell_size) {
   rebuild(points, cell_size);
 }
 
-void CellGrid::rebuild(std::span<const Vec2> points) {
+void CellGrid::rebuild(PositionLanes points) {
   support::expect(cell_size_ > 0.0,
                   "CellGrid::rebuild: no cell size set; build the grid first");
   rebuild(points, cell_size_);
 }
 
+void CellGrid::rebuild(std::span<const Vec2> points) {
+  deinterleave(points, aos_x_, aos_y_);
+  rebuild(PositionLanes{aos_x_, aos_y_});
+}
+
 void CellGrid::rebuild(std::span<const Vec2> points, double cell_size) {
+  deinterleave(points, aos_x_, aos_y_);
+  rebuild(PositionLanes{aos_x_, aos_y_}, cell_size);
+}
+
+void CellGrid::rebuild(PositionLanes points, double cell_size) {
   support::expect(cell_size > 0.0 && std::isfinite(cell_size),
                   "CellGrid: cell size must be positive and finite");
-  points_ = points;
+  xs_ = points.x;
+  ys_ = points.y;
   cell_size_ = cell_size;
   const std::size_t n = points.size();
 
@@ -32,23 +48,29 @@ void CellGrid::rebuild(std::span<const Vec2> points, double cell_size) {
     slots_.assign(wanted_slots, Slot{0, 0, kEmpty});
     slot_mask_ = wanted_slots - 1;
   } else {
-    for (Slot& slot : slots_) slot.cell = kEmpty;
+    // Clear only the slots the previous build occupied — the table is
+    // sized for load factor ≤ 1/2, so this touches far less memory than a
+    // full sweep.
+    for (const std::uint32_t idx : used_slots_) slots_[idx].cell = kEmpty;
   }
+  used_slots_.clear();
 
-  // Pass 1: assign dense cell ids and count occupancy per cell. `starts_`
-  // doubles as the count array before the prefix sum.
+  // Pass 1: assign provisional dense cell ids in discovery order, recording
+  // each new cell's integer coordinates.
   cell_count_ = 0;
   cell_of_.resize(n);
-  starts_.assign(n + 1, 0);
+  cell_keys_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const CellKey key = key_of(points[i]);
+    const CellKey key = key_of(Vec2{xs_[i], ys_[i]});
     std::size_t idx = hash_key(key.x, key.y) & slot_mask_;
     std::int32_t cell;
     while (true) {
       Slot& slot = slots_[idx];
       if (slot.cell == kEmpty) {
-        cell = static_cast<std::int32_t>(cell_count_++);
+        cell = static_cast<std::int32_t>(cell_count_);
+        cell_keys_[cell_count_++] = key;
         slot = Slot{key.x, key.y, cell};
+        used_slots_.push_back(static_cast<std::uint32_t>(idx));
         break;
       }
       if (slot.x == key.x && slot.y == key.y) {
@@ -58,25 +80,170 @@ void CellGrid::rebuild(std::span<const Vec2> points, double cell_size) {
       idx = (idx + 1) & slot_mask_;
     }
     cell_of_[i] = cell;
-    ++starts_[static_cast<std::size_t>(cell) + 1];
   }
 
-  // Pass 2: prefix-sum the counts and scatter points in ascending index
-  // order, which keeps every bucket sorted by point index (the enumeration
-  // order contract).
-  starts_.resize(cell_count_ + 1);
+  // Pass 1.5: renumber cells column-major spatially — ascending (x, y) —
+  // so a 3×3 block's dx columns become id-consecutive runs (block_spans)
+  // and the cell walk sweeps the plane coherently. Pure id permutation:
+  // per-point enumeration order (and therefore every drift bit) is
+  // unchanged.
+  //
+  // Fast path: when the occupied bounding box is dense enough, rank cells
+  // with an O(box) prefix sum over column-major box indices — the rank
+  // array doubles as the arithmetic cell lookup behind block_spans().
+  // Sparse boxes (far-flung clusters would blow up the box area) fall back
+  // to a comparison sort and keep hash-probe lookups.
+  box_valid_ = false;
+  cell_remap_.resize(cell_count_);
+  key_scratch_.resize(cell_count_);
+  if (cell_count_ > 0) {
+    std::int64_t min_x = cell_keys_[0].x;
+    std::int64_t max_x = cell_keys_[0].x;
+    std::int64_t min_y = cell_keys_[0].y;
+    std::int64_t max_y = cell_keys_[0].y;
+    for (std::size_t c = 1; c < cell_count_; ++c) {
+      min_x = std::min(min_x, cell_keys_[c].x);
+      max_x = std::max(max_x, cell_keys_[c].x);
+      min_y = std::min(min_y, cell_keys_[c].y);
+      max_y = std::max(max_y, cell_keys_[c].y);
+    }
+    // Area guard in double: immune to the (pathological) coordinate spans
+    // that would overflow the integer products below.
+    const double area = (static_cast<double>(max_x - min_x) + 1.0) *
+                        (static_cast<double>(max_y - min_y) + 1.0);
+    if (area <= 8.0 * static_cast<double>(cell_count_) + 4096.0) {
+      box_min_x_ = min_x;
+      box_min_y_ = min_y;
+      box_w_ = static_cast<std::size_t>(max_x - min_x) + 1;
+      box_h_ = static_cast<std::size_t>(max_y - min_y) + 1;
+      const std::size_t box = box_w_ * box_h_;
+      box_rank_.assign(box + 1, 0);
+      for (std::size_t c = 0; c < cell_count_; ++c) {
+        const std::size_t idx =
+            static_cast<std::size_t>(cell_keys_[c].x - min_x) * box_h_ +
+            static_cast<std::size_t>(cell_keys_[c].y - min_y);
+        box_rank_[idx + 1] = 1;
+      }
+      for (std::size_t i = 1; i <= box; ++i) box_rank_[i] += box_rank_[i - 1];
+      for (std::size_t c = 0; c < cell_count_; ++c) {
+        const std::size_t idx =
+            static_cast<std::size_t>(cell_keys_[c].x - min_x) * box_h_ +
+            static_cast<std::size_t>(cell_keys_[c].y - min_y);
+        cell_remap_[c] = box_rank_[idx];
+      }
+      box_valid_ = true;
+    }
+  }
+  if (!box_valid_) {
+    cell_perm_.resize(cell_count_);
+    for (std::size_t c = 0; c < cell_count_; ++c) {
+      cell_perm_[c] = static_cast<std::uint32_t>(c);
+    }
+    std::sort(cell_perm_.begin(), cell_perm_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const CellKey& ka = cell_keys_[a];
+                const CellKey& kb = cell_keys_[b];
+                return ka.x != kb.x ? ka.x < kb.x : ka.y < kb.y;
+              });
+    for (std::size_t r = 0; r < cell_count_; ++r) {
+      cell_remap_[cell_perm_[r]] = static_cast<std::uint32_t>(r);
+    }
+  }
+  for (std::size_t c = 0; c < cell_count_; ++c) {
+    key_scratch_[cell_remap_[c]] = cell_keys_[c];
+  }
+  std::copy(key_scratch_.begin(), key_scratch_.begin() + cell_count_,
+            cell_keys_.begin());
+  for (Slot& slot : slots_) {
+    if (slot.cell != kEmpty) {
+      slot.cell = static_cast<std::int32_t>(
+          cell_remap_[static_cast<std::size_t>(slot.cell)]);
+    }
+  }
+
+  // Pass 2: count occupancy per (spatial) cell id, prefix-sum, and scatter
+  // points in ascending index order, which keeps every bucket sorted by
+  // point index (the enumeration order contract).
+  starts_.assign(cell_count_ + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cell = cell_remap_[static_cast<std::size_t>(cell_of_[i])];
+    cell_of_[i] = static_cast<std::int32_t>(cell);
+    ++starts_[cell + 1];
+  }
   for (std::size_t c = 1; c <= cell_count_; ++c) starts_[c] += starts_[c - 1];
   entries_.resize(n);
+  bucket_x_.resize(n);
+  bucket_y_.resize(n);
   cursors_.assign(starts_.begin(), starts_.end() - 1);
   for (std::size_t i = 0; i < n; ++i) {
-    entries_[cursors_[static_cast<std::size_t>(cell_of_[i])]++] =
-        static_cast<std::uint32_t>(i);
+    // Scattering the coordinates alongside the index costs sequential
+    // reads and (overlappable) stores here, and saves the chunked kernel a
+    // separate scattered-read pass to build its bucket-ordered lanes.
+    const std::uint32_t pos = cursors_[static_cast<std::size_t>(cell_of_[i])]++;
+    entries_[pos] = static_cast<std::uint32_t>(i);
+    bucket_x_[pos] = xs_[i];
+    bucket_y_[pos] = ys_[i];
   }
 }
 
 CellGrid::CellKey CellGrid::key_of(Vec2 p) const noexcept {
   return {static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
           static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+}
+
+void CellGrid::append_block_candidates(std::size_t cell,
+                                       std::vector<std::uint32_t>& out) const {
+  std::array<std::pair<std::uint32_t, std::uint32_t>, 3> spans;
+  const std::size_t nspans = block_spans(cell, spans);
+  for (std::size_t s = 0; s < nspans; ++s) {
+    out.insert(out.end(), entries_.begin() + spans[s].first,
+               entries_.begin() + spans[s].second);
+  }
+}
+
+std::size_t CellGrid::block_spans(
+    std::size_t cell,
+    std::array<std::pair<std::uint32_t, std::uint32_t>, 3>& spans) const {
+  const CellKey center = cell_keys_[cell];
+  std::size_t nspans = 0;
+  if (box_valid_) {
+    // Rank-array path: the occupied cells inside box range [p, q) have
+    // exactly the ids [box_rank_[p], box_rank_[q]), so each dx column is
+    // two lookups — no hash probes.
+    const std::int64_t bx = center.x - box_min_x_;
+    const std::int64_t by = center.y - box_min_y_;
+    const auto h = static_cast<std::int64_t>(box_h_);
+    const std::int64_t y0 = std::max<std::int64_t>(by - 1, 0);
+    const std::int64_t y1 = std::min<std::int64_t>(by + 1, h - 1);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      const std::int64_t cx = bx + dx;
+      if (cx < 0 || cx >= static_cast<std::int64_t>(box_w_)) continue;
+      const auto p0 = static_cast<std::size_t>(cx * h + y0);
+      const auto p1 = static_cast<std::size_t>(cx * h + y1 + 1);
+      const std::uint32_t lo = box_rank_[p0];
+      const std::uint32_t hi = box_rank_[p1];
+      if (lo == hi) continue;
+      spans[nspans++] = {starts_[lo], starts_[hi]};
+    }
+    return nspans;
+  }
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    // The occupied cells of this dx column carry consecutive spatial ids
+    // (ascending dy), so the column is one CSR range [min, max] — any id
+    // between two column cells has the same x and an in-between y, i.e. it
+    // is itself a column cell.
+    std::int32_t lo = kEmpty;
+    std::int32_t hi = kEmpty;
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const std::int32_t c = find_cell(center.x + dx, center.y + dy);
+      if (c == kEmpty) continue;
+      if (lo == kEmpty || c < lo) lo = c;
+      if (c > hi) hi = c;
+    }
+    if (lo == kEmpty) continue;
+    spans[nspans++] = {starts_[lo], starts_[hi + 1]};
+  }
+  return nspans;
 }
 
 std::span<const std::uint32_t> CellGrid::shard_bounds(std::size_t max_shards) {
@@ -88,22 +255,16 @@ std::span<const std::uint32_t> CellGrid::shard_bounds(std::size_t max_shards) {
     return shard_bounds_;
   }
 
-  // Per-cell pair-count estimate: |cell| × occupancy of its 3×3 block. The
-  // slot table is the only place that still knows each dense cell's integer
-  // coordinates, so the estimate is gathered by walking the occupied slots.
+  // Per-cell pair-count estimate: |cell| × occupancy of its 3×3 block,
+  // read off the block's contiguous entry spans.
   shard_cost_.assign(cell_count_, 0.0);
-  for (const Slot& slot : slots_) {
-    if (slot.cell == kEmpty) continue;
+  std::array<std::pair<std::uint32_t, std::uint32_t>, 3> spans;
+  for (std::size_t c = 0; c < cell_count_; ++c) {
     double block = 0.0;
-    for (std::int64_t dx = -1; dx <= 1; ++dx) {
-      for (std::int64_t dy = -1; dy <= 1; ++dy) {
-        const std::int32_t cell = find_cell(slot.x + dx, slot.y + dy);
-        if (cell == kEmpty) continue;
-        const auto c = static_cast<std::size_t>(cell);
-        block += static_cast<double>(starts_[c + 1] - starts_[c]);
-      }
+    const std::size_t nspans = block_spans(c, spans);
+    for (std::size_t s = 0; s < nspans; ++s) {
+      block += static_cast<double>(spans[s].second - spans[s].first);
     }
-    const auto c = static_cast<std::size_t>(slot.cell);
     shard_cost_[c] = static_cast<double>(starts_[c + 1] - starts_[c]) * block;
   }
   double total = 0.0;
@@ -129,7 +290,7 @@ std::span<const std::uint32_t> CellGrid::shard_bounds(std::size_t max_shards) {
 
 std::vector<std::size_t> CellGrid::neighbors_of(std::size_t i,
                                                 double radius) const {
-  support::expect(i < points_.size(), "CellGrid::neighbors_of: index out of range");
+  support::expect(i < size(), "CellGrid::neighbors_of: index out of range");
   support::expect(radius <= cell_size_ * (1.0 + 1e-12),
                   "CellGrid::neighbors_of: radius exceeds cell size");
   std::vector<std::size_t> out;

@@ -14,16 +14,32 @@
 // cache-friendly. `rebuild()` re-indexes a moving point set in place,
 // retaining all capacity, so steady-state stepping performs no allocation.
 //
+// Dense cell ids are column-major spatial: ids ascend by integer cell
+// coordinate (x, then y). That makes each dx-column of a 3×3 block a run of
+// consecutive ids, so its candidates form ONE contiguous range of the CSR
+// entry block (block_spans()), and walking cells in id order sweeps the
+// plane column by column — neighbor buckets stay cache-resident between
+// adjacent cells. The id permutation is invisible to enumeration order:
+// candidates are still visited (dx, dy)-major, ascending point index within
+// a cell, so drift sums are bit-for-bit unaffected by the spatial sort.
+//
+// Points enter as SoA coordinate lanes (geom::PositionLanes) — the layout
+// the vectorized pair kernels stream — with interleaved-span overloads that
+// deinterleave into internal scratch for callers still holding Vec2 arrays.
+//
 // Enumeration order is part of the reproducibility contract: candidates are
 // visited cell block (dx, dy)-major, ascending point index within a cell —
 // exactly the order of the original per-cell-vector implementation, so drift
 // summation stays bitwise identical.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "geom/position_lanes.hpp"
 #include "geom/vec2.hpp"
 
 namespace sops::geom {
@@ -35,25 +51,31 @@ class CellGrid {
   CellGrid() = default;
 
   /// Indexes `points` with cell side `cell_size` (use the query radius).
-  /// The span must stay valid while the grid is queried.
+  /// The lane storage must stay valid while the grid is queried.
+  CellGrid(PositionLanes points, double cell_size);
+
+  /// Interleaved-span form: deinterleaves into internal lane scratch.
   CellGrid(std::span<const Vec2> points, double cell_size);
 
   /// Re-indexes `points` with the cell size of the previous build, keeping
   /// table and bucket capacity.
+  void rebuild(PositionLanes points);
   void rebuild(std::span<const Vec2> points);
 
   /// Re-indexes `points` with a (possibly new) cell side length.
+  void rebuild(PositionLanes points, double cell_size);
   void rebuild(std::span<const Vec2> points, double cell_size);
 
   /// Number of indexed points.
-  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return xs_.size(); }
 
   /// Invokes `fn(j)` for every point j ≠ i with ‖p_j − p_i‖ < radius.
   /// Requires radius ≤ cell_size (enforced).
   template <typename Fn>
   void for_each_neighbor(std::size_t i, double radius, Fn&& fn) const {
-    for_each_candidate(points_[i], [&](std::size_t j) {
-      if (j != i && dist_sq(points_[j], points_[i]) < radius * radius) fn(j);
+    const Vec2 p{xs_[i], ys_[i]};
+    for_each_candidate(p, [&](std::size_t j) {
+      if (j != i && dist_sq(Vec2{xs_[j], ys_[j]}, p) < radius * radius) fn(j);
     });
   }
 
@@ -62,7 +84,7 @@ class CellGrid {
   template <typename Fn>
   void for_each_within(Vec2 q, double radius, Fn&& fn) const {
     for_each_candidate(q, [&](std::size_t j) {
-      if (dist_sq(points_[j], q) < radius * radius) fn(j);
+      if (dist_sq(Vec2{xs_[j], ys_[j]}, q) < radius * radius) fn(j);
     });
   }
 
@@ -82,6 +104,43 @@ class CellGrid {
   [[nodiscard]] std::span<const std::uint32_t> bucket_entries() const noexcept {
     return entries_;
   }
+
+  /// CSR bucket boundaries: cell c owns entries [starts[c], starts[c+1]).
+  /// Together with append_block_candidates() this lets per-cell kernels walk
+  /// the grid without per-point hash probes. Valid until the next rebuild.
+  [[nodiscard]] std::span<const std::uint32_t> bucket_starts() const noexcept {
+    return {starts_.data(), cell_count_ + 1};
+  }
+
+  /// Bucket-ordered coordinate lanes: bucket_x()[k] is the x coordinate of
+  /// bucket_entries()[k], scattered during the rebuild's counting sort.
+  /// Together with block_spans() this lets the chunked pair kernel stream
+  /// every candidate from contiguous memory. Valid until the next rebuild.
+  [[nodiscard]] std::span<const double> bucket_x() const noexcept {
+    return {bucket_x_.data(), entries_.size()};
+  }
+  [[nodiscard]] std::span<const double> bucket_y() const noexcept {
+    return {bucket_y_.data(), entries_.size()};
+  }
+
+  /// Appends the 3×3-block candidate indices of dense cell `cell` to `out`
+  /// (without clearing it), in exactly the (dx, dy)-major, ascending-index
+  /// order of for_each_neighbor — every point of the cell sees this one
+  /// shared candidate sequence, which is what lets kernels gather a cell's
+  /// block once and reuse it for all of the cell's points.
+  void append_block_candidates(std::size_t cell,
+                               std::vector<std::uint32_t>& out) const;
+
+  /// The 3×3 block of dense cell `cell` as at most 3 contiguous ranges
+  /// [first, second) of bucket_entries(), one per dx column, in the same
+  /// (dx, dy)-major enumeration order as append_block_candidates (dense ids
+  /// are column-major, so a column's occupied cells are id-consecutive).
+  /// Returns the number of ranges written. This is what lets the chunked
+  /// pair kernel bulk-copy a cell's candidates from bucket-ordered lanes
+  /// instead of gathering them point by point.
+  [[nodiscard]] std::size_t block_spans(
+      std::size_t cell,
+      std::array<std::pair<std::uint32_t, std::uint32_t>, 3>& spans) const;
 
   /// Cell-major shard partition for intra-step parallelism: at most
   /// `max_shards` contiguous, cell-aligned ranges of `bucket_entries()`,
@@ -151,16 +210,41 @@ class CellGrid {
     }
   }
 
-  std::span<const Vec2> points_;
+  std::span<const double> xs_;  // coordinate lanes of the current build
+  std::span<const double> ys_;
+  std::vector<double> aos_x_;   // deinterleave scratch for Vec2-span callers
+  std::vector<double> aos_y_;
   double cell_size_ = 0.0;
 
   std::vector<Slot> slots_;   // open-addressing table, power-of-two size
   std::size_t slot_mask_ = 0; // slots_.size() - 1
   std::size_t cell_count_ = 0;
+  std::vector<std::uint32_t> used_slots_;  // occupied table indices (clear list)
   std::vector<std::uint32_t> starts_;   // CSR bucket starts, cell_count_+1
   std::vector<std::uint32_t> entries_;  // point indices, bucket-contiguous
+  std::vector<double> bucket_x_;        // coordinates in entries_ order
+  std::vector<double> bucket_y_;
+  std::vector<CellKey> cell_keys_;      // integer coords per dense cell id
   std::vector<std::int32_t> cell_of_;   // per-point dense cell id (scratch)
   std::vector<std::uint32_t> cursors_;  // scatter cursors (scratch)
+  std::vector<std::uint32_t> cell_perm_;   // spatial-sort rank → discovery id
+  std::vector<std::uint32_t> cell_remap_;  // discovery id → spatial id
+  std::vector<CellKey> key_scratch_;       // reorder buffer for cell_keys_
+
+  // Dense bounding-box rank of the current build (the fast spatial-order
+  // path): box_rank_[i] counts the occupied cells with column-major box
+  // index < i, so the spatial id of the cell at box index i is
+  // box_rank_[i], and the ids inside any box range [p, q) are exactly
+  // [box_rank_[p], box_rank_[q]) — which is what makes block_spans() pure
+  // arithmetic. Unset (box_valid_ = false) when the occupied bounding box
+  // is too sparse to rank densely; ordering then falls back to a sort and
+  // block_spans() to hash probes.
+  std::vector<std::uint32_t> box_rank_;  // box area + 1 exclusive prefix
+  std::int64_t box_min_x_ = 0;
+  std::int64_t box_min_y_ = 0;
+  std::size_t box_w_ = 0;
+  std::size_t box_h_ = 0;
+  bool box_valid_ = false;
   std::vector<double> shard_cost_;          // per-cell pair estimate (scratch)
   std::vector<std::uint32_t> shard_bounds_; // last computed partition (scratch)
 };

@@ -36,7 +36,7 @@ std::span<const std::uint32_t> NeighborBackend::shard_order() const noexcept {
 
 // ------------------------------------------------------------- all-pairs
 
-void AllPairsBackend::rebuild(std::span<const Vec2> points, double radius) {
+void AllPairsBackend::rebuild(PositionLanes points, double radius) {
   support::expect(radius > 0.0, "AllPairsBackend: radius must be positive");
   points_ = points;
   radius_ = radius;
@@ -57,7 +57,7 @@ std::span<const std::uint32_t> AllPairsBackend::neighbors(std::size_t i) {
 
 // ------------------------------------------------------------- cell grid
 
-void CellGridBackend::rebuild(std::span<const Vec2> points, double radius) {
+void CellGridBackend::rebuild(PositionLanes points, double radius) {
   support::expect(std::isfinite(radius),
                   "CellGridBackend: cell grid needs a finite radius");
   grid_.rebuild(points, radius);
@@ -74,9 +74,12 @@ std::span<const std::uint32_t> CellGridBackend::neighbors(std::size_t i) {
 
 // -------------------------------------------------------------- Delaunay
 
-void DelaunayBackend::rebuild(std::span<const Vec2> points, double radius) {
+void DelaunayBackend::rebuild(PositionLanes points, double radius) {
   support::expect(radius > 0.0, "DelaunayBackend: radius must be positive");
-  const auto adjacency = delaunay_adjacency(points);
+  // The tessellation consumes interleaved points; materialize them once per
+  // rebuild (the triangulation itself dwarfs this copy).
+  interleave(points, points_aos_);
+  const auto adjacency = delaunay_adjacency(points_aos_);
   const bool bounded = std::isfinite(radius);
   const double radius_sq = radius * radius;
 

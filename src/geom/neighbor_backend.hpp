@@ -13,6 +13,11 @@
 //  - Verlet/skin: cached candidate rows in the order of the build-time grid
 //    walk, frozen between rebuilds (rebuild *timing* is trajectory-
 //    dependent; see geom/verlet_list.hpp for the relaxed contract).
+//
+// Rebuilds take SoA coordinate lanes (geom::PositionLanes) — the particle
+// system's native layout and what the vectorized kernels stream. Callers
+// still holding interleaved Vec2 arrays use the base class's non-virtual
+// span overloads, which deinterleave into backend-owned scratch lanes.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "geom/cell_grid.hpp"
+#include "geom/position_lanes.hpp"
 #include "geom/vec2.hpp"
 
 namespace sops::support {
@@ -51,18 +57,30 @@ class NeighborBackend {
  public:
   virtual ~NeighborBackend() = default;
 
-  /// Re-indexes `points` for queries with the given radius. The span must
-  /// stay valid until the next rebuild. Retains internal capacity.
-  virtual void rebuild(std::span<const Vec2> points, double radius) = 0;
+  /// Re-indexes the lanes for queries with the given radius. The lane
+  /// storage must stay valid until the next rebuild. Retains capacity.
+  virtual void rebuild(PositionLanes points, double radius) = 0;
 
   /// Executor-aware rebuild: backends whose rebuild shards (the Verlet
   /// list's candidate enumeration) dispatch it on `executor`; everyone else
   /// falls through to the serial rebuild. Results never depend on the
   /// executor's width.
-  virtual void rebuild(std::span<const Vec2> points, double radius,
+  virtual void rebuild(PositionLanes points, double radius,
                        support::Executor& executor) {
     (void)executor;
     rebuild(points, radius);
+  }
+
+  /// Interleaved-span convenience: deinterleaves into backend-owned lane
+  /// scratch (valid until the next rebuild) and forwards to the virtual.
+  void rebuild(std::span<const Vec2> points, double radius) {
+    deinterleave(points, aos_x_, aos_y_);
+    rebuild(PositionLanes{aos_x_, aos_y_}, radius);
+  }
+  void rebuild(std::span<const Vec2> points, double radius,
+               support::Executor& executor) {
+    deinterleave(points, aos_x_, aos_y_);
+    rebuild(PositionLanes{aos_x_, aos_y_}, radius, executor);
   }
 
   /// Indices j ≠ i with ‖p_j − p_i‖ < radius, in the backend's enumeration
@@ -96,13 +114,15 @@ class NeighborBackend {
 
  protected:
   std::vector<std::uint32_t> shard_bounds_;  // scratch for the default split
+  std::vector<double> aos_x_;  // deinterleave scratch for Vec2-span callers
+  std::vector<double> aos_y_;
 };
 
 /// O(n²) reference backend; supports an unbounded radius.
 class AllPairsBackend final : public NeighborBackend {
  public:
   using NeighborBackend::rebuild;
-  void rebuild(std::span<const Vec2> points, double radius) override;
+  void rebuild(PositionLanes points, double radius) override;
   [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
   [[nodiscard]] NeighborBackendKind kind() const noexcept override {
     return NeighborBackendKind::kAllPairs;
@@ -112,7 +132,7 @@ class AllPairsBackend final : public NeighborBackend {
   }
 
  private:
-  std::span<const Vec2> points_;
+  PositionLanes points_;
   double radius_ = 0.0;
   std::vector<std::uint32_t> scratch_;
 };
@@ -122,7 +142,7 @@ class AllPairsBackend final : public NeighborBackend {
 class CellGridBackend final : public NeighborBackend {
  public:
   using NeighborBackend::rebuild;
-  void rebuild(std::span<const Vec2> points, double radius) override;
+  void rebuild(PositionLanes points, double radius) override;
   [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
   [[nodiscard]] NeighborBackendKind kind() const noexcept override {
     return NeighborBackendKind::kCellGrid;
@@ -146,10 +166,32 @@ class CellGridBackend final : public NeighborBackend {
   /// The underlying grid (exposed for capacity-retention tests).
   [[nodiscard]] const CellGrid& grid() const noexcept { return grid_; }
 
+  /// Grows the per-shard gather pool to at least `shards` buffers. Call
+  /// serially (between parallel phases); the buffers themselves are then
+  /// handed out one per shard.
+  void ensure_gather_shards(std::size_t shards) {
+    if (gather_.size() < shards) gather_.resize(shards);
+  }
+
+  /// Gather buffer of shard k — touched only by the worker running shard k.
+  [[nodiscard]] GatherScratch& gather_scratch(std::size_t k) noexcept {
+    return gather_[k];
+  }
+
+  /// Backend-owned storage for the bucket-ordered tag lane (particle
+  /// types) the chunked kernel streams alongside the grid's own
+  /// bucket-ordered coordinates. The caller refills it after each rebuild
+  /// (the backend cannot: the tag semantics are the caller's).
+  [[nodiscard]] std::vector<std::uint32_t>& bucket_tags() noexcept {
+    return bucket_tags_;
+  }
+
  private:
   CellGrid grid_;
   double radius_ = 0.0;
   std::vector<std::uint32_t> scratch_;
+  std::vector<GatherScratch> gather_;   // per-shard kernel gather buffers
+  std::vector<std::uint32_t> bucket_tags_;  // types in bucket-entry order
 };
 
 /// Tessellation backend: rebuild triangulates and stores the radius-pruned
@@ -157,7 +199,7 @@ class CellGridBackend final : public NeighborBackend {
 class DelaunayBackend final : public NeighborBackend {
  public:
   using NeighborBackend::rebuild;
-  void rebuild(std::span<const Vec2> points, double radius) override;
+  void rebuild(PositionLanes points, double radius) override;
   [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) override;
   [[nodiscard]] NeighborBackendKind kind() const noexcept override {
     return NeighborBackendKind::kDelaunay;
@@ -176,6 +218,7 @@ class DelaunayBackend final : public NeighborBackend {
  private:
   std::vector<std::size_t> offsets_;
   std::vector<std::uint32_t> indices_;
+  std::vector<Vec2> points_aos_;  // interleaved copy for the tessellation
 };
 
 /// Factory for the kind chosen by the run setup.

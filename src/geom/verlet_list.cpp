@@ -1,5 +1,6 @@
 #include "geom/verlet_list.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/error.hpp"
@@ -21,9 +22,9 @@ void VerletListBackend::set_skin(double skin) {
   }
 }
 
-bool VerletListBackend::list_still_valid(std::span<const Vec2> points,
+bool VerletListBackend::list_still_valid(PositionLanes points,
                                          double radius) const noexcept {
-  if (!valid_ || radius != radius_ || points.size() != reference_.size()) {
+  if (!valid_ || radius != radius_ || points.size() != ref_x_.size()) {
     return false;
   }
   // Safety condition: while every particle sits within skin/2 of its
@@ -32,17 +33,19 @@ bool VerletListBackend::list_still_valid(std::span<const Vec2> points,
   // cached rows. A single particle past the threshold invalidates the list.
   const double limit_sq = (skin_ / 2.0) * (skin_ / 2.0);
   for (std::size_t i = 0; i < points.size(); ++i) {
-    if (dist_sq(points[i], reference_[i]) > limit_sq) return false;
+    const double dx = points.x[i] - ref_x_[i];
+    const double dy = points.y[i] - ref_y_[i];
+    if (dx * dx + dy * dy > limit_sq) return false;
   }
   return true;
 }
 
-void VerletListBackend::rebuild(std::span<const Vec2> points, double radius) {
+void VerletListBackend::rebuild(PositionLanes points, double radius) {
   support::SerialExecutor serial;
   rebuild(points, radius, serial);
 }
 
-void VerletListBackend::rebuild(std::span<const Vec2> points, double radius,
+void VerletListBackend::rebuild(PositionLanes points, double radius,
                                 support::Executor& executor) {
   support::expect(radius > 0.0 && std::isfinite(radius),
                   "VerletListBackend: needs a positive finite radius");
@@ -52,34 +55,74 @@ void VerletListBackend::rebuild(std::span<const Vec2> points, double radius,
   build(points, radius, executor);
 }
 
-void VerletListBackend::build(std::span<const Vec2> points, double radius,
+void VerletListBackend::build(PositionLanes points, double radius,
                               support::Executor& executor) {
   const std::size_t n = points.size();
   radius_ = radius;
-  reference_.assign(points.begin(), points.end());
+  ref_x_.assign(points.x.begin(), points.x.end());
+  ref_y_.assign(points.y.begin(), points.y.end());
   const double list_radius = radius + skin_;
   grid_.rebuild(points, list_radius);
 
   // Freeze the grid's cell-major point order: it is both the enumeration
-  // backbone of the build passes and the shard ordering until the next
-  // build (the grid itself goes stale the moment particles move on).
+  // backbone of the build and the shard ordering until the next build (the
+  // grid itself goes stale the moment particles move on).
   const std::span<const std::uint32_t> entries = grid_.bucket_entries();
   order_.assign(entries.begin(), entries.end());
   const std::span<const std::uint32_t> grid_bounds =
       grid_.shard_bounds(executor.width());
   build_bounds_.assign(grid_bounds.begin(), grid_bounds.end());
 
-  // Pass 1 (sharded): per-particle candidate counts. Shards own disjoint
-  // particles, so the writes never race and the counts are width-invariant.
+  // Pass 1 (sharded): walk each shard's cells, gather every cell's 3×3
+  // candidate block once into contiguous lanes, and let each point of the
+  // cell filter that shared block with a plain-lane distance check the
+  // compiler vectorizes. Survivors land row-contiguously in the shard's
+  // `out` buffer — in exactly the frozen enumeration order — and the row
+  // lengths in `counts_`. Shards own disjoint particles, so the writes
+  // never race and the rows are width-invariant.
   counts_.assign(n, 0);
-  support::parallel_for_chunked(
+  const std::size_t shards = build_bounds_.size() - 1;
+  if (build_scratch_.size() < shards) build_scratch_.resize(shards);
+  const std::span<const std::uint32_t> starts = grid_.bucket_starts();
+  const double list_radius_sq = list_radius * list_radius;
+  support::parallel_for_shards(
       executor, std::span<const std::uint32_t>(build_bounds_),
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t k = begin; k < end; ++k) {
-          const std::uint32_t i = order_[k];
-          std::uint32_t count = 0;
-          grid_.for_each_neighbor(i, list_radius, [&](std::size_t) { ++count; });
-          counts_[i] = count;
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        GatherScratch& s = build_scratch_[shard];
+        s.out.clear();
+        // Shard cuts are CSR bucket boundaries, so `begin` opens a cell;
+        // bucket starts are strictly increasing (cells are non-empty).
+        std::size_t c = static_cast<std::size_t>(
+                            std::upper_bound(starts.begin(), starts.end(),
+                                             static_cast<std::uint32_t>(begin)) -
+                            starts.begin()) -
+                        1;
+        for (; c + 1 < starts.size() && starts[c] < end; ++c) {
+          s.idx.clear();
+          grid_.append_block_candidates(c, s.idx);
+          const std::size_t m = s.idx.size();
+          s.x.resize(m);
+          s.y.resize(m);
+          s.tag.resize(m);
+          for (std::size_t t = 0; t < m; ++t) s.x[t] = points.x[s.idx[t]];
+          for (std::size_t t = 0; t < m; ++t) s.y[t] = points.y[s.idx[t]];
+          for (std::uint32_t k = starts[c]; k < starts[c + 1]; ++k) {
+            const std::uint32_t i = order_[k];
+            const double xi = points.x[i];
+            const double yi = points.y[i];
+            for (std::size_t t = 0; t < m; ++t) {
+              const double dx = s.x[t] - xi;
+              const double dy = s.y[t] - yi;
+              s.tag[t] = static_cast<std::uint32_t>(
+                  static_cast<unsigned>(dx * dx + dy * dy < list_radius_sq) &
+                  static_cast<unsigned>(s.idx[t] != i));
+            }
+            const std::size_t before = s.out.size();
+            for (std::size_t t = 0; t < m; ++t) {
+              if (s.tag[t] != 0) s.out.push_back(s.idx[t]);
+            }
+            counts_[i] = static_cast<std::uint32_t>(s.out.size() - before);
+          }
         }
       });
 
@@ -87,17 +130,18 @@ void VerletListBackend::build(std::span<const Vec2> points, double radius,
   for (std::size_t i = 0; i < n; ++i) offsets_[i + 1] = offsets_[i] + counts_[i];
   indices_.resize(offsets_[n]);
 
-  // Pass 2 (sharded): fill each particle's row in the grid walk's order —
-  // the enumeration order that stays frozen for the list's lifetime.
-  support::parallel_for_chunked(
+  // Pass 2 (sharded): stitch each shard's buffered rows into the CSR block.
+  // Rows sit in the `out` buffers in frozen-order sequence, so a single
+  // cursor walk per shard places every row.
+  support::parallel_for_shards(
       executor, std::span<const std::uint32_t>(build_bounds_),
-      [&](std::size_t begin, std::size_t end) {
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        const std::uint32_t* src = build_scratch_[shard].out.data();
         for (std::size_t k = begin; k < end; ++k) {
           const std::uint32_t i = order_[k];
-          std::uint32_t* row = indices_.data() + offsets_[i];
-          grid_.for_each_neighbor(i, list_radius, [&](std::size_t j) {
-            *row++ = static_cast<std::uint32_t>(j);
-          });
+          const std::size_t len = counts_[i];
+          std::copy_n(src, len, indices_.data() + offsets_[i]);
+          src += len;
         }
       });
 
@@ -108,9 +152,13 @@ void VerletListBackend::build(std::span<const Vec2> points, double radius,
 
 std::span<const std::uint32_t> VerletListBackend::neighbors(std::size_t i) {
   const double radius_sq = radius_ * radius_;
+  const double xi = points_.x[i];
+  const double yi = points_.y[i];
   scratch_.clear();
   for (const std::uint32_t j : candidate_row(i)) {
-    if (dist_sq(points_[i], points_[j]) < radius_sq) scratch_.push_back(j);
+    const double dx = points_.x[j] - xi;
+    const double dy = points_.y[j] - yi;
+    if (dx * dx + dy * dy < radius_sq) scratch_.push_back(j);
   }
   return scratch_;
 }

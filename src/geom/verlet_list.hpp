@@ -11,6 +11,16 @@
 // triggered only when some particle's displacement since the reference
 // build exceeds skin/2 (or the point count / query radius changed).
 //
+// The build is a single pass + stitch: per shard, each grid cell's 3×3
+// candidate block is gathered once into contiguous lanes (indices + both
+// coordinates), then every point of the cell filters that shared block with
+// a plain-loop distance check the compiler auto-vectorizes, appending
+// surviving candidates to a per-shard row buffer. A serial prefix sum fixes
+// the CSR offsets and a second sharded pass stitches the buffered rows into
+// place. Compared to the former two-pass build (count, then fill, each
+// walking the grid with per-point hash probes) this halves the candidate
+// walks and amortizes the 9 hash probes over whole cells.
+//
 // Builds are shard-parallel: the internal CellGrid's cell-major partition
 // (`CellGrid::shard_bounds`) splits the candidate enumeration into disjoint
 // particle ranges, so an `Executor` of any width produces the identical
@@ -31,6 +41,7 @@
 
 #include "geom/cell_grid.hpp"
 #include "geom/neighbor_backend.hpp"
+#include "geom/position_lanes.hpp"
 #include "geom/vec2.hpp"
 
 namespace sops::geom {
@@ -52,11 +63,11 @@ class VerletListBackend final : public NeighborBackend {
   /// Displacement-gated: a full rebuild (grid + candidate enumeration) only
   /// when the safety condition no longer holds; otherwise records the step
   /// and keeps the cached list. Serial build.
-  void rebuild(std::span<const Vec2> points, double radius) override;
+  void rebuild(PositionLanes points, double radius) override;
   /// Same, with the candidate enumeration sharded on `executor` (the
   /// engine's lent step executor). List contents are identical for any
   /// width.
-  void rebuild(std::span<const Vec2> points, double radius,
+  void rebuild(PositionLanes points, double radius,
                support::Executor& executor) override;
 
   /// Filters the cached candidate row by the *current* positions, so the
@@ -92,6 +103,9 @@ class VerletListBackend final : public NeighborBackend {
     return {indices_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
   }
 
+  /// Current-step coordinate lanes (what candidate rows index into).
+  [[nodiscard]] PositionLanes points() const noexcept { return points_; }
+
   /// Rebuild accounting across the backend's lifetime: `steps` counts
   /// rebuild() calls, `builds` the ones that actually rebuilt. The skip
   /// rate is what the opt-in buys; benches and tests assert on it.
@@ -112,22 +126,23 @@ class VerletListBackend final : public NeighborBackend {
   void invalidate() noexcept { valid_ = false; }
 
  private:
-  [[nodiscard]] bool list_still_valid(std::span<const Vec2> points,
+  [[nodiscard]] bool list_still_valid(PositionLanes points,
                                       double radius) const noexcept;
-  void build(std::span<const Vec2> points, double radius,
-             support::Executor& executor);
+  void build(PositionLanes points, double radius, support::Executor& executor);
 
   double skin_;
   double radius_ = 0.0;
   bool valid_ = false;
-  std::span<const Vec2> points_;   // positions of the current step
-  std::vector<Vec2> reference_;    // positions of the last build
+  PositionLanes points_;           // coordinate lanes of the current step
+  std::vector<double> ref_x_;      // positions of the last build
+  std::vector<double> ref_y_;
   CellGrid grid_;                  // build-time scratch; idle between builds
   std::vector<std::size_t> offsets_;     // per-particle CSR rows
   std::vector<std::uint32_t> indices_;   // candidates, row-contiguous
   std::vector<std::uint32_t> order_;     // frozen cell-major build order
   std::vector<std::uint32_t> counts_;    // per-particle counts (build pass 1)
   std::vector<std::uint32_t> build_bounds_;  // build partition (frozen copy)
+  std::vector<GatherScratch> build_scratch_;  // per-shard gather + row buffers
   std::vector<std::uint32_t> scratch_;       // neighbors() filter output
   std::size_t shard_cache_width_ = 0;  // shard_bounds_ is valid for this width
   Stats stats_;

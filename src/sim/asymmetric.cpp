@@ -75,7 +75,7 @@ void accumulate_drift_asymmetric(const ParticleSystem& system,
     geom::Vec2 drift{};
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) continue;
-      const geom::Vec2 delta = system.positions[i] - system.positions[j];
+      const geom::Vec2 delta = system.position(i) - system.position(j);
       const double d_sq = geom::norm_sq(delta);
       if (d_sq == 0.0 || d_sq >= cutoff_sq) continue;
       const double scaling =
@@ -110,7 +110,7 @@ double euler_maruyama_step_asymmetric(ParticleSystem& system,
       step *= params.max_step / geom::norm(step);
     }
     if (noise_scale > 0.0) step += rng::normal_vec2(engine, 1.0) * noise_scale;
-    system.positions[i] += step;
+    system.translate(i, step);
   }
   return residual;
 }

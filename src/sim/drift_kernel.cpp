@@ -1,0 +1,486 @@
+#include "sim/drift_kernel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "geom/cell_grid.hpp"
+#include "geom/position_lanes.hpp"
+#include "support/simd.hpp"
+
+// The 256-bit GNU vector types below never cross a non-inlined function
+// boundary (the kernel ABI passes pointers and returns Vec2), so GCC's
+// psabi note about 256-bit vector ABI in baseline code is noise here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+// The AVX2 variants are plain C++ behind a per-function target attribute —
+// no separately-flagged translation unit, so no inline helper is ever
+// compiled under AVX2 flags except where it is force-inlined into the
+// wrappers below (which only ever run behind the CPUID check).
+#if defined(SOPS_HAVE_VECTOR_EXT) && defined(SOPS_SIMD_DISPATCH_AVX2) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define SOPS_KERNEL_AVX2 1
+#else
+#define SOPS_KERNEL_AVX2 0
+#endif
+
+namespace sops::sim {
+namespace {
+
+using geom::Vec2;
+using support::kSimdWidth;
+
+// ----------------------------------------------------------------- scalar
+// The reference op sequence on plain arrays; every vector path below must
+// mirror it lane-for-lane (the header's bitwise contract).
+
+// One block: candidate coordinates and pair parameters already in lanes,
+// the tail beyond `m` padded by the caller and masked dead here.
+inline void scalar_block(ForceLawKind kind, double xi, double yi,
+                         double cutoff_sq, std::size_t m, const double* cx,
+                         const double* cy, const double* kp, const double* rp,
+                         const double* sp, const double* tp, double* accx,
+                         double* accy) {
+  double dx[kSimdWidth];
+  double dy[kSimdWidth];
+  double d2[kSimdWidth];
+  double dist[kSimdWidth];
+  double s[kSimdWidth];
+  bool live[kSimdWidth];
+  for (std::size_t l = 0; l < kSimdWidth; ++l) {
+    dx[l] = xi - cx[l];
+    dy[l] = yi - cy[l];
+    d2[l] = dx[l] * dx[l] + dy[l] * dy[l];
+    // Δz = 0 (self in dense blocks, coincident pairs) contributes zero —
+    // the undefined-direction rule of accumulate_drift's header.
+    live[l] = l < m && d2[l] < cutoff_sq && d2[l] != 0.0;
+    // Dead lanes evaluate the force law at distance 1 and discard it: the
+    // blend keeps sqrt and the law's divisions off 0 without branching.
+    dist[l] = live[l] ? d2[l] : 1.0;
+  }
+  for (std::size_t l = 0; l < kSimdWidth; ++l) dist[l] = std::sqrt(dist[l]);
+  force_scaling_lanes(kind, kp, rp, sp, tp, dist, s);
+  for (std::size_t l = 0; l < kSimdWidth; ++l) {
+    const double w = live[l] ? -s[l] : 0.0;
+    accx[l] += dx[l] * w;
+    accy[l] += dy[l] * w;
+  }
+}
+
+Vec2 dense_scalar(const PairScalingTable& table, const DenseRow& row) {
+  const std::size_t base = table.pair_base(row.type_i);
+  const double* tk = table.k_data();
+  const double* tr = table.r_data();
+  const double* tsg = table.sigma_data();
+  const double* ttu = table.tau_data();
+  double accx[kSimdWidth] = {};
+  double accy[kSimdWidth] = {};
+  for (std::size_t b = 0; b < row.count; b += kSimdWidth) {
+    const std::size_t m = std::min(kSimdWidth, row.count - b);
+    double cx[kSimdWidth];
+    double cy[kSimdWidth];
+    double kp[kSimdWidth];
+    double rp[kSimdWidth];
+    double sp[kSimdWidth];
+    double tp[kSimdWidth];
+    for (std::size_t l = 0; l < kSimdWidth; ++l) {
+      const std::size_t c = b + (l < m ? l : m - 1);  // pad with last valid
+      cx[l] = row.cand_x[c];
+      cy[l] = row.cand_y[c];
+      const std::size_t e = base + row.cand_type[c];
+      kp[l] = tk[e];
+      rp[l] = tr[e];
+      sp[l] = tsg[e];
+      tp[l] = ttu[e];
+    }
+    scalar_block(table.kind(), row.xi, row.yi, row.cutoff_sq, m, cx, cy, kp,
+                 rp, sp, tp, accx, accy);
+  }
+  return {((accx[0] + accx[1]) + accx[2]) + accx[3],
+          ((accy[0] + accy[1]) + accy[2]) + accy[3]};
+}
+
+// Copies the 3×3 block of `cell` from the chunk's bucket-ordered lanes
+// into the scratch candidate lanes and returns the candidate count. The
+// block is at most 3 contiguous CSR ranges, so this is bulk range copies —
+// identical contents (and hence identical kernel arithmetic) to the
+// per-index gather it replaces. Scratch only ever grows; the kernels read
+// exactly `m` lanes.
+inline std::size_t gather_cell_block(const DenseChunk& chunk, std::size_t cell,
+                                     geom::GatherScratch& s) {
+  std::array<std::pair<std::uint32_t, std::uint32_t>, 3> spans;
+  const std::size_t nspans = chunk.grid->block_spans(cell, spans);
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < nspans; ++i) {
+    m += spans[i].second - spans[i].first;
+  }
+  if (s.x.size() < m) {
+    s.x.resize(m);
+    s.y.resize(m);
+    s.tag.resize(m);
+  }
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < nspans; ++i) {
+    const std::size_t b = spans[i].first;
+    const std::size_t len = spans[i].second - b;
+    std::memcpy(s.x.data() + off, chunk.sx + b, len * sizeof(double));
+    std::memcpy(s.y.data() + off, chunk.sy + b, len * sizeof(double));
+    std::memcpy(s.tag.data() + off, chunk.stype + b, len * sizeof(TypeId));
+    off += len;
+  }
+  return m;
+}
+
+// The chunk loop shared by every dense_chunk variant: gather each cell's
+// block once, then run the row kernel for each of the cell's particles.
+// `RowKernel` is a functor type whose operator() is force-inlined, so the
+// whole loop (row math included) code-generates inside the ISA wrapper it
+// is instantiated in.
+template <typename RowKernel>
+__attribute__((always_inline)) inline void dense_chunk_loop(
+    const PairScalingTable& table, const DenseChunk& chunk,
+    const RowKernel& row_kernel) {
+  geom::GatherScratch& s = *chunk.scratch;
+  for (std::size_t c = chunk.cell_begin; c < chunk.cell_end; ++c) {
+    const std::size_t m = gather_cell_block(chunk, c, s);
+    for (std::uint32_t k = chunk.starts[c]; k < chunk.starts[c + 1]; ++k) {
+      const DenseRow row{chunk.sx[k], chunk.sy[k],  chunk.stype[k],
+                         s.x.data(),  s.y.data(),   s.tag.data(),
+                         m,           chunk.cutoff_sq};
+      chunk.out[chunk.order[k]] = row_kernel(table, row);
+    }
+  }
+}
+
+struct DenseScalarRow {
+  Vec2 operator()(const PairScalingTable& table, const DenseRow& row) const {
+    return dense_scalar(table, row);
+  }
+};
+
+void dense_chunk_scalar(const PairScalingTable& table,
+                        const DenseChunk& chunk) {
+  dense_chunk_loop(table, chunk, DenseScalarRow{});
+}
+
+double drift_norm_scalar(const Vec2* drift, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += std::sqrt(drift[i].x * drift[i].x + drift[i].y * drift[i].y);
+  }
+  return total;
+}
+
+Vec2 indexed_scalar(const PairScalingTable& table, const IndexedRow& row) {
+  const std::size_t base = table.pair_base(row.type_i);
+  const double* tk = table.k_data();
+  const double* tr = table.r_data();
+  const double* tsg = table.sigma_data();
+  const double* ttu = table.tau_data();
+  double accx[kSimdWidth] = {};
+  double accy[kSimdWidth] = {};
+  for (std::size_t b = 0; b < row.count; b += kSimdWidth) {
+    const std::size_t m = std::min(kSimdWidth, row.count - b);
+    double cx[kSimdWidth];
+    double cy[kSimdWidth];
+    double kp[kSimdWidth];
+    double rp[kSimdWidth];
+    double sp[kSimdWidth];
+    double tp[kSimdWidth];
+    for (std::size_t l = 0; l < kSimdWidth; ++l) {
+      const std::size_t c = b + (l < m ? l : m - 1);  // pad with last valid
+      const std::size_t j = row.candidates[c];
+      cx[l] = row.xs[j];
+      cy[l] = row.ys[j];
+      const std::size_t e = base + row.types[j];
+      kp[l] = tk[e];
+      rp[l] = tr[e];
+      sp[l] = tsg[e];
+      tp[l] = ttu[e];
+    }
+    scalar_block(table.kind(), row.xi, row.yi, row.cutoff_sq, m, cx, cy, kp,
+                 rp, sp, tp, accx, accy);
+  }
+  return {((accx[0] + accx[1]) + accx[2]) + accx[3],
+          ((accy[0] + accy[1]) + accy[2]) + accy[3]};
+}
+
+#if defined(SOPS_HAVE_VECTOR_EXT)
+
+// ----------------------------------------------------------------- vector
+// The identical sequence on GNU vector types. Bodies are force-inlined into
+// thin per-ISA wrappers; the target attribute on the AVX2 wrappers re-codes
+// the same IEEE ops, so all wrappers produce the same bits.
+
+using support::v4d;
+using support::v4m;
+
+// All-ones lane prefixes: kLaneMask[m] keeps the first m lanes live.
+constexpr v4m kLaneMask[kSimdWidth + 1] = {
+    {0, 0, 0, 0},
+    {-1, 0, 0, 0},
+    {-1, -1, 0, 0},
+    {-1, -1, -1, 0},
+    {-1, -1, -1, -1},
+};
+
+__attribute__((always_inline)) inline v4d v4_select(v4m mask, v4d a, v4d b) {
+  return std::bit_cast<v4d>((std::bit_cast<v4m>(a) & mask) |
+                            (std::bit_cast<v4m>(b) & ~mask));
+}
+
+__attribute__((always_inline)) inline void vector_block(
+    ForceLawKind kind, v4d xiv, v4d yiv, v4d cutv, v4m tail, v4d cxv, v4d cyv,
+    v4d kpv, v4d rpv, v4d spv, v4d tpv, v4d& accx, v4d& accy) {
+  const v4d ones = {1.0, 1.0, 1.0, 1.0};
+  const v4d zeros = {0.0, 0.0, 0.0, 0.0};
+  const v4d dxv = xiv - cxv;
+  const v4d dyv = yiv - cyv;
+  const v4d d2v = dxv * dxv + dyv * dyv;
+  const v4m live =
+      std::bit_cast<v4m>(d2v < cutv) & std::bit_cast<v4m>(d2v != zeros) & tail;
+  v4d distv = v4_select(live, d2v, ones);
+  for (std::size_t l = 0; l < kSimdWidth; ++l) distv[l] = std::sqrt(distv[l]);
+  v4d sv;
+  if (kind == ForceLawKind::kSpring) {
+    // F¹ stays fully in lanes: element-wise IEEE div/sub/mul are the exact
+    // expressions of force_scaling_lanes.
+    sv = kpv * (ones - rpv / distv);
+  } else {
+    // F² needs exp, which has no vector form here; round-trip through the
+    // same per-lane helper the scalar kernel uses — bitwise-identical by
+    // construction.
+    double xa[kSimdWidth];
+    double ka[kSimdWidth];
+    double ra[kSimdWidth];
+    double sga[kSimdWidth];
+    double ta[kSimdWidth];
+    double oa[kSimdWidth];
+    for (std::size_t l = 0; l < kSimdWidth; ++l) {
+      xa[l] = distv[l];
+      ka[l] = kpv[l];
+      ra[l] = rpv[l];
+      sga[l] = spv[l];
+      ta[l] = tpv[l];
+    }
+    force_scaling_lanes(kind, ka, ra, sga, ta, xa, oa);
+    for (std::size_t l = 0; l < kSimdWidth; ++l) sv[l] = oa[l];
+  }
+  const v4d wv = v4_select(live, -sv, zeros);
+  accx += dxv * wv;
+  accy += dyv * wv;
+}
+
+__attribute__((always_inline)) inline Vec2 dense_vector_body(
+    const PairScalingTable& table, const DenseRow& row) {
+  const std::size_t base = table.pair_base(row.type_i);
+  const double* tk = table.k_data();
+  const double* tr = table.r_data();
+  const double* tsg = table.sigma_data();
+  const double* ttu = table.tau_data();
+  const ForceLawKind kind = table.kind();
+  const bool gauss = kind == ForceLawKind::kDoubleGaussian;
+  const v4d xiv = {row.xi, row.xi, row.xi, row.xi};
+  const v4d yiv = {row.yi, row.yi, row.yi, row.yi};
+  const v4d cutv = {row.cutoff_sq, row.cutoff_sq, row.cutoff_sq,
+                    row.cutoff_sq};
+  v4d accx = {0.0, 0.0, 0.0, 0.0};
+  v4d accy = {0.0, 0.0, 0.0, 0.0};
+  // σ/τ lanes are dead under F¹ (the law never reads them), so their
+  // gather is skipped; any value yields the same bits.
+  v4d spv = {1.0, 1.0, 1.0, 1.0};
+  v4d tpv = {1.0, 1.0, 1.0, 1.0};
+  std::size_t b = 0;
+  for (; b + kSimdWidth <= row.count; b += kSimdWidth) {
+    const v4d cxv = {row.cand_x[b], row.cand_x[b + 1], row.cand_x[b + 2],
+                     row.cand_x[b + 3]};
+    const v4d cyv = {row.cand_y[b], row.cand_y[b + 1], row.cand_y[b + 2],
+                     row.cand_y[b + 3]};
+    v4d kpv;
+    v4d rpv;
+    for (std::size_t l = 0; l < kSimdWidth; ++l) {
+      const std::size_t e = base + row.cand_type[b + l];
+      kpv[l] = tk[e];
+      rpv[l] = tr[e];
+      if (gauss) {
+        spv[l] = tsg[e];
+        tpv[l] = ttu[e];
+      }
+    }
+    vector_block(kind, xiv, yiv, cutv, kLaneMask[kSimdWidth], cxv, cyv, kpv,
+                 rpv, spv, tpv, accx, accy);
+  }
+  if (b < row.count) {
+    const std::size_t m = row.count - b;
+    v4d cxv;
+    v4d cyv;
+    v4d kpv;
+    v4d rpv;
+    for (std::size_t l = 0; l < kSimdWidth; ++l) {
+      const std::size_t c = b + (l < m ? l : m - 1);  // pad with last valid
+      cxv[l] = row.cand_x[c];
+      cyv[l] = row.cand_y[c];
+      const std::size_t e = base + row.cand_type[c];
+      kpv[l] = tk[e];
+      rpv[l] = tr[e];
+      if (gauss) {
+        spv[l] = tsg[e];
+        tpv[l] = ttu[e];
+      }
+    }
+    vector_block(kind, xiv, yiv, cutv, kLaneMask[m], cxv, cyv, kpv, rpv, spv,
+                 tpv, accx, accy);
+  }
+  return {((accx[0] + accx[1]) + accx[2]) + accx[3],
+          ((accy[0] + accy[1]) + accy[2]) + accy[3]};
+}
+
+__attribute__((always_inline)) inline Vec2 indexed_vector_body(
+    const PairScalingTable& table, const IndexedRow& row) {
+  const std::size_t base = table.pair_base(row.type_i);
+  const double* tk = table.k_data();
+  const double* tr = table.r_data();
+  const double* tsg = table.sigma_data();
+  const double* ttu = table.tau_data();
+  const ForceLawKind kind = table.kind();
+  const bool gauss = kind == ForceLawKind::kDoubleGaussian;
+  const v4d xiv = {row.xi, row.xi, row.xi, row.xi};
+  const v4d yiv = {row.yi, row.yi, row.yi, row.yi};
+  const v4d cutv = {row.cutoff_sq, row.cutoff_sq, row.cutoff_sq,
+                    row.cutoff_sq};
+  v4d accx = {0.0, 0.0, 0.0, 0.0};
+  v4d accy = {0.0, 0.0, 0.0, 0.0};
+  v4d spv = {1.0, 1.0, 1.0, 1.0};
+  v4d tpv = {1.0, 1.0, 1.0, 1.0};
+  for (std::size_t b = 0; b < row.count; b += kSimdWidth) {
+    const std::size_t m = std::min(kSimdWidth, row.count - b);
+    v4d cxv;
+    v4d cyv;
+    v4d kpv;
+    v4d rpv;
+    for (std::size_t l = 0; l < kSimdWidth; ++l) {
+      const std::size_t c = b + (l < m ? l : m - 1);  // pad with last valid
+      const std::size_t j = row.candidates[c];
+      cxv[l] = row.xs[j];
+      cyv[l] = row.ys[j];
+      const std::size_t e = base + row.types[j];
+      kpv[l] = tk[e];
+      rpv[l] = tr[e];
+      if (gauss) {
+        spv[l] = tsg[e];
+        tpv[l] = ttu[e];
+      }
+    }
+    vector_block(kind, xiv, yiv, cutv, kLaneMask[m], cxv, cyv, kpv, rpv, spv,
+                 tpv, accx, accy);
+  }
+  return {((accx[0] + accx[1]) + accx[2]) + accx[3],
+          ((accy[0] + accy[1]) + accy[2]) + accy[3]};
+}
+
+// The force-inlined row functor for the chunk loop: inlining operator()
+// (rather than a lambda, whose operator() would not force-inline) is what
+// guarantees the row math code-generates under the wrapper's target ISA.
+struct DenseVectorRow {
+  __attribute__((always_inline)) Vec2 operator()(const PairScalingTable& table,
+                                                 const DenseRow& row) const {
+    return dense_vector_body(table, row);
+  }
+};
+
+Vec2 dense_vector_generic(const PairScalingTable& table, const DenseRow& row) {
+  return dense_vector_body(table, row);
+}
+
+Vec2 indexed_vector_generic(const PairScalingTable& table,
+                            const IndexedRow& row) {
+  return indexed_vector_body(table, row);
+}
+
+void dense_chunk_generic(const PairScalingTable& table,
+                         const DenseChunk& chunk) {
+  dense_chunk_loop(table, chunk, DenseVectorRow{});
+}
+
+// Per-element norms in 4-lane batches, summed strictly in index order —
+// the same mul/add/sqrt per element as the scalar loop, so the same bits.
+__attribute__((always_inline)) inline double drift_norm_body(const Vec2* drift,
+                                                             std::size_t n) {
+  double total = 0.0;
+  std::size_t i = 0;
+  for (; i + kSimdWidth <= n; i += kSimdWidth) {
+    v4d nv;
+    for (std::size_t l = 0; l < kSimdWidth; ++l) {
+      const Vec2 d = drift[i + l];
+      nv[l] = d.x * d.x + d.y * d.y;
+    }
+    for (std::size_t l = 0; l < kSimdWidth; ++l) nv[l] = std::sqrt(nv[l]);
+    for (std::size_t l = 0; l < kSimdWidth; ++l) total += nv[l];
+  }
+  for (; i < n; ++i) {
+    total += std::sqrt(drift[i].x * drift[i].x + drift[i].y * drift[i].y);
+  }
+  return total;
+}
+
+double drift_norm_generic(const Vec2* drift, std::size_t n) {
+  return drift_norm_body(drift, n);
+}
+
+#if SOPS_KERNEL_AVX2
+
+__attribute__((target("avx2"))) Vec2 dense_vector_avx2(
+    const PairScalingTable& table, const DenseRow& row) {
+  return dense_vector_body(table, row);
+}
+
+__attribute__((target("avx2"))) Vec2 indexed_vector_avx2(
+    const PairScalingTable& table, const IndexedRow& row) {
+  return indexed_vector_body(table, row);
+}
+
+__attribute__((target("avx2"))) void dense_chunk_avx2(
+    const PairScalingTable& table, const DenseChunk& chunk) {
+  dense_chunk_loop(table, chunk, DenseVectorRow{});
+}
+
+__attribute__((target("avx2"))) double drift_norm_avx2(const Vec2* drift,
+                                                       std::size_t n) {
+  return drift_norm_body(drift, n);
+}
+
+#endif  // SOPS_KERNEL_AVX2
+
+#endif  // SOPS_HAVE_VECTOR_EXT
+
+}  // namespace
+
+const DriftKernels& scalar_drift_kernels() noexcept {
+  static const DriftKernels kScalar{dense_scalar, indexed_scalar,
+                                    dense_chunk_scalar, drift_norm_scalar};
+  return kScalar;
+}
+
+const DriftKernels& select_drift_kernels() noexcept {
+#if defined(SOPS_HAVE_VECTOR_EXT)
+  static const DriftKernels kGeneric{dense_vector_generic,
+                                     indexed_vector_generic,
+                                     dense_chunk_generic, drift_norm_generic};
+  if (!support::simd_enabled()) return scalar_drift_kernels();
+#if SOPS_KERNEL_AVX2
+  static const DriftKernels kAvx2{dense_vector_avx2, indexed_vector_avx2,
+                                  dense_chunk_avx2, drift_norm_avx2};
+  if (support::cpu_dispatch_avx2()) return kAvx2;
+#endif
+  return kGeneric;
+#else
+  return scalar_drift_kernels();
+#endif
+}
+
+}  // namespace sops::sim

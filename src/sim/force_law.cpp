@@ -30,6 +30,40 @@ double force_scaling_derivative(ForceLawKind kind, const PairParams& p,
   return 0.0;  // unreachable
 }
 
+void force_scaling_batch(ForceLawKind kind, std::span<const double> k,
+                         std::span<const double> r, std::span<const double> sigma,
+                         std::span<const double> tau, std::span<const double> x,
+                         std::span<double> out) {
+  const std::size_t n = x.size();
+  support::expect(k.size() == n && r.size() == n && sigma.size() == n &&
+                      tau.size() == n && out.size() == n,
+                  "force_scaling_batch: span sizes disagree");
+  std::size_t b = 0;
+  for (; b + kForceLanes <= n; b += kForceLanes) {
+    force_scaling_lanes(kind, k.data() + b, r.data() + b, sigma.data() + b,
+                        tau.data() + b, x.data() + b, out.data() + b);
+  }
+  if (b < n) {
+    const std::size_t m = n - b;
+    double kp[kForceLanes];
+    double rp[kForceLanes];
+    double sp[kForceLanes];
+    double tp[kForceLanes];
+    double xp[kForceLanes];
+    double op[kForceLanes];
+    for (std::size_t l = 0; l < kForceLanes; ++l) {
+      const std::size_t c = b + (l < m ? l : m - 1);
+      kp[l] = k[c];
+      rp[l] = r[c];
+      sp[l] = sigma[c];
+      tp[l] = tau[c];
+      xp[l] = x[c];
+    }
+    force_scaling_lanes(kind, kp, rp, sp, tp, xp, op);
+    for (std::size_t l = 0; l < m; ++l) out[b + l] = op[l];
+  }
+}
+
 std::optional<double> preferred_distance(ForceLawKind kind, const PairParams& p,
                                          double search_limit) {
   if (kind == ForceLawKind::kSpring) return p.r;

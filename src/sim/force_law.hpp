@@ -9,7 +9,10 @@
 // attractive tail whose zero crossing acts as the preferred distance.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <optional>
+#include <span>
 
 #include "sim/symmetric_matrix.hpp"
 
@@ -38,6 +41,47 @@ struct PairParams {
 /// Derivative dF/dx (used by tests and by the preferred-distance solver).
 [[nodiscard]] double force_scaling_derivative(ForceLawKind kind,
                                               const PairParams& p, double x);
+
+/// Fixed evaluation block of the batched force-scaling paths. Pinned at 4 on
+/// every ISA: the lane width is part of the bitwise-reproducibility contract
+/// (see support/simd.hpp), so wider machines never widen the math.
+inline constexpr std::size_t kForceLanes = 4;
+
+/// One block of F_αβ(x): out[l] = force_scaling(kind, {k,r,sigma,tau}[l], x[l])
+/// for kForceLanes lanes, each lane the exact scalar expression — the block
+/// form is bitwise-identical to four scalar calls. Callers guarantee
+/// x[l] > 0 in every lane; masked kernel lanes carry a blend value of 1.0.
+///
+/// Deliberately `static` (internal linkage): kernel translation units are
+/// compiled under different ISA flags, and a shared inline definition could
+/// be merged by the linker into whichever TU's encoding it saw first.
+[[maybe_unused]] static void force_scaling_lanes(
+    ForceLawKind kind, const double* k, const double* r, const double* sigma,
+    const double* tau, const double* x, double* out) noexcept {
+  switch (kind) {
+    case ForceLawKind::kSpring:
+      for (std::size_t l = 0; l < kForceLanes; ++l) {
+        out[l] = k[l] * (1.0 - r[l] / x[l]);
+      }
+      break;
+    case ForceLawKind::kDoubleGaussian:
+      for (std::size_t l = 0; l < kForceLanes; ++l) {
+        out[l] = k[l] * (std::exp(-x[l] * x[l] / (2.0 * sigma[l])) /
+                             (sigma[l] * sigma[l]) -
+                         std::exp(-x[l] * x[l] / (2.0 * tau[l])));
+      }
+      break;
+  }
+}
+
+/// Arbitrary-length batched evaluation: full kForceLanes blocks through
+/// force_scaling_lanes, the tail padded with its last valid element (the
+/// padding lanes are computed and discarded). Bitwise-identical to mapping
+/// force_scaling over the spans. All spans must share x's length.
+void force_scaling_batch(ForceLawKind kind, std::span<const double> k,
+                         std::span<const double> r, std::span<const double> sigma,
+                         std::span<const double> tau, std::span<const double> x,
+                         std::span<double> out);
 
 /// The distance at which the force scaling crosses zero (repulsion turns to
 /// attraction), if any, searched on (0, search_limit]. For F¹ this is exactly

@@ -1,83 +1,15 @@
 #include "sim/forces.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "geom/cell_grid.hpp"
-#include "geom/delaunay.hpp"
 #include "geom/verlet_list.hpp"
+#include "sim/drift_kernel.hpp"
 #include "support/parallel_for.hpp"
 
 namespace sops::sim {
 namespace {
-
-// Contribution of neighbor j to particle i's drift.
-inline geom::Vec2 pair_drift(const ParticleSystem& system,
-                             const PairScalingTable& table, std::size_t i,
-                             std::size_t j) {
-  const geom::Vec2 delta = system.positions[i] - system.positions[j];
-  const double dist_sq = geom::norm_sq(delta);
-  if (dist_sq == 0.0) return {};  // undefined direction; see header
-  const double dist = std::sqrt(dist_sq);
-  const double scaling = table(system.types[i], system.types[j], dist);
-  return delta * (-scaling);
-}
-
-// Drift of particle i against every other particle within the cut-off —
-// the one definition of the all-pairs sum, shared by the enum-mode path
-// and the serial and sharded backend paths.
-inline geom::Vec2 all_pairs_drift_of(const ParticleSystem& system,
-                                     const PairScalingTable& table,
-                                     double cutoff_sq, std::size_t i) {
-  geom::Vec2 drift{};
-  for (std::size_t j = 0; j < system.size(); ++j) {
-    if (j == i) continue;
-    const double d_sq = geom::dist_sq(system.positions[i], system.positions[j]);
-    if (d_sq < cutoff_sq) drift += pair_drift(system, table, i, j);
-  }
-  return drift;
-}
-
-void accumulate_all_pairs(const ParticleSystem& system,
-                          const PairScalingTable& table, double cutoff_radius,
-                          std::vector<geom::Vec2>& out) {
-  const double cutoff_sq = cutoff_radius * cutoff_radius;
-  for (std::size_t i = 0; i < system.size(); ++i) {
-    out[i] = all_pairs_drift_of(system, table, cutoff_sq, i);
-  }
-}
-
-void accumulate_cell_grid(const ParticleSystem& system,
-                          const PairScalingTable& table, double cutoff_radius,
-                          std::vector<geom::Vec2>& out) {
-  const geom::CellGrid grid(system.positions, cutoff_radius);
-  const std::size_t n = system.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    geom::Vec2 drift{};
-    grid.for_each_neighbor(i, cutoff_radius, [&](std::size_t j) {
-      drift += pair_drift(system, table, i, j);
-    });
-    out[i] = drift;
-  }
-}
-
-void accumulate_delaunay(const ParticleSystem& system,
-                         const PairScalingTable& table, double cutoff_radius,
-                         std::vector<geom::Vec2>& out) {
-  const auto adjacency = geom::delaunay_adjacency(system.positions);
-  const bool bounded = std::isfinite(cutoff_radius);
-  const double cutoff_sq = cutoff_radius * cutoff_radius;
-  for (std::size_t i = 0; i < system.size(); ++i) {
-    geom::Vec2 drift{};
-    for (const std::size_t j : adjacency[i]) {
-      if (bounded &&
-          geom::dist_sq(system.positions[i], system.positions[j]) >= cutoff_sq) {
-        continue;
-      }
-      drift += pair_drift(system, table, i, j);
-    }
-    out[i] = drift;
-  }
-}
 
 // The one precondition checker behind every accumulate_drift overload: the
 // enum-mode, backend, and sharded entry points must reject exactly the same
@@ -115,6 +47,61 @@ void accumulate_sharded(geom::NeighborBackend& backend,
             out[i] = drift_of(i);
           }
         }
+      });
+}
+
+// The cell-grid drift path: copy the configuration into bucket-ordered
+// lanes once (one sequential pass — the only scattered reads of the whole
+// accumulation), then hand each shard's cell range to the chunked kernel,
+// which bulk-copies every cell's 3×3 block from the grid's contiguous
+// column spans and runs the dense row kernel for each particle of the
+// cell. Every particle's block depends only on its own cell, so the result
+// is independent of the partition (width-invariant), and the kernel's lane
+// order makes it scalar/SIMD bitwise-stable.
+void accumulate_cell_kernel(const ParticleSystem& system,
+                            const PairScalingTable& table, double cutoff_radius,
+                            std::vector<geom::Vec2>& out,
+                            geom::CellGridBackend& backend,
+                            support::Executor& executor) {
+  const geom::CellGrid& grid = backend.grid();
+  const std::span<const std::uint32_t> bounds =
+      backend.shard_bounds(executor.width());
+  const std::span<const std::uint32_t> entries = grid.bucket_entries();
+  const std::span<const std::uint32_t> starts = grid.bucket_starts();
+  const double cutoff_sq = cutoff_radius * cutoff_radius;
+  const DriftKernels& kernels = select_drift_kernels();
+
+  // The grid scattered its bucket-ordered coordinate lanes during the
+  // rebuild; only the type lane is gathered here (its semantics are ours).
+  const std::size_t n = system.size();
+  std::vector<std::uint32_t>& tags = backend.bucket_tags();
+  tags.resize(n);
+  for (std::size_t k = 0; k < n; ++k) tags[k] = system.types[entries[k]];
+
+  backend.ensure_gather_shards(bounds.size() - 1);  // serial: before dispatch
+  support::parallel_for_shards(
+      executor, bounds,
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        // Shard cuts are CSR bucket boundaries, so `begin` opens a cell and
+        // `end` closes one; bucket starts are strictly increasing (cells
+        // are non-empty).
+        const std::size_t cell_begin =
+            static_cast<std::size_t>(
+                std::upper_bound(starts.begin(), starts.end(),
+                                 static_cast<std::uint32_t>(begin)) -
+                starts.begin()) -
+            1;
+        const std::size_t cell_end = static_cast<std::size_t>(
+            std::lower_bound(starts.begin(), starts.end(),
+                             static_cast<std::uint32_t>(end)) -
+            starts.begin());
+        const DenseChunk chunk{grid.bucket_x().data(), grid.bucket_y().data(),
+                               tags.data(),   entries.data(),
+                               starts.data(), &grid,
+                               cell_begin,    cell_end,
+                               &backend.gather_scratch(shard), out.data(),
+                               cutoff_sq};
+        kernels.dense_chunk(table, chunk);
       });
 }
 
@@ -167,25 +154,14 @@ void accumulate_drift(const ParticleSystem& system, const InteractionModel& mode
   check_drift_preconditions(system, model.types(), cutoff_radius,
                             mode == NeighborMode::kCellGrid ||
                                 mode == NeighborMode::kVerletSkin);
-  if (mode == NeighborMode::kVerletSkin) {
-    // The enum path is the per-call reference: a fresh list (default skin)
-    // built and consumed once — same pair set as the cell grid, enumerated
-    // in the build walk's order.
-    geom::VerletListBackend backend;
-    accumulate_drift(system, PairScalingTable(model), cutoff_radius, out,
-                     backend, std::size_t{1});
-    return;
-  }
-  out.assign(system.size(), geom::Vec2{});
-
+  // One construction path for every mode: a fresh backend built and
+  // consumed once — the per-call reference the persistent engine path is
+  // (trivially) identical to. The former per-mode free functions are gone;
+  // enum modes and the engine share one cell-grid/kernel entry point.
+  const auto backend = geom::make_neighbor_backend(neighbor_backend_kind(mode));
   const PairScalingTable table(model);
-  if (mode == NeighborMode::kCellGrid) {
-    accumulate_cell_grid(system, table, cutoff_radius, out);
-  } else if (mode == NeighborMode::kDelaunay) {
-    accumulate_delaunay(system, table, cutoff_radius, out);
-  } else {
-    accumulate_all_pairs(system, table, cutoff_radius, out);
-  }
+  support::SerialExecutor serial;
+  accumulate_drift(system, table, cutoff_radius, out, *backend, serial);
 }
 
 void accumulate_drift(const ParticleSystem& system, const InteractionModel& model,
@@ -214,101 +190,95 @@ void accumulate_drift(const ParticleSystem& system, const PairScalingTable& tabl
   // Executor-aware: the Verlet backend shards its (occasional) candidate
   // enumeration on the same lent workers the drift sum uses; everyone else
   // rebuilds serially as before.
-  backend.rebuild(system.positions, cutoff_radius, executor);
-  const std::size_t width = executor.width();
+  backend.rebuild(system.lanes(), cutoff_radius, executor);
 
   const std::size_t n = system.size();
-  out.assign(n, geom::Vec2{});
+  // resize, not assign: every path below writes every out[i] exactly once
+  // (each particle belongs to exactly one cell/shard), so pre-zeroing n
+  // Vec2s per step would be pure memory traffic.
+  out.resize(n);
+  const double cutoff_sq = cutoff_radius * cutoff_radius;
 
-  // Fused fast paths for the built-in backends: enumerate and accumulate in
-  // one inlined loop instead of materializing neighbor spans. Enumeration
-  // order is identical to the generic path, so results are too — and since
-  // every out[i] is a pure gather in that fixed order, the sharded variant
-  // of each path is bitwise-identical to its serial loop. Backends outside
-  // this translation unit fall through to the (correct, somewhat slower)
-  // generic span path below, always serially: NeighborBackend::neighbors()
-  // may alias shared scratch, which the shards' workers must not race on.
-  if (auto* cell_grid = dynamic_cast<geom::CellGridBackend*>(&backend)) {
-    const geom::CellGrid& grid = cell_grid->grid();
-    const auto drift_of = [&](std::size_t i) {
-      geom::Vec2 drift{};
-      grid.for_each_neighbor(i, cutoff_radius, [&](std::size_t j) {
-        drift += pair_drift(system, table, i, j);
-      });
-      return drift;
-    };
-    if (width > 1) {
-      accumulate_sharded(backend, executor, drift_of, out);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) out[i] = drift_of(i);
-    }
+  // Fused kernel paths for the built-in backends: candidates flow through
+  // the lane-structured drift kernels (sim/drift_kernel.hpp) — dense rows
+  // where coordinates already sit contiguously, indexed rows elsewhere.
+  // Every out[i] is a pure gather in a fixed per-particle order, so the
+  // sharded dispatch is bitwise-identical to the serial loop for any width,
+  // and the scalar/SIMD kernel selection never changes the bits. Backends
+  // outside this translation unit fall through to the generic span path
+  // below, always serially: NeighborBackend::neighbors() may alias shared
+  // scratch, which the shards' workers must not race on.
+  if (auto* cell_backend = dynamic_cast<geom::CellGridBackend*>(&backend)) {
+    accumulate_cell_kernel(system, table, cutoff_radius, out, *cell_backend,
+                           executor);
     return;
   }
+  const DriftKernels& kernels = select_drift_kernels();
   if (dynamic_cast<const geom::AllPairsBackend*>(&backend) != nullptr) {
-    const double cutoff_sq = cutoff_radius * cutoff_radius;
+    // The whole particle set is one dense candidate block (self masks out
+    // at Δz = 0); cutoff_sq may be +inf for the unbounded radius.
     const auto drift_of = [&](std::size_t i) {
-      return all_pairs_drift_of(system, table, cutoff_sq, i);
+      const DenseRow row{system.x[i],      system.y[i],
+                         system.types[i],  system.x.data(),
+                         system.y.data(),  system.types.data(),
+                         n,                cutoff_sq};
+      return kernels.dense(table, row);
     };
-    if (width > 1) {
-      accumulate_sharded(backend, executor, drift_of, out);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) out[i] = drift_of(i);
-    }
+    accumulate_sharded(backend, executor, drift_of, out);
     return;
   }
   if (const auto* verlet =
           dynamic_cast<const geom::VerletListBackend*>(&backend)) {
-    // The pair-list kernel: iterate the cached candidate rows (within
-    // r_c + skin at build time) and apply the true cut-off per pair at the
-    // *current* positions. On quiet steps this is the whole neighbor cost —
-    // flat CSR reads, no hash probes, no cell walk. Row order is frozen at
-    // build time, so between rebuilds the sum is bitwise-stable and the
-    // sharded variant equals the serial loop.
-    const double cutoff_sq = cutoff_radius * cutoff_radius;
+    // The pair-list kernel: cached candidate rows (within r_c + skin at
+    // build time) with the true cut-off applied per pair by the kernel mask
+    // at the *current* positions. On quiet steps this is the whole neighbor
+    // cost — flat CSR reads, no hash probes, no cell walk. Row order is
+    // frozen at build time, so between rebuilds the sum is bitwise-stable.
     const auto drift_of = [&](std::size_t i) {
-      geom::Vec2 drift{};
-      for (const std::uint32_t j : verlet->candidate_row(i)) {
-        if (geom::dist_sq(system.positions[i], system.positions[j]) <
-            cutoff_sq) {
-          drift += pair_drift(system, table, i, j);
-        }
-      }
-      return drift;
+      const std::span<const std::uint32_t> cand = verlet->candidate_row(i);
+      const IndexedRow row{system.x[i],      system.y[i],
+                           system.types[i],  system.x.data(),
+                           system.y.data(),  system.types.data(),
+                           cand.data(),      cand.size(),
+                           cutoff_sq};
+      return kernels.indexed(table, row);
     };
-    if (width > 1) {
-      accumulate_sharded(backend, executor, drift_of, out);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) out[i] = drift_of(i);
-    }
+    accumulate_sharded(backend, executor, drift_of, out);
     return;
   }
   if (const auto* delaunay =
-          dynamic_cast<const geom::DelaunayBackend*>(&backend);
-      delaunay != nullptr && width > 1) {
+          dynamic_cast<const geom::DelaunayBackend*>(&backend)) {
+    // Adjacency rows are already pruned by the cut-off at rebuild; the
+    // kernel mask is idempotent on them.
     const auto drift_of = [&](std::size_t i) {
-      geom::Vec2 drift{};
-      for (const std::uint32_t j : delaunay->adjacency_row(i)) {
-        drift += pair_drift(system, table, i, j);
-      }
-      return drift;
+      const std::span<const std::uint32_t> adj = delaunay->adjacency_row(i);
+      const IndexedRow row{system.x[i],      system.y[i],
+                           system.types[i],  system.x.data(),
+                           system.y.data(),  system.types.data(),
+                           adj.data(),       adj.size(),
+                           cutoff_sq};
+      return kernels.indexed(table, row);
     };
     accumulate_sharded(backend, executor, drift_of, out);
     return;
   }
 
   for (std::size_t i = 0; i < n; ++i) {
-    geom::Vec2 drift{};
-    for (const std::uint32_t j : backend.neighbors(i)) {
-      drift += pair_drift(system, table, i, j);
-    }
-    out[i] = drift;
+    const std::span<const std::uint32_t> nb = backend.neighbors(i);
+    const IndexedRow row{system.x[i],      system.y[i],
+                         system.types[i],  system.x.data(),
+                         system.y.data(),  system.types.data(),
+                         nb.data(),        nb.size(),
+                         cutoff_sq};
+    out[i] = kernels.indexed(table, row);
   }
 }
 
 double total_drift_norm(std::span<const geom::Vec2> drift) {
-  double total = 0.0;
-  for (const geom::Vec2 d : drift) total += geom::norm(d);
-  return total;
+  // Kernel-dispatched: norms are computed in lanes but summed strictly in
+  // index order, so every policy/ISA returns the same bits as this loop:
+  //   for (d : drift) total += sqrt(d.x*d.x + d.y*d.y)
+  return select_drift_kernels().drift_norm(drift.data(), drift.size());
 }
 
 }  // namespace sops::sim

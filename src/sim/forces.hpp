@@ -58,13 +58,26 @@ inline constexpr double kUnboundedRadius = std::numeric_limits<double>::infinity
 /// evaluates the identical formulas on the identical parameters, so drifts
 /// are bitwise-unchanged. Build once per run (SimulationWorkspace caches
 /// one) and reuse across steps.
+///
+/// Storage is one lane per parameter (k/r/σ/τ), dense over (a, b) at
+/// a·types + b — the layout the batched kernels gather candidate parameters
+/// from by type id (see pair_base / the *_data accessors).
 class PairScalingTable {
  public:
   explicit PairScalingTable(const InteractionModel& model)
-      : kind_(model.kind()), types_(model.types()), params_(types_ * types_) {
+      : kind_(model.kind()),
+        types_(model.types()),
+        k_(types_ * types_),
+        r_(types_ * types_),
+        sigma_(types_ * types_),
+        tau_(types_ * types_) {
     for (std::size_t a = 0; a < types_; ++a) {
       for (std::size_t b = 0; b < types_; ++b) {
-        params_[a * types_ + b] = model.pair(a, b);
+        const PairParams p = model.pair(a, b);
+        k_[a * types_ + b] = p.k;
+        r_[a * types_ + b] = p.r;
+        sigma_[a * types_ + b] = p.sigma;
+        tau_[a * types_ + b] = p.tau;
       }
     }
   }
@@ -72,23 +85,44 @@ class PairScalingTable {
   /// Number of particle types the table covers.
   [[nodiscard]] std::size_t types() const noexcept { return types_; }
 
+  /// The force-law family every entry evaluates.
+  [[nodiscard]] ForceLawKind kind() const noexcept { return kind_; }
+
   /// F_αβ(x); same expressions as force_scaling(). x must be positive.
   [[nodiscard]] double operator()(TypeId a, TypeId b, double x) const {
-    const PairParams& p = params_[a * types_ + b];
+    const std::size_t e = a * types_ + b;
     switch (kind_) {
       case ForceLawKind::kSpring:
-        return p.k * (1.0 - p.r / x);
+        return k_[e] * (1.0 - r_[e] / x);
       case ForceLawKind::kDoubleGaussian:
-        return p.k * (std::exp(-x * x / (2.0 * p.sigma)) / (p.sigma * p.sigma) -
-                      std::exp(-x * x / (2.0 * p.tau)));
+        return k_[e] * (std::exp(-x * x / (2.0 * sigma_[e])) /
+                            (sigma_[e] * sigma_[e]) -
+                        std::exp(-x * x / (2.0 * tau_[e])));
     }
     return 0.0;  // unreachable
   }
 
+  /// Base entry index of row type a: entry(a, b) = pair_base(a) + b. The
+  /// kernels hoist this per particle and gather per-candidate parameters
+  /// from the lane pointers below.
+  [[nodiscard]] std::size_t pair_base(TypeId a) const noexcept {
+    return static_cast<std::size_t>(a) * types_;
+  }
+
+  [[nodiscard]] const double* k_data() const noexcept { return k_.data(); }
+  [[nodiscard]] const double* r_data() const noexcept { return r_.data(); }
+  [[nodiscard]] const double* sigma_data() const noexcept {
+    return sigma_.data();
+  }
+  [[nodiscard]] const double* tau_data() const noexcept { return tau_.data(); }
+
  private:
   ForceLawKind kind_;
   std::size_t types_;
-  std::vector<PairParams> params_;
+  std::vector<double> k_;      // parameter lanes, dense over a·types + b
+  std::vector<double> r_;
+  std::vector<double> sigma_;
+  std::vector<double> tau_;
 };
 
 /// Resolves kAuto to the concrete strategy for a collective of `n`

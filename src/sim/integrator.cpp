@@ -28,7 +28,7 @@ void apply_euler_maruyama_update(ParticleSystem& system,
     if (noise_scale > 0.0) {
       step += rng::normal_vec2(engine, 1.0) * noise_scale;
     }
-    system.positions[i] += step;
+    system.translate(i, step);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "geom/position_lanes.hpp"
 #include "geom/vec2.hpp"
 #include "support/error.hpp"
 
@@ -17,19 +18,62 @@ using TypeId = std::uint32_t;
 ///
 /// Types are assigned once at construction and never change during a run
 /// (paper §5.1); positions evolve under the integrator.
+///
+/// Positions are stored structure-of-arrays — two parallel double lanes —
+/// so the pair kernels stream contiguous coordinates. Per-particle access
+/// goes through position()/set_position()/translate(); whole-configuration
+/// consumers take lanes() (the zero-copy SoA view) or positions_aos() (an
+/// interleaved copy for Vec2-span APIs like the Delaunay tessellation).
 struct ParticleSystem {
-  std::vector<geom::Vec2> positions;
+  std::vector<double> x;
+  std::vector<double> y;
   std::vector<TypeId> types;
 
   ParticleSystem() = default;
   ParticleSystem(std::vector<geom::Vec2> pos, std::vector<TypeId> type_ids)
-      : positions(std::move(pos)), types(std::move(type_ids)) {
-    support::expect(positions.size() == types.size(),
+      : types(std::move(type_ids)) {
+    support::expect(pos.size() == types.size(),
                     "ParticleSystem: positions/types size mismatch");
+    geom::deinterleave(pos, x, y);
+  }
+  ParticleSystem(std::vector<double> xs, std::vector<double> ys,
+                 std::vector<TypeId> type_ids)
+      : x(std::move(xs)), y(std::move(ys)), types(std::move(type_ids)) {
+    support::expect(x.size() == y.size() && x.size() == types.size(),
+                    "ParticleSystem: lane/types size mismatch");
   }
 
   /// Number of particles n.
-  [[nodiscard]] std::size_t size() const noexcept { return positions.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+
+  /// Position of particle i as a point.
+  [[nodiscard]] geom::Vec2 position(std::size_t i) const noexcept {
+    return {x[i], y[i]};
+  }
+
+  void set_position(std::size_t i, geom::Vec2 p) noexcept {
+    x[i] = p.x;
+    y[i] = p.y;
+  }
+
+  /// Moves particle i by `step` (component-wise, exactly as the former AoS
+  /// `positions[i] += step` — integrator bits are unchanged).
+  void translate(std::size_t i, geom::Vec2 step) noexcept {
+    x[i] += step.x;
+    y[i] += step.y;
+  }
+
+  /// Zero-copy SoA view of the current configuration.
+  [[nodiscard]] geom::PositionLanes lanes() const noexcept {
+    return {x, y};
+  }
+
+  /// Interleaved copy for APIs that consume spans of points.
+  [[nodiscard]] std::vector<geom::Vec2> positions_aos() const {
+    std::vector<geom::Vec2> out;
+    geom::interleave(lanes(), out);
+    return out;
+  }
 
   /// Number of distinct type ids present must be < `type_count`; verifies
   /// every particle's type is a valid index for an l-type interaction model.

@@ -79,7 +79,7 @@ StreamedRun run_simulation_streamed(const SimulationConfig& config,
     if (record_now) {
       out.frame_steps.push_back(t);
       out.residual_norms.push_back(residual);
-      record_frame(out.frame_steps.size() - 1, t, system.positions);
+      record_frame(out.frame_steps.size() - 1, t, system.lanes());
     }
     if (t == config.steps || stop_now) break;
 
@@ -105,9 +105,8 @@ Trajectory run_simulation(const SimulationConfig& config,
   trajectory.types = config.types;
   StreamedRun run = run_simulation_streamed(
       config, workspace,
-      [&trajectory](std::size_t, std::size_t,
-                    std::span<const geom::Vec2> positions) {
-        trajectory.frames.emplace_back(positions.begin(), positions.end());
+      [&trajectory](std::size_t, std::size_t, geom::PositionLanes positions) {
+        geom::interleave(positions, trajectory.frames.emplace_back());
       });
   trajectory.frame_steps = std::move(run.frame_steps);
   trajectory.residual_norms = std::move(run.residual_norms);

@@ -95,10 +95,11 @@ struct StreamedRun {
 };
 
 /// Receives each recorded frame as it is produced: frame index on the
-/// recording grid, the simulation step, and the configuration (valid only
-/// for the duration of the call — copy what you keep).
+/// recording grid, the simulation step, and the configuration as SoA
+/// coordinate lanes (valid only for the duration of the call — copy what
+/// you keep; geom::interleave converts to Vec2 storage).
 using FrameRecorder = std::function<void(
-    std::size_t frame_index, std::size_t step, std::span<const geom::Vec2>)>;
+    std::size_t frame_index, std::size_t step, geom::PositionLanes)>;
 
 /// The recording grid of a run that executes all `steps` steps: step 0,
 /// every multiple of `stride`, and the final step.

@@ -105,6 +105,40 @@ void parallel_for_chunked(Executor& executor, std::span<const Index> bounds,
   executor.run(bounds.size() - 1, chunk_task);
 }
 
+/// Explicit-partition overload that also hands the body its chunk index:
+/// `chunk_body(k, bounds[k], bounds[k+1])` for every k with a non-empty
+/// range. The index is the chunk's position in `bounds` — stable across
+/// executor widths — so callers can bind per-shard scratch buffers to k
+/// without racing (buffer k is touched only by chunk k, whichever worker
+/// runs it). Partition, skip, inline-fallback, and exception semantics
+/// match the index-free overload above.
+template <typename ChunkBody, typename Index>
+void parallel_for_shards(Executor& executor, std::span<const Index> bounds,
+                         ChunkBody&& chunk_body) {
+  if (bounds.size() < 2) return;
+  std::size_t non_empty = 0;
+  for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+    if (bounds[k] < bounds[k + 1]) ++non_empty;
+  }
+  if (non_empty == 0) return;
+  if (non_empty == 1 || executor.width() <= 1) {
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      if (bounds[k] < bounds[k + 1]) {
+        chunk_body(k, static_cast<std::size_t>(bounds[k]),
+                   static_cast<std::size_t>(bounds[k + 1]));
+      }
+    }
+    return;
+  }
+  auto chunk_task = [&](std::size_t k) {
+    if (bounds[k] < bounds[k + 1]) {
+      chunk_body(k, static_cast<std::size_t>(bounds[k]),
+                 static_cast<std::size_t>(bounds[k + 1]));
+    }
+  };
+  executor.run(bounds.size() - 1, chunk_task);
+}
+
 /// Legacy explicit-partition form: dispatches on a transient SpawnExecutor
 /// of default_thread_count() width. (Historically this overload spawned one
 /// thread per non-empty chunk with no cap; the executor's width now bounds

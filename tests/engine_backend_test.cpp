@@ -132,10 +132,10 @@ TEST(StreamedRun, MatchesTrajectoryRun) {
   std::vector<std::vector<Vec2>> streamed_frames;
   const sops::sim::StreamedRun run = sops::sim::run_simulation_streamed(
       config, workspace,
-      [&](std::size_t f, std::size_t step, std::span<const Vec2> positions) {
+      [&](std::size_t f, std::size_t step, sops::geom::PositionLanes positions) {
         EXPECT_EQ(f, streamed_frames.size());
         EXPECT_EQ(step, reference.frame_steps[f]);
-        streamed_frames.emplace_back(positions.begin(), positions.end());
+        sops::geom::interleave(positions, streamed_frames.emplace_back());
       });
 
   EXPECT_EQ(run.frame_steps, reference.frame_steps);
@@ -245,23 +245,23 @@ void expect_bitwise(const Trajectory& trajectory,
 
 TEST(GoldenTrajectory, AllPairsBitwiseStable) {
   const std::vector<Vec2> expected{
-      {0x1.1ef7ea1269a7ep-1, 0x1.039635f182f1p+0},
-      {0x1.b30772ec513cp+0, -0x1.c15eb31a3c5b1p-3},
-      {0x1.93cbba609fbd3p+0, 0x1.10ac55839f08cp+0},
-      {0x1.21e394198219ap-1, 0x1.996c06222763ep+0},
-      {-0x1.aa53b88625097p-1, -0x1.f45420e80eb3ep-2},
-      {-0x1.f94ffbcabf7bfp-1, 0x1.397d89a52ab13p-1},
-      {0x1.402ffce3cffecp-2, -0x1.947adf570a67bp-1},
-      {0x1.2b4613ce2b993p+0, -0x1.a1f6fa7b962c3p-1},
-      {-0x1.b28464bf6b69p-4, -0x1.38aaf89b5ba67p+0},
-      {-0x1.5e3609020d1f7p-1, 0x1.4cb344597857ep+0},
-      {0x1.2ef94d63d1f95p+0, 0x1.8f085cc910764p-2},
-      {-0x1.36fb0a18c38b6p-3, 0x1.1ff4014c50895p-2},
+      {0x1.1ef7ea1269a6cp-1, 0x1.039635f182f12p+0},
+      {0x1.b30772ec513c1p+0, -0x1.c15eb31a3c5a7p-3},
+      {0x1.93cbba609fbd4p+0, 0x1.10ac55839f08ap+0},
+      {0x1.21e39419821afp-1, 0x1.996c06222763ep+0},
+      {-0x1.aa53b88625095p-1, -0x1.f45420e80eb3ep-2},
+      {-0x1.f94ffbcabf7bdp-1, 0x1.397d89a52ab13p-1},
+      {0x1.402ffce3cfffp-2, -0x1.947adf570a67bp-1},
+      {0x1.2b4613ce2b995p+0, -0x1.a1f6fa7b962cp-1},
+      {-0x1.b28464bf6b676p-4, -0x1.38aaf89b5ba66p+0},
+      {-0x1.5e3609020d1f6p-1, 0x1.4cb344597857fp+0},
+      {0x1.2ef94d63d1f95p+0, 0x1.8f085cc91076ap-2},
+      {-0x1.36fb0a18c38acp-3, 0x1.1ff4014c50894p-2},
   };
   const std::vector<double> residuals{
-      0x1.0e6241ffbcadfp+7, 0x1.97f3f733159a9p+2, 0x1.bcd7a5d121047p+2,
-      0x1.6696580c56cafp+2, 0x1.86a5dc63f5532p+2, 0x1.209449f5953cbp+2,
-      0x1.28153089e6435p+2,
+      0x1.0e6241ffbcadfp+7, 0x1.97f3f733159a7p+2, 0x1.bcd7a5d121048p+2,
+      0x1.6696580c56cbp+2,  0x1.86a5dc63f5533p+2, 0x1.209449f5953d2p+2,
+      0x1.28153089e6437p+2,
   };
   expect_bitwise(run_simulation(golden_all_pairs_config()), expected, residuals);
 }
@@ -271,10 +271,10 @@ TEST(GoldenTrajectory, CellGridBitwiseStable) {
   // full residual series (any drift or RNG divergence reaches both).
   const Trajectory trajectory = run_simulation(golden_cell_grid_config());
   const std::vector<double> residuals{
-      0x1.ef00635496579p+9,
+      0x1.ef0063549657bp+9,
       0x1.bc4ce24c0d49dp+10,
-      0x1.446a80132d5efp+10,
-      0x1.9e60dbdf36444p+10,
+      0x1.446a80132d5fp+10,
+      0x1.9e60dbdf36411p+10,
   };
   ASSERT_EQ(trajectory.residual_norms.size(), residuals.size());
   for (std::size_t f = 0; f < residuals.size(); ++f) {
@@ -282,23 +282,23 @@ TEST(GoldenTrajectory, CellGridBitwiseStable) {
   }
   ASSERT_EQ(trajectory.frames.back().size(), 80u);
   EXPECT_EQ(trajectory.frames.back()[0],
-            (Vec2{-0x1.527a0b2e1c651p+1, -0x1.2d79ca63a7c5bp+2}));
+            (Vec2{-0x1.527a0b2e1c64ep+1, -0x1.2d79ca63a7c5bp+2}));
   EXPECT_EQ(trajectory.frames.back()[17],
-            (Vec2{0x1.427a2594312e2p+2, 0x1.d482d2ca92cfap-1}));
+            (Vec2{0x1.427a2594312e5p+2, 0x1.d482d2ca92d0bp-1}));
   EXPECT_EQ(trajectory.frames.back()[40],
-            (Vec2{0x1.07a2fb42495dap+0, 0x1.44ad91e17e974p-1}));
+            (Vec2{0x1.07a2fb4248dddp+0, 0x1.44ad91e17f0e2p-1}));
   EXPECT_EQ(trajectory.frames.back()[63],
-            (Vec2{0x1.1a1c2c8b3d202p-2, 0x1.1c71623d23534p+2}));
+            (Vec2{0x1.1a1c2c8b3d239p-2, 0x1.1c71623d23537p+2}));
   EXPECT_EQ(trajectory.frames.back()[79],
-            (Vec2{-0x1.e9f1b0e9c2d5dp+0, 0x1.09a31af750a8ep+2}));
+            (Vec2{-0x1.e9f1b0e9c2d86p+0, 0x1.09a31af750a8bp+2}));
   EXPECT_FALSE(trajectory.equilibrium_step.has_value());
 }
 
 TEST(GoldenTrajectory, DelaunayBitwiseStable) {
   const Trajectory trajectory = run_simulation(golden_delaunay_config());
   const std::vector<double> residuals{
-      0x1.2549eecdc823p+6,  0x1.1f4bfb2080184p+5, 0x1.8c1dacd14e874p+4,
-      0x1.3f6fec88b2743p+4, 0x1.26582d4d2b599p+4, 0x1.14ca330459fd2p+4,
+      0x1.2549eecdc823p+6,  0x1.1f4bfb2080183p+5, 0x1.8c1dacd14e873p+4,
+      0x1.3f6fec88b2745p+4, 0x1.26582d4d2b597p+4, 0x1.14ca330459fd1p+4,
   };
   ASSERT_EQ(trajectory.residual_norms.size(), residuals.size());
   for (std::size_t f = 0; f < residuals.size(); ++f) {
@@ -306,11 +306,11 @@ TEST(GoldenTrajectory, DelaunayBitwiseStable) {
   }
   ASSERT_EQ(trajectory.frames.back().size(), 30u);
   EXPECT_EQ(trajectory.frames.back()[0],
-            (Vec2{-0x1.a7975d073be9fp-1, -0x1.178f6300dbaa2p+1}));
+            (Vec2{-0x1.a7975d073be9cp-1, -0x1.178f6300dba9ep+1}));
   EXPECT_EQ(trajectory.frames.back()[15],
             (Vec2{-0x1.0f159b7fe3df8p+2, 0x1.70e0de5b92894p+1}));
   EXPECT_EQ(trajectory.frames.back()[29],
-            (Vec2{-0x1.12079cdbf7bbep-2, 0x1.ea0cb49d994bdp-1}));
+            (Vec2{-0x1.12079cdbf7bbfp-2, 0x1.ea0cb49d994bdp-1}));
 }
 
 TEST(GoldenEnsemble, StreamedExperimentBitwiseStable) {
@@ -330,19 +330,19 @@ TEST(GoldenEnsemble, StreamedExperimentBitwiseStable) {
       {-0x1.7ee1bad3bc8e3p+1, 0x1.4c2ce15bd4737p+1},
       {0x1.0a5fb91cbc908p+2, 0x1.105e7c51eb708p+2},
       {0x1.47c927a2ac31ap+2, 0x1.357598fbf1ef1p+1},
-      {0x1.65a0ed13f7dbap+0, -0x1.6f7973512e71ap+2},
-      {-0x1.ce0d745ef57afp+0, -0x1.918d78705d808p+2},
-      {-0x1.2b8057e1d991bp+2, 0x1.45cc23c2ead88p+1},
-      {0x1.472d7aee81399p+2, 0x1.06153dda61744p+1},
-      {0x1.4a7fa99903734p+2, 0x1.1baf3f788fa3cp+1},
-      {0x1.eabd5b9ffda21p-1, -0x1.9fff980f49079p+2},
-      {-0x1.fd09a7717d036p+0, -0x1.ae102b6889e31p+2},
-      {-0x1.55cb3cf5cb23ep+2, 0x1.32ae2c65c7e9fp+0},
-      {0x1.427a2594312e2p+2, 0x1.d482d2ca92cfap-1},
-      {0x1.527d8b5118617p+2, 0x1.e660acdfde0ddp+0},
-      {0x1.68bf0d2647e98p-1, -0x1.bbf25e4324281p+2},
-      {-0x1.d9c73930a3435p+0, -0x1.a9b6321a22c3ep+2},
-      {-0x1.482ad8e7f46d8p+2, 0x1.ccf8c405037e7p-1},
+      {0x1.65a0ed13f7db9p+0, -0x1.6f7973512e719p+2},
+      {-0x1.ce0d745ef57bp+0, -0x1.918d78705d808p+2},
+      {-0x1.2b8057e1d991ap+2, 0x1.45cc23c2ead86p+1},
+      {0x1.472d7aee81399p+2, 0x1.06153dda61745p+1},
+      {0x1.4a7fa99903729p+2, 0x1.1baf3f788fa1dp+1},
+      {0x1.eabd5b9ffda19p-1, -0x1.9fff980f49079p+2},
+      {-0x1.fd09a7717d036p+0, -0x1.ae102b6889e2fp+2},
+      {-0x1.55cb3cf5cb395p+2, 0x1.32ae2c65c7f74p+0},
+      {0x1.427a2594312e5p+2, 0x1.d482d2ca92d0bp-1},
+      {0x1.527d8b51186a1p+2, 0x1.e660acdfde172p+0},
+      {0x1.68bf0d2647b8ep-1, -0x1.bbf25e432426cp+2},
+      {-0x1.d9c73930a3427p+0, -0x1.a9b6321a22c37p+2},
+      {-0x1.482ad8e7f4ceap+2, 0x1.ccf8c404fd0a1p-1},
   };
   std::size_t probe = 0;
   for (std::size_t f = 0; f < series.frame_count(); ++f) {

@@ -8,13 +8,17 @@
 // plus hex-literal golden values for the sharded path at n = 1024.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "geom/cell_grid.hpp"
 #include "geom/neighbor_backend.hpp"
+#include "geom/position_lanes.hpp"
 #include "rng/samplers.hpp"
+#include "sim/drift_kernel.hpp"
 #include "sim/parallel_policy.hpp"
 #include "sim/simulation.hpp"
 #include "support/executor.hpp"
@@ -119,30 +123,45 @@ TEST(IntraStepInvariance, WorkerStarvedPoolMatchesSerialOnManyShards) {
   accumulate_drift(system, table, 3.0, reference, serial_backend, 1);
 
   sops::geom::CellGridBackend backend;
-  backend.rebuild(system.positions, 3.0);
+  backend.rebuild(system.lanes(), 3.0);
   const auto bounds = backend.shard_bounds(64);  // many more than 2 workers
   ASSERT_GT(bounds.size(), 3u);
-  // Same formula and enumeration order as the engine's fused cell-grid
-  // path: for_each_neighbor is scratch-free, so shard workers may share it.
-  const auto drift_of = [&](std::size_t i) {
-    Vec2 drift{};
-    backend.grid().for_each_neighbor(i, 3.0, [&](std::size_t j) {
-      const Vec2 delta = system.positions[i] - system.positions[j];
-      const double d_sq = sops::geom::norm_sq(delta);
-      if (d_sq == 0.0) return;
-      drift += delta * (-table(system.types[i], system.types[j],
-                               std::sqrt(d_sq)));
-    });
-    return drift;
-  };
+  // Same gather and kernel as the engine's fused cell-grid path: one block
+  // candidate gather per cell, then the runtime-selected dense kernel per
+  // bucket particle — each worker carries its own scratch, so the starved
+  // pool reproduces the engine's bits shard by shard.
+  const auto& grid = backend.grid();
+  const auto starts = grid.bucket_starts();
+  const auto order = backend.shard_order();
+  const auto& kernels = sops::sim::select_drift_kernels();
+  const double cutoff_sq = 3.0 * 3.0;
   sops::support::TaskPool pool(2);
   std::vector<Vec2> pooled(system.size());
-  const auto order = backend.shard_order();
   sops::support::parallel_for_chunked(
       pool.executor(), bounds, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t k = begin; k < end; ++k) {
-          const std::size_t i = order[k];
-          pooled[i] = drift_of(i);
+        sops::geom::GatherScratch s;
+        std::size_t c = static_cast<std::size_t>(
+                            std::upper_bound(starts.begin(), starts.end(),
+                                             static_cast<std::uint32_t>(begin)) -
+                            starts.begin()) -
+                        1;
+        for (; c + 1 < starts.size() && starts[c] < end; ++c) {
+          s.idx.clear();
+          grid.append_block_candidates(c, s.idx);
+          const std::size_t m = s.idx.size();
+          s.x.resize(m);
+          s.y.resize(m);
+          s.tag.resize(m);
+          for (std::size_t t = 0; t < m; ++t) s.x[t] = system.x[s.idx[t]];
+          for (std::size_t t = 0; t < m; ++t) s.y[t] = system.y[s.idx[t]];
+          for (std::size_t t = 0; t < m; ++t) s.tag[t] = system.types[s.idx[t]];
+          for (std::uint32_t k = starts[c]; k < starts[c + 1]; ++k) {
+            const std::size_t i = order[k];
+            const sops::sim::DenseRow row{
+                system.x[i],  system.y[i],  system.types[i], s.x.data(),
+                s.y.data(),   s.tag.data(), m,               cutoff_sq};
+            pooled[i] = kernels.dense(table, row);
+          }
         }
       });
   for (std::size_t i = 0; i < reference.size(); ++i) {
@@ -153,7 +172,7 @@ TEST(IntraStepInvariance, WorkerStarvedPoolMatchesSerialOnManyShards) {
 TEST(IntraStepInvariance, ShardPartitionCoversEveryParticleOnce) {
   const auto system = random_system(300, 11.0, 2, 5);
   sops::geom::CellGridBackend backend;
-  backend.rebuild(system.positions, 3.0);
+  backend.rebuild(system.lanes(), 3.0);
   for (const std::size_t max_shards : {1u, 2u, 3u, 8u, 64u}) {
     const auto bounds = backend.shard_bounds(max_shards);
     const auto order = backend.shard_order();

@@ -27,6 +27,7 @@
 #include "rng/samplers.hpp"
 #include "sim/forces.hpp"
 #include "sim/integrator.hpp"
+#include "support/simd.hpp"
 
 namespace {
 
@@ -127,12 +128,12 @@ TEST(ParityFuzz, DelaunayBackendMatchesPrunedTessellationWithin1e12) {
     // Reference: direct tessellation, pruned by the cut-off, in adjacency
     // order — computed without any backend machinery.
     const auto adjacency =
-        sops::geom::delaunay_adjacency(fuzz.system.positions);
+        sops::geom::delaunay_adjacency(fuzz.system.positions_aos());
     std::vector<Vec2> reference(fuzz.system.size());
     for (std::size_t i = 0; i < fuzz.system.size(); ++i) {
       Vec2 drift{};
       for (const std::size_t j : adjacency[i]) {
-        const Vec2 delta = fuzz.system.positions[i] - fuzz.system.positions[j];
+        const Vec2 delta = fuzz.system.position(i) - fuzz.system.position(j);
         const double d_sq = sops::geom::norm_sq(delta);
         if (d_sq >= cutoff_sq || d_sq == 0.0) continue;
         const double scaling =
@@ -195,6 +196,155 @@ TEST(ParityFuzz, VerletSkinTracksCellGridAlongTrajectoriesWithin1e12) {
   // The gating must actually have skipped rebuilds somewhere across the
   // sweep — otherwise this test exercised nothing beyond a fresh build.
   EXPECT_LT(total_builds, total_steps);
+}
+
+// ------------------------------------------------- scalar vs SIMD parity
+
+// Pins the runtime SIMD policy for a scope and restores the previous value
+// on exit, so parity tests cannot leak a forced policy into later tests.
+class SimdPolicyGuard {
+ public:
+  explicit SimdPolicyGuard(sops::support::SimdPolicy policy)
+      : saved_(sops::support::simd_policy()) {
+    sops::support::set_simd_policy(policy);
+  }
+  ~SimdPolicyGuard() { sops::support::set_simd_policy(saved_); }
+  SimdPolicyGuard(const SimdPolicyGuard&) = delete;
+  SimdPolicyGuard& operator=(const SimdPolicyGuard&) = delete;
+
+ private:
+  sops::support::SimdPolicy saved_;
+};
+
+std::vector<Vec2> drift_under_policy(sops::support::SimdPolicy policy,
+                                     const ParticleSystem& system,
+                                     const PairScalingTable& table,
+                                     double cutoff,
+                                     sops::geom::NeighborBackendKind kind) {
+  const SimdPolicyGuard guard(policy);
+  const auto backend = sops::geom::make_neighbor_backend(kind);
+  std::vector<Vec2> out;
+  accumulate_drift(system, table, cutoff, out, *backend, std::size_t{1});
+  return out;
+}
+
+void expect_scalar_simd_bitwise(const ParticleSystem& system,
+                                const PairScalingTable& table, double cutoff,
+                                sops::geom::NeighborBackendKind kind,
+                                const char* label) {
+  const std::vector<Vec2> scalar = drift_under_policy(
+      sops::support::SimdPolicy::kScalar, system, table, cutoff, kind);
+  const std::vector<Vec2> simd = drift_under_policy(
+      sops::support::SimdPolicy::kSimd, system, table, cutoff, kind);
+  ASSERT_EQ(scalar.size(), simd.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    ASSERT_EQ(scalar[i], simd[i])
+        << label << " kind " << static_cast<int>(kind) << " i " << i;
+  }
+}
+
+constexpr sops::geom::NeighborBackendKind kAllBackendKinds[] = {
+    sops::geom::NeighborBackendKind::kAllPairs,
+    sops::geom::NeighborBackendKind::kCellGrid,
+    sops::geom::NeighborBackendKind::kDelaunay,
+    sops::geom::NeighborBackendKind::kVerletSkin,
+};
+
+TEST(SimdParity, ScalarVsSimdBitwiseAcrossBackendsAndLaws) {
+  // The whole random sweep (both force-law families, 1–5 types, random
+  // density), every backend, forced-scalar against forced-SIMD: the vector
+  // kernels pin lane partials in index order, so the results must be
+  // bitwise-identical, not merely close.
+  for (std::uint64_t c = 0; c < kCases; ++c) {
+    const FuzzCase fuzz = draw_case(c);
+    const PairScalingTable table(fuzz.model);
+    for (const auto kind : kAllBackendKinds) {
+      expect_scalar_simd_bitwise(fuzz.system, table, fuzz.cutoff, kind,
+                                 "fuzz");
+    }
+  }
+}
+
+TEST(SimdParity, LaneRemainderSizesBitwise) {
+  // Collective sizes straddling the 4-lane width, n ≡ 0..3 (mod 4),
+  // including n = 1 (empty candidate rows) — the tail-block path (pad with
+  // the last valid candidate, mask the dead lanes) must not perturb bits.
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 9u, 13u}) {
+    sops::rng::Xoshiro256 engine(0x1A4E + n);
+    std::vector<Vec2> positions;
+    std::vector<sops::sim::TypeId> type_ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      positions.push_back(sops::rng::uniform_disc(engine, 3.0));
+      type_ids.push_back(static_cast<sops::sim::TypeId>(i % 2));
+    }
+    const ParticleSystem system(positions, type_ids);
+    for (const ForceLawKind kind :
+         {ForceLawKind::kSpring, ForceLawKind::kDoubleGaussian}) {
+      const InteractionModel model(kind, 2, PairParams{1.2, 1.5, 0.8, 3.0});
+      const PairScalingTable table(model);
+      // Delaunay needs a non-degenerate tessellation; the small-n sweep
+      // sticks to the three radius-pruned backends.
+      for (const auto backend_kind :
+           {sops::geom::NeighborBackendKind::kAllPairs,
+            sops::geom::NeighborBackendKind::kCellGrid,
+            sops::geom::NeighborBackendKind::kVerletSkin}) {
+        expect_scalar_simd_bitwise(system, table, 2.5, backend_kind,
+                                   "lane remainder");
+      }
+    }
+  }
+}
+
+TEST(SimdParity, CoincidentParticlesBitwiseAndFinite) {
+  // Exactly coincident particles hit the d² == 0 lane mask (undefined
+  // direction, excluded from the sum) inside otherwise-live blocks.
+  std::vector<Vec2> positions{{0.0, 0.0}, {0.0, 0.0}, {1.0, 0.5},
+                              {1.0, 0.5}, {0.25, -1.0}, {0.0, 0.0},
+                              {-1.5, 0.75}};
+  std::vector<sops::sim::TypeId> type_ids(positions.size(), 0);
+  const ParticleSystem system(positions, type_ids);
+  for (const ForceLawKind kind :
+       {ForceLawKind::kSpring, ForceLawKind::kDoubleGaussian}) {
+    const InteractionModel model(kind, 1, PairParams{1.0, 2.0, 1.0, 3.0});
+    const PairScalingTable table(model);
+    for (const auto backend_kind :
+         {sops::geom::NeighborBackendKind::kAllPairs,
+          sops::geom::NeighborBackendKind::kCellGrid,
+          sops::geom::NeighborBackendKind::kVerletSkin}) {
+      expect_scalar_simd_bitwise(system, table, 3.0, backend_kind,
+                                 "coincident");
+      const std::vector<Vec2> drift =
+          drift_under_policy(sops::support::SimdPolicy::kSimd, system, table,
+                             3.0, backend_kind);
+      for (const Vec2 d : drift) {
+        EXPECT_TRUE(std::isfinite(d.x) && std::isfinite(d.y));
+      }
+    }
+  }
+}
+
+TEST(SimdParity, SpringNearZeroSeparationBitwise) {
+  // F¹ diverges as x → 0 (scaling k·(1 − r/x)); a pair at separation
+  // 1e-120 makes the masked-lane blend (d² → 1.0 before the sqrt) load
+  // bearing — an unmasked dead lane would divide by a denormal instead.
+  const std::vector<Vec2> positions{
+      {0.0, 0.0}, {1e-120, 0.0}, {0.5, 0.5}, {-0.5, 0.25}, {0.125, -0.75}};
+  const std::vector<sops::sim::TypeId> type_ids(positions.size(), 0);
+  const ParticleSystem system(positions, type_ids);
+  const InteractionModel model(ForceLawKind::kSpring, 1,
+                               PairParams{1.0, 2.0, 1.0, 1.0});
+  const PairScalingTable table(model);
+  for (const auto backend_kind :
+       {sops::geom::NeighborBackendKind::kAllPairs,
+        sops::geom::NeighborBackendKind::kCellGrid,
+        sops::geom::NeighborBackendKind::kVerletSkin}) {
+    expect_scalar_simd_bitwise(system, table, 2.0, backend_kind, "near zero");
+    const std::vector<Vec2> drift = drift_under_policy(
+        sops::support::SimdPolicy::kSimd, system, table, 2.0, backend_kind);
+    for (const Vec2 d : drift) {
+      EXPECT_TRUE(std::isfinite(d.x) && std::isfinite(d.y));
+    }
+  }
 }
 
 TEST(ParityFuzz, ShardedPathBitwiseEqualsSerialForEveryBackend) {

@@ -96,7 +96,7 @@ TEST(AsymmetricModel, ChaserEvaderNeverEquilibrates) {
   EXPECT_FALSE(equilibrated);
   // Yet the pair remains bounded (a chase, not an explosion): the distance
   // stays between the two preferred radii once the transient passes.
-  const double d = dist(system.positions[0], system.positions[1]);
+  const double d = dist(system.position(0), system.position(1));
   EXPECT_GT(d, 0.5);
   EXPECT_LT(d, 10.0);
 }

@@ -42,8 +42,8 @@ TEST(Integrator, DeterministicWithoutNoise) {
     euler_maruyama_step(a, model, kUnboundedRadius, no_noise(), ea, scratch);
     euler_maruyama_step(b, model, kUnboundedRadius, no_noise(), eb, scratch);
   }
-  EXPECT_EQ(a.positions[0], b.positions[0]);
-  EXPECT_EQ(a.positions[1], b.positions[1]);
+  EXPECT_EQ(a.position(0), b.position(0));
+  EXPECT_EQ(a.position(1), b.position(1));
 }
 
 TEST(Integrator, PairConvergesToPreferredDistance) {
@@ -56,7 +56,7 @@ TEST(Integrator, PairConvergesToPreferredDistance) {
     euler_maruyama_step(system, model, kUnboundedRadius, no_noise(0.02), engine,
                         scratch);
   }
-  EXPECT_NEAR(dist(system.positions[0], system.positions[1]), r, 1e-6);
+  EXPECT_NEAR(dist(system.position(0), system.position(1)), r, 1e-6);
 }
 
 TEST(Integrator, PairApproachesFromOutside) {
@@ -69,7 +69,7 @@ TEST(Integrator, PairApproachesFromOutside) {
     euler_maruyama_step(system, model, kUnboundedRadius, no_noise(0.02), engine,
                         scratch);
   }
-  EXPECT_NEAR(dist(system.positions[0], system.positions[1]), r, 1e-6);
+  EXPECT_NEAR(dist(system.position(0), system.position(1)), r, 1e-6);
 }
 
 TEST(Integrator, CentroidConservedWithoutNoise) {
@@ -77,14 +77,14 @@ TEST(Integrator, CentroidConservedWithoutNoise) {
   // conserved quantity of the deterministic flow.
   const InteractionModel model = spring_model(1.5, 2.0);
   ParticleSystem system({{0, 0}, {1, 0}, {0, 2}, {3, 1}}, {0, 0, 0, 0});
-  const Vec2 before = sops::geom::centroid(system.positions);
+  const Vec2 before = sops::geom::centroid(system.positions_aos());
   sops::rng::Xoshiro256 engine(1);
   std::vector<Vec2> scratch;
   for (int i = 0; i < 200; ++i) {
     euler_maruyama_step(system, model, kUnboundedRadius, no_noise(), engine,
                         scratch);
   }
-  const Vec2 after = sops::geom::centroid(system.positions);
+  const Vec2 after = sops::geom::centroid(system.positions_aos());
   EXPECT_NEAR(before.x, after.x, 1e-9);
   EXPECT_NEAR(before.y, after.y, 1e-9);
 }
@@ -118,7 +118,7 @@ TEST(Integrator, NoiseOnlyDiffusionStatistics) {
     euler_maruyama_step(system, model, 0.5, params, engine, scratch);
   }
   double var_x = 0.0;
-  for (const Vec2 p : system.positions) var_x += p.x * p.x;
+  for (const Vec2 p : system.positions_aos()) var_x += p.x * p.x;
   var_x /= particles;
   const double expected = steps * params.dt * params.noise_variance;
   EXPECT_NEAR(var_x, expected, expected * 0.15);
@@ -134,7 +134,7 @@ TEST(Integrator, MaxStepClampsDrift) {
   sops::rng::Xoshiro256 engine(1);
   std::vector<Vec2> scratch;
   euler_maruyama_step(system, model, kUnboundedRadius, params, engine, scratch);
-  EXPECT_LE(norm(system.positions[0]), 0.5 + 1e-12);
+  EXPECT_LE(norm(system.position(0)), 0.5 + 1e-12);
 }
 
 TEST(Integrator, ClampDisabledAllowsLargeSteps) {
@@ -145,7 +145,7 @@ TEST(Integrator, ClampDisabledAllowsLargeSteps) {
   sops::rng::Xoshiro256 engine(1);
   std::vector<Vec2> scratch;
   euler_maruyama_step(system, model, kUnboundedRadius, params, engine, scratch);
-  EXPECT_GT(norm(system.positions[0]), 10.0);
+  EXPECT_GT(norm(system.position(0)), 10.0);
 }
 
 TEST(Integrator, InvalidParamsThrow) {
@@ -186,8 +186,8 @@ TEST(Integrator, NoiseDrawsAreSequencedPerParticle) {
   }
   // Same pair sets (everything within 100 > any distance): identical paths.
   for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_NEAR(a.positions[i].x, b.positions[i].x, 1e-9);
-    EXPECT_NEAR(a.positions[i].y, b.positions[i].y, 1e-9);
+    EXPECT_NEAR(a.position(i).x, b.position(i).x, 1e-9);
+    EXPECT_NEAR(a.position(i).y, b.position(i).y, 1e-9);
   }
 }
 

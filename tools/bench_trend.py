@@ -13,9 +13,11 @@ run cannot ratchet itself in as the next comparison point. Most metrics are
 throughputs (higher is better); metrics listed in LOWER_IS_BETTER — peak
 RSS, the paper-sized frame-store bytes/frame — regress when they *grow*
 past the tolerance. Entries recorded on
-different hardware (thread count or CPU model) are appended but not gated
-against each other — neither steps/sec nor RSS is comparable across
-hardware, and a false alarm would train people to ignore the gate.
+different hardware (thread count, CPU model, or the ISA the SIMD kernels
+dispatched to) are appended but not gated against each other — neither
+steps/sec nor RSS is comparable across hardware, a run whose kernels fell
+back from avx2 to the generic vector path is measuring different machine
+code, and a false alarm would train people to ignore the gate.
 """
 
 import argparse
@@ -63,6 +65,18 @@ def flatten_metrics(engine_json):
         # LOWER_IS_BETTER via prefix: full re-index cost per backend.
         metrics[f"rebuild_us/cell_grid/n={n}"] = row["cell_grid_rebuild_us"]
         metrics[f"rebuild_us/verlet/n={n}"] = row["verlet_rebuild_us"]
+    for row in engine_json.get("simd", {}).get("results", []):
+        n = row["n"]
+        # Both kernel families gate as throughputs; the speedup ratio is
+        # recorded but not gated — the quotient of two noisy measurements
+        # swings past any tolerance that would still catch real
+        # regressions, and the absolute rows already gate both factors.
+        metrics[f"simd/scalar_steps_per_sec/n={n}"] = \
+            row["scalar_steps_per_sec"]
+        metrics[f"simd/steps_per_sec/n={n}"] = row["simd_steps_per_sec"]
+        ratio = f"simd/speedup/n={n}"
+        metrics[ratio] = row["speedup"]
+        ungated.add(ratio)
     analyzer = engine_json.get("analyzer", {})
     if analyzer.get("frames_per_sec"):
         metrics["analyzer/frames_per_sec"] = analyzer["frames_per_sec"]
@@ -107,8 +121,15 @@ def cpu_identity():
 
 
 def same_hardware(a, b):
+    """Comparable-entry guard: thread count, CPU model, and the ISA the
+    SIMD kernels dispatched to must all match. An avx2 entry and a generic
+    entry ran different machine code for the hottest loops; comparing them
+    would report a hardware change as a code regression (or mask one).
+    Entries predating ISA recording (no "simd_isa") only compare among
+    themselves."""
     return (a.get("hardware_threads") == b.get("hardware_threads")
-            and a.get("cpu") == b.get("cpu"))
+            and a.get("cpu") == b.get("cpu")
+            and a.get("simd_isa") == b.get("simd_isa"))
 
 
 def default_label():
@@ -145,6 +166,7 @@ def main():
         print(f"error: {args.trend_json} is not a JSON array", file=sys.stderr)
         return 2
 
+    simd = engine.get("simd", {})
     entry = {
         "label": args.label or default_label(),
         "recorded_at": datetime.datetime.now(datetime.timezone.utc)
@@ -153,6 +175,9 @@ def main():
         "cpu": cpu_identity(),
         "metrics": metrics,
     }
+    if simd.get("isa"):
+        entry["simd_isa"] = simd["isa"]
+        entry["compiler"] = simd.get("compiler")
 
     # Baseline: the newest same-hardware entry that was not itself a
     # regression — a bad run is recorded but never becomes the next
@@ -164,7 +189,8 @@ def main():
     regressions = []
     if baseline is None:
         print(f"trend: no healthy baseline for {entry['hardware_threads']} "
-              f"threads / '{entry['cpu']}'; gate skipped")
+              f"threads / '{entry['cpu']}' / isa="
+              f"{entry.get('simd_isa', 'unrecorded')}; gate skipped")
     else:
         # peak RSS is a whole-run high-water mark: when the benchmark's
         # metric *set* changed (a section was added or removed), the run
