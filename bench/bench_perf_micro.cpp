@@ -29,6 +29,7 @@
 #endif
 
 #include "core/sops.hpp"
+#include "io/shard_manifest.hpp"
 #include "support/executor.hpp"
 #include "support/simd.hpp"
 
@@ -861,17 +862,34 @@ void emit_engine_json() {
       core::StorageMode::kMapped, fs_frames, fs_samples, fs_particles);
   const std::size_t fs_bytes_per_frame =
       fs_samples * fs_particles * sizeof(geom::Vec2);
+  // Checkpoint/restart overhead at the same grid: the size of the shard
+  // manifest sidecar a durable recording of F × m × n would carry.
+  // Deterministic (header + F-step grid + per-sample entries + bitmap) and
+  // tiny next to the payload; recorded so manifest format growth shows up
+  // in the trend, ungated so a deliberate format revision does not trip
+  // the throughput gate.
+  io::ShardManifest fs_manifest;
+  fs_manifest.frames = fs_frames;
+  fs_manifest.samples_total = fs_samples;
+  fs_manifest.particles = fs_particles;
+  fs_manifest.slot_begin = 0;
+  fs_manifest.slot_end = fs_samples;
+  fs_manifest.frame_steps.assign(fs_frames, 0);
+  fs_manifest.equilibrium_steps.assign(fs_samples, 0);
+  fs_manifest.completed.assign(io::ShardManifest::words_for(fs_samples), 0);
+  const std::size_t fs_manifest_bytes = fs_manifest.file_bytes();
   std::fprintf(out,
                "  \"frame_store\": {\"frames\": %zu, \"samples\": %zu, "
                "\"particles\": %zu, \"bytes_per_frame\": %zu, "
                "\"heap_fill_rss_delta_kb\": %ld, "
-               "\"mapped_fill_rss_delta_kb\": %ld},\n",
+               "\"mapped_fill_rss_delta_kb\": %ld, "
+               "\"manifest_bytes\": %zu},\n",
                fs_frames, fs_samples, fs_particles, fs_bytes_per_frame,
-               heap_fill_kb, mapped_fill_kb);
+               heap_fill_kb, mapped_fill_kb, fs_manifest_bytes);
   std::printf("frame store m=%zu n=%zu F=%zu: %zu bytes/frame, fill RSS "
-              "heap %ld KB vs mapped %ld KB\n",
+              "heap %ld KB vs mapped %ld KB, manifest %zu bytes\n",
               fs_samples, fs_particles, fs_frames, fs_bytes_per_frame,
-              heap_fill_kb, mapped_fill_kb);
+              heap_fill_kb, mapped_fill_kb, fs_manifest_bytes);
 
   std::fprintf(out, "  \"peak_rss_kb\": %ld,\n", engine_peak_rss_kb);
   std::fprintf(out, "  \"hardware_threads\": %u\n}\n",

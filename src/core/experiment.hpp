@@ -12,6 +12,25 @@
 
 namespace sops::core {
 
+/// Opt-in durable sharding of an experiment (CLI: `sops_run --shard k/N
+/// --out path [--resume]`). A non-empty `path` turns the recording into a
+/// persist-mode shard: the FrameStore is backed by exactly that file (kept
+/// on destruction, crash-survivable) with a `<path>.manifest` sidecar that
+/// records the run's identity and a per-sample completion bitmap. The
+/// shard owns the sample slots chunk_range(index, samples, count) — slot
+/// ranges of distinct indices are disjoint by construction, so N processes
+/// can run one ensemble concurrently and merge_shards() assembles the
+/// result. With `resume`, an existing matching shard is reopened and its
+/// completed samples are skipped; (seed, stream) fully determine each
+/// sample's trajectory, so the combined recording is bitwise-identical to
+/// an uninterrupted run — which makes resume double as crash recovery.
+struct ShardOptions {
+  std::string path;        ///< shard data file; empty = sharding off
+  std::size_t index = 0;   ///< k ∈ [0, count)
+  std::size_t count = 1;   ///< N — how many shards split the ensemble
+  bool resume = false;     ///< reopen a matching shard, skip completed work
+};
+
 /// Specification of a full experiment: one simulation config replicated over
 /// m RNG streams. Everything is deterministic in (config, samples).
 struct ExperimentConfig {
@@ -36,6 +55,10 @@ struct ExperimentConfig {
   /// sample workers never nest further fan-outs. Any choice yields bitwise-
   /// identical results — the policy only redistributes the same work.
   sim::ParallelPolicy parallel = sim::ParallelPolicy::kAuto;
+  /// Durable sharding / checkpoint-restart (see ShardOptions). Off by
+  /// default; when on, `storage` spill settings are ignored in favor of
+  /// the shard file.
+  ShardOptions shard{};
 };
 
 /// Aggregated neighbor-list rebuild accounting of one experiment: `steps`
@@ -63,7 +86,16 @@ struct EnsembleSeries {
   /// Per-sample equilibrium step (if the criterion held during the run).
   std::vector<std::optional<std::size_t>> equilibrium_steps;
   /// Rebuild accounting summed over all samples (see NeighborRebuildStats).
+  /// Only covers samples simulated *this* run — resumed samples were
+  /// accounted by the run that computed them.
   NeighborRebuildStats rebuild_stats;
+  /// First global sample slot of this series: 0 for whole-ensemble runs,
+  /// the shard's slot_begin for sharded ones (frames/equilibrium_steps are
+  /// then indexed by `global slot − slot_begin`).
+  std::size_t slot_begin = 0;
+  /// Samples found complete in the shard manifest and skipped (resume /
+  /// crash recovery); 0 for fresh runs.
+  std::size_t resumed_samples = 0;
 
   [[nodiscard]] std::size_t frame_count() const noexcept {
     return frames.frame_count();
@@ -88,6 +120,14 @@ struct EnsembleSeries {
 /// per-step drift dispatch is lent a disjoint slice of the same pool — no
 /// per-step thread creation anywhere. Results are bitwise-independent of
 /// the thread count.
+///
+/// With ExperimentConfig::shard engaged the run covers only the shard's
+/// slot range, records into the durable shard file, marks each sample
+/// complete in the manifest once its bytes are on disk, and — on resume —
+/// validates the existing manifest and skips completed samples. Throws
+/// sops::Error when a resume target does not match the config (different
+/// grid, seed, config hash, or slot range) or when durability cannot be
+/// guaranteed (shard file unmappable, sync failure).
 [[nodiscard]] EnsembleSeries run_experiment(const ExperimentConfig& config);
 
 }  // namespace sops::core

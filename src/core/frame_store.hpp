@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -54,7 +56,31 @@ struct FrameStoreOptions {
   /// kAuto spills once frames·samples·particles·sizeof(Vec2) is at least
   /// this many bytes. Default: 256 MiB.
   std::size_t auto_spill_bytes = std::size_t{256} << 20;
+  /// Non-empty turns the store into a durable *shard*: the payload is
+  /// backed by exactly this file (not a generated scratch name in
+  /// spill_dir), kept — and MS_SYNC'd — on clean destruction instead of
+  /// unlinked, and reopenable later. Unlike scratch spill, shard mode has
+  /// no silent heap fallback: durability is the point, so any mapping
+  /// failure throws sops::Error with the reason. `mode` is ignored (a
+  /// shard is always mapped).
+  std::string shard_path;
+  /// With shard_path: reopen an existing shard file (size-validated
+  /// against the F·m·n payload) instead of creating a fresh one. The
+  /// existing bytes are the recording — resume reads completed samples
+  /// straight from the file.
+  bool open_existing = false;
 };
+
+/// Best-effort reclamation of spill files leaked by crashed runs: removes
+/// `sops_frames_<pid>_*.spill` entries in `spill_dir` whose recorded pid is
+/// no longer alive *and* whose mtime is older than a safety window (both
+/// gates, so a just-created file of a racing process or a recycled pid is
+/// never touched). Persist-mode shards use caller-chosen names and are
+/// never matched. Invoked automatically when a store creates a scratch
+/// spill; never throws, never reports — reclamation is housekeeping, not a
+/// correctness step (O_EXCL + timestamped names already keep leaked files
+/// from colliding with live ones).
+void sweep_stale_spill_files(const std::string& spill_dir) noexcept;
 
 /// Owning [frame][sample][particle] position block.
 class FrameStore {
@@ -115,6 +141,11 @@ class FrameStore {
   [[nodiscard]] const std::string& spill_fallback_reason() const noexcept {
     return fallback_reason_;
   }
+  /// First spill I/O failure seen by flush_samples/sync_samples (msync or
+  /// madvise errno text), empty while everything succeeded. Spill flushes
+  /// are asynchronous hints, so a failing spill device surfaces here — in
+  /// the run report — instead of vanishing into ignored return values.
+  [[nodiscard]] std::string flush_error() const;
 
   /// Pushes the extents of samples [begin, end) — across every frame — to
   /// the spill file and drops their pages from the resident set. Sample
@@ -127,12 +158,34 @@ class FrameStore {
   void flush_samples(std::size_t begin, std::size_t end,
                      support::Executor* executor = nullptr);
 
+  /// Durable variant of flush_samples(): blocks until the extents of
+  /// samples [begin, end) are on disk (msync MS_SYNC per frame extent),
+  /// then drops their pages. This is the barrier a shard run needs before
+  /// flipping a sample's completion bit in the manifest. Returns false —
+  /// with the reason in flush_error() — when any extent failed to sync;
+  /// the caller must then *not* mark the sample complete. Returns true on
+  /// heap backing (nothing to make durable — but shard stores are never
+  /// heap-backed by construction).
+  [[nodiscard]] bool sync_samples(std::size_t begin, std::size_t end,
+                                  support::Executor* executor = nullptr);
+
   /// Hints the kernel that the store will now be read front to back — the
   /// analyzer's frame-by-frame pass over a finished recording. No-op on
   /// heap backing.
   void advise_sequential_reads() noexcept { buffer_.advise_sequential(); }
 
  private:
+  // First-failure slot shared by concurrent flushes; behind a unique_ptr so
+  // the store stays movable (EnsembleSeries carries it by value).
+  struct IoErrorState {
+    std::mutex mutex;
+    std::string message;
+  };
+
+  template <typename FlushFrame>
+  void for_each_frame_extent(support::Executor* executor, FlushFrame&& flush);
+  void note_io_error(const char* operation);
+
   std::size_t frames_ = 0;
   std::size_t samples_ = 0;
   std::size_t particles_ = 0;
@@ -140,6 +193,7 @@ class FrameStore {
   std::vector<geom::Vec2> heap_;
   io::MappedBuffer buffer_;  // engaged only when actually mapped
   std::string fallback_reason_;
+  std::unique_ptr<IoErrorState> io_error_;  // engaged only when mapped
 };
 
 }  // namespace sops::core

@@ -11,6 +11,7 @@
 #define SOPS_HAVE_MMAP 1
 #include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #else
 #define SOPS_HAVE_MMAP 0
@@ -54,14 +55,17 @@ int reserve_blocks(int fd, std::size_t bytes) {
 }  // namespace
 
 MappedBuffer::MappedBuffer(const std::string& path, std::size_t bytes,
-                           OnFailure on_failure) {
+                           OnFailure on_failure, Lifetime lifetime) {
   support::expect(bytes > 0, "MappedBuffer: size must be positive");
   support::expect(!path.empty(), "MappedBuffer: path must be non-empty");
   size_ = bytes;
+  lifetime_ = lifetime;
 #if SOPS_HAVE_MMAP
   // O_EXCL: a spill file is private scratch — colliding with an existing
   // path means two stores picked the same name, and silently truncating the
   // other one would corrupt a live recording. Callers pick unique names.
+  // Persist shards rely on the same guarantee: an existing shard file must
+  // be opened via open_existing (resume), never clobbered by a fresh run.
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC, 0600);
   if (fd_ < 0) {
     fallback_reason_ = errno_message("open");
@@ -91,12 +95,65 @@ MappedBuffer::MappedBuffer(const std::string& path, std::size_t bytes,
 #else
   fallback_reason_ = "mmap unavailable on this platform";
 #endif
+  lifetime_ = Lifetime::kScratch;  // nothing mapped, nothing to persist
   if (on_failure == OnFailure::kEmpty) {
     size_ = 0;
     return;
   }
   heap_.resize(bytes);  // zero-initialized, matching fresh file pages
   data_ = heap_.data();
+}
+
+MappedBuffer MappedBuffer::open_existing(const std::string& path,
+                                         std::size_t bytes,
+                                         OnFailure on_failure) {
+  support::expect(bytes > 0, "MappedBuffer: size must be positive");
+  support::expect(!path.empty(), "MappedBuffer: path must be non-empty");
+  MappedBuffer buffer;
+  buffer.size_ = bytes;
+  buffer.lifetime_ = Lifetime::kPersist;
+#if SOPS_HAVE_MMAP
+  buffer.fd_ = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (buffer.fd_ < 0) {
+    buffer.fallback_reason_ = errno_message("open");
+  } else {
+    struct ::stat info {};
+    if (::fstat(buffer.fd_, &info) != 0) {
+      buffer.fallback_reason_ = errno_message("fstat");
+    } else if (info.st_size < 0 ||
+               static_cast<std::size_t>(info.st_size) != bytes) {
+      // Validate before mapping: a shard file of the wrong geometry would
+      // read as silent garbage (or SIGBUS past a short file).
+      buffer.fallback_reason_ =
+          "size mismatch: file has " + std::to_string(info.st_size) +
+          " bytes, expected " + std::to_string(bytes);
+    } else {
+      void* mapping = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                             MAP_SHARED, buffer.fd_, 0);
+      if (mapping == MAP_FAILED) {
+        buffer.fallback_reason_ = errno_message("mmap");
+      } else {
+        buffer.data_ = static_cast<std::byte*>(mapping);
+        buffer.mapped_ = true;
+        buffer.path_ = path;
+        return buffer;
+      }
+    }
+    // Failure never unlinks here: the file is someone's durable data.
+    ::close(buffer.fd_);
+    buffer.fd_ = -1;
+  }
+#else
+  buffer.fallback_reason_ = "mmap unavailable on this platform";
+#endif
+  buffer.lifetime_ = Lifetime::kScratch;
+  if (on_failure == OnFailure::kEmpty) {
+    buffer.size_ = 0;
+    return buffer;
+  }
+  buffer.heap_.resize(bytes);
+  buffer.data_ = buffer.heap_.data();
+  return buffer;
 }
 
 MappedBuffer::~MappedBuffer() { reset(); }
@@ -106,6 +163,7 @@ MappedBuffer::MappedBuffer(MappedBuffer&& other) noexcept
       size_(std::exchange(other.size_, 0)),
       fd_(std::exchange(other.fd_, -1)),
       mapped_(std::exchange(other.mapped_, false)),
+      lifetime_(std::exchange(other.lifetime_, Lifetime::kScratch)),
       path_(std::move(other.path_)),
       fallback_reason_(std::move(other.fallback_reason_)),
       heap_(std::move(other.heap_)) {
@@ -120,6 +178,7 @@ MappedBuffer& MappedBuffer::operator=(MappedBuffer&& other) noexcept {
     size_ = std::exchange(other.size_, 0);
     fd_ = std::exchange(other.fd_, -1);
     mapped_ = std::exchange(other.mapped_, false);
+    lifetime_ = std::exchange(other.lifetime_, Lifetime::kScratch);
     path_ = std::move(other.path_);
     fallback_reason_ = std::move(other.fallback_reason_);
     heap_ = std::move(other.heap_);
@@ -131,14 +190,24 @@ MappedBuffer& MappedBuffer::operator=(MappedBuffer&& other) noexcept {
 
 void MappedBuffer::reset() noexcept {
 #if SOPS_HAVE_MMAP
-  if (mapped_ && data_ != nullptr) ::munmap(data_, size_);
+  const bool persist = lifetime_ == Lifetime::kPersist;
+  if (mapped_ && data_ != nullptr) {
+    // Persist: a clean close is the shard's durability point — everything
+    // still dirty goes to disk before the mapping disappears. (Samples
+    // marked complete in a manifest were already MS_SYNC'd individually;
+    // this covers partially-written extents so a resumed open reads a
+    // consistent file, not a mix of disk and lost page cache.)
+    if (persist) ::msync(data_, size_, MS_SYNC);
+    ::munmap(data_, size_);
+  }
   if (fd_ >= 0) ::close(fd_);
-  if (!path_.empty()) ::unlink(path_.c_str());
+  if (!path_.empty() && !persist) ::unlink(path_.c_str());
 #endif
   data_ = nullptr;
   size_ = 0;
   fd_ = -1;
   mapped_ = false;
+  lifetime_ = Lifetime::kScratch;
   path_.clear();
   fallback_reason_.clear();
   heap_.clear();
@@ -157,6 +226,26 @@ bool MappedBuffer::flush(std::size_t offset, std::size_t length) noexcept {
   // workers where a synchronous disk stall per sample would serialize the
   // run on I/O. Dirty pages stay safe in the page cache either way.
   return ::msync(data_ + begin, end - begin, MS_ASYNC) == 0;
+#else
+  (void)offset;
+  (void)length;
+  return true;
+#endif
+}
+
+bool MappedBuffer::sync(std::size_t offset, std::size_t length) noexcept {
+#if SOPS_HAVE_MMAP
+  if (!mapped_ || length == 0) return true;
+  if (offset >= size_) return true;
+  length = std::min(length, size_ - offset);
+  const std::size_t page = page_size();
+  const std::size_t begin = (offset / page) * page;
+  const std::size_t end = offset + length;
+  // MS_SYNC: block until the range is on disk. Only the shard-completion
+  // path pays this — a sample's bytes must be durable before its manifest
+  // bit flips — and it pays per finished sample, not per step, so the
+  // stall never sits on the simulation hot loop.
+  return ::msync(data_ + begin, end - begin, MS_SYNC) == 0;
 #else
   (void)offset;
   (void)length;

@@ -15,6 +15,14 @@
 // mmap) the buffer falls back to zero-initialized heap storage, records the
 // reason, and every operation keeps working — flush/release just become
 // no-ops. Callers branch on mapped() only for reporting.
+//
+// Two lifetimes: the default scratch buffer unlinks its file on destroy
+// (spill data dies with the store), while a persist buffer keeps the file —
+// synced with msync(MS_SYNC) on clean close — so a recording shard survives
+// the process and can be reopened later (open_existing, size-validated).
+// Persist is the backing of crash-safe shard recordings (core::FrameStore
+// shard mode); for those durability *is* a correctness requirement, so the
+// caller turns a fallback into an error instead of accepting heap.
 #pragma once
 
 #include <cstddef>
@@ -32,6 +40,11 @@ class MappedBuffer {
   /// not pay a discarded full-payload allocation).
   enum class OnFailure { kHeapFallback, kEmpty };
 
+  /// What happens to the backing file when the buffer is destroyed:
+  /// scratch is unlinked (spill data dies with the store), persist is kept
+  /// and synced (msync MS_SYNC) so the bytes are durable on disk.
+  enum class Lifetime { kScratch, kPersist };
+
   MappedBuffer() = default;
   /// Creates `path` (O_EXCL — never clobbers an existing file) at `bytes`
   /// and maps it shared read-write with its blocks reserved upfront. The
@@ -40,11 +53,22 @@ class MappedBuffer {
   /// On any mapping failure `on_failure` decides the backing; see
   /// fallback_reason().
   MappedBuffer(const std::string& path, std::size_t bytes,
-               OnFailure on_failure = OnFailure::kHeapFallback);
-  /// Unmaps, closes, and removes the backing file (spill files are
-  /// scratch; nothing should outlive the buffer). A killed process leaks
-  /// its file — callers embed a timestamp in the name (see FrameStore) so
-  /// a later run never collides with a leaked one.
+               OnFailure on_failure = OnFailure::kHeapFallback,
+               Lifetime lifetime = Lifetime::kScratch);
+  /// Reopens an existing file (no O_EXCL, no truncate) and maps it shared
+  /// read-write. The file's size must be exactly `bytes` — a mismatch is a
+  /// failure (recorded in fallback_reason()), because a resumed shard whose
+  /// payload geometry changed would silently read garbage. The buffer is
+  /// always Lifetime::kPersist: reopening only makes sense for files meant
+  /// to outlive their writers.
+  [[nodiscard]] static MappedBuffer open_existing(
+      const std::string& path, std::size_t bytes,
+      OnFailure on_failure = OnFailure::kEmpty);
+  /// Scratch: unmaps, closes, and removes the backing file (nothing should
+  /// outlive the buffer). A killed process leaks its file — callers embed a
+  /// timestamp in the name (see FrameStore) so a later run never collides
+  /// with a leaked one, and sweep stale leaks at the next store creation.
+  /// Persist: syncs dirty pages to disk (MS_SYNC) and keeps the file.
   ~MappedBuffer();
 
   MappedBuffer(MappedBuffer&& other) noexcept;
@@ -60,6 +84,8 @@ class MappedBuffer {
   /// True when the buffer is file-backed; false for the heap fallback (and
   /// for a default-constructed empty buffer).
   [[nodiscard]] bool mapped() const noexcept { return mapped_; }
+  /// Whether the backing file survives destruction (kPersist) or is scratch.
+  [[nodiscard]] Lifetime lifetime() const noexcept { return lifetime_; }
   /// Path of the backing file; empty unless mapped().
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   /// Why the mapping fell back to heap; empty when mapped() or empty().
@@ -75,6 +101,14 @@ class MappedBuffer {
   /// write). No-op on the heap fallback. Returns false when the msync
   /// itself failed.
   bool flush(std::size_t offset, std::size_t length) noexcept;
+
+  /// Durable variant of flush(): msync(MS_SYNC) blocks until the pages
+  /// covering [offset, offset + length) are on disk. This is the barrier a
+  /// persist shard needs before marking a sample complete in its manifest —
+  /// the completion bit must never be set while the sample's bytes are only
+  /// in the page cache. Returns true on the heap fallback (nothing to
+  /// sync), false when the msync failed.
+  bool sync(std::size_t offset, std::size_t length) noexcept;
 
   /// Drops the pages *fully inside* [offset, offset + length) from this
   /// process's resident set (madvise MADV_DONTNEED; rounded inward so
@@ -95,6 +129,7 @@ class MappedBuffer {
   std::size_t size_ = 0;
   int fd_ = -1;
   bool mapped_ = false;
+  Lifetime lifetime_ = Lifetime::kScratch;
   std::string path_;
   std::string fallback_reason_;
   std::vector<std::byte> heap_;  // fallback storage; empty while mapped

@@ -1,0 +1,295 @@
+#include "io/shard_manifest.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SOPS_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define SOPS_HAVE_POSIX_IO 0
+#endif
+
+namespace sops::io {
+namespace {
+
+// "SOPSHRD" + a format byte: bump the last byte on any layout change so an
+// old binary rejects a new manifest (and vice versa) instead of misreading
+// fixed offsets.
+constexpr char kMagic[8] = {'S', 'O', 'P', 'S', 'H', 'R', 'D', '\x01'};
+constexpr std::uint64_t kVersion = 1;
+constexpr std::size_t kHeaderFields = 8;  // version..config_hash, u64 each
+constexpr std::size_t kHeaderBytes = sizeof(kMagic) + kHeaderFields * 8;
+
+constexpr std::size_t frame_steps_offset() noexcept { return kHeaderBytes; }
+std::size_t equilibrium_offset(const ShardManifest& m) noexcept {
+  return kHeaderBytes + m.frame_steps.size() * 8;
+}
+std::size_t bitmap_offset(const ShardManifest& m) noexcept {
+  return equilibrium_offset(m) + m.slots() * 8;
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw Error("shard manifest '" + path + "': " + what);
+}
+
+[[noreturn]] void fail_errno(const std::string& path, const char* operation) {
+  fail(path, std::string(operation) + ": " + std::strerror(errno));
+}
+
+#if SOPS_HAVE_POSIX_IO
+
+void write_all_at(int fd, const void* data, std::size_t bytes,
+                  std::size_t offset, const std::string& path) {
+  const char* cursor = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ::ssize_t written =
+        ::pwrite(fd, cursor, bytes, static_cast<off_t>(offset));
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      fail_errno(path, "pwrite");
+    }
+    cursor += written;
+    offset += static_cast<std::size_t>(written);
+    bytes -= static_cast<std::size_t>(written);
+  }
+}
+
+bool read_all_at(int fd, void* data, std::size_t bytes, std::size_t offset) {
+  char* cursor = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ::ssize_t got = ::pread(fd, cursor, bytes, static_cast<off_t>(offset));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // short file
+    cursor += got;
+    offset += static_cast<std::size_t>(got);
+    bytes -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+// RAII fd so validation throws cannot leak descriptors.
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+  int take() noexcept { return std::exchange(fd, -1); }
+};
+
+void serialize_header(std::uint64_t (&fields)[kHeaderFields],
+                      const ShardManifest& m) noexcept {
+  fields[0] = kVersion;
+  fields[1] = m.frames;
+  fields[2] = m.samples_total;
+  fields[3] = m.particles;
+  fields[4] = m.slot_begin;
+  fields[5] = m.slot_end;
+  fields[6] = m.master_seed;
+  fields[7] = m.config_hash;
+}
+
+// Loads and validates through an already-open descriptor (shared by load()
+// and ShardManifestFile::open()).
+ShardManifest load_fd(int fd, const std::string& path) {
+  char magic[sizeof(kMagic)];
+  if (!read_all_at(fd, magic, sizeof(magic), 0)) {
+    fail(path, "truncated (no magic)");
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail(path, "bad magic (not a shard manifest, or a different format "
+               "revision)");
+  }
+  std::uint64_t fields[kHeaderFields];
+  if (!read_all_at(fd, fields, sizeof(fields), sizeof(kMagic))) {
+    fail(path, "truncated header");
+  }
+  if (fields[0] != kVersion) {
+    fail(path, "unsupported version " + std::to_string(fields[0]));
+  }
+  ShardManifest m;
+  m.frames = fields[1];
+  m.samples_total = fields[2];
+  m.particles = fields[3];
+  m.slot_begin = fields[4];
+  m.slot_end = fields[5];
+  m.master_seed = fields[6];
+  m.config_hash = fields[7];
+  if (m.frames == 0 || m.samples_total == 0 || m.particles == 0) {
+    fail(path, "zero dimension in header");
+  }
+  if (m.slot_begin >= m.slot_end || m.slot_end > m.samples_total) {
+    fail(path, "invalid slot range [" + std::to_string(m.slot_begin) + ", " +
+                   std::to_string(m.slot_end) + ") of " +
+                   std::to_string(m.samples_total) + " samples");
+  }
+  // Cap the arrays we are about to allocate: a corrupt header must not
+  // translate into a multi-terabyte resize.
+  constexpr std::uint64_t kSaneLimit = std::uint64_t{1} << 32;
+  if (m.frames > kSaneLimit || m.slots() > kSaneLimit) {
+    fail(path, "implausible header sizes");
+  }
+  m.frame_steps.resize(m.frames);
+  m.equilibrium_steps.resize(m.slots());
+  m.completed.resize(ShardManifest::words_for(m.slots()));
+  if (!read_all_at(fd, m.frame_steps.data(), m.frame_steps.size() * 8,
+                   frame_steps_offset()) ||
+      !read_all_at(fd, m.equilibrium_steps.data(),
+                   m.equilibrium_steps.size() * 8, equilibrium_offset(m)) ||
+      !read_all_at(fd, m.completed.data(), m.completed.size() * 8,
+                   bitmap_offset(m))) {
+    fail(path, "truncated body");
+  }
+  return m;
+}
+
+#endif  // SOPS_HAVE_POSIX_IO
+
+}  // namespace
+
+std::size_t ShardManifest::complete_count() const noexcept {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < slots(); ++s) {
+    if (is_complete(s)) ++count;
+  }
+  return count;
+}
+
+std::size_t ShardManifest::file_bytes() const noexcept {
+  return kHeaderBytes + frame_steps.size() * 8 + slots() * 8 +
+         words_for(slots()) * 8;
+}
+
+struct ShardManifestFile::State {
+  int fd = -1;
+  std::string path;
+  ShardManifest manifest;
+  std::mutex mutex;  // serializes mark_complete (slots share bitmap words)
+
+  ~State() {
+#if SOPS_HAVE_POSIX_IO
+    if (fd >= 0) ::close(fd);
+#endif
+  }
+};
+
+ShardManifestFile::ShardManifestFile() = default;
+ShardManifestFile::~ShardManifestFile() = default;
+ShardManifestFile::ShardManifestFile(ShardManifestFile&&) noexcept = default;
+ShardManifestFile& ShardManifestFile::operator=(ShardManifestFile&&) noexcept =
+    default;
+
+const ShardManifest& ShardManifestFile::manifest() const {
+  support::expect(state_ != nullptr, "ShardManifestFile: not open");
+  return state_->manifest;
+}
+
+ShardManifestFile ShardManifestFile::create(const std::string& path,
+                                            ShardManifest manifest) {
+#if SOPS_HAVE_POSIX_IO
+  support::expect(manifest.frame_steps.size() == manifest.frames,
+                  "ShardManifestFile: frame_steps size mismatch");
+  support::expect(manifest.equilibrium_steps.size() == manifest.slots(),
+                  "ShardManifestFile: equilibrium_steps size mismatch");
+  support::expect(
+      manifest.completed.size() == ShardManifest::words_for(manifest.slots()),
+      "ShardManifestFile: bitmap size mismatch");
+  FdGuard guard;
+  guard.fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
+  if (guard.fd < 0) fail_errno(path, "open");
+  std::uint64_t fields[kHeaderFields];
+  serialize_header(fields, manifest);
+  write_all_at(guard.fd, kMagic, sizeof(kMagic), 0, path);
+  write_all_at(guard.fd, fields, sizeof(fields), sizeof(kMagic), path);
+  write_all_at(guard.fd, manifest.frame_steps.data(),
+               manifest.frame_steps.size() * 8, frame_steps_offset(), path);
+  write_all_at(guard.fd, manifest.equilibrium_steps.data(),
+               manifest.equilibrium_steps.size() * 8,
+               equilibrium_offset(manifest), path);
+  write_all_at(guard.fd, manifest.completed.data(),
+               manifest.completed.size() * 8, bitmap_offset(manifest), path);
+  if (::fsync(guard.fd) != 0) fail_errno(path, "fsync");
+  ShardManifestFile file;
+  file.state_ = std::make_unique<State>();
+  file.state_->fd = guard.take();
+  file.state_->path = path;
+  file.state_->manifest = std::move(manifest);
+  return file;
+#else
+  (void)path;
+  (void)manifest;
+  throw Error("shard manifests require POSIX I/O");
+#endif
+}
+
+ShardManifestFile ShardManifestFile::open(const std::string& path) {
+#if SOPS_HAVE_POSIX_IO
+  FdGuard guard;
+  guard.fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (guard.fd < 0) fail_errno(path, "open");
+  ShardManifest manifest = load_fd(guard.fd, path);
+  ShardManifestFile file;
+  file.state_ = std::make_unique<State>();
+  file.state_->fd = guard.take();
+  file.state_->path = path;
+  file.state_->manifest = std::move(manifest);
+  return file;
+#else
+  (void)path;
+  throw Error("shard manifests require POSIX I/O");
+#endif
+}
+
+ShardManifest ShardManifestFile::load(const std::string& path) {
+#if SOPS_HAVE_POSIX_IO
+  FdGuard guard;
+  guard.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (guard.fd < 0) fail_errno(path, "open");
+  return load_fd(guard.fd, path);
+#else
+  (void)path;
+  throw Error("shard manifests require POSIX I/O");
+#endif
+}
+
+void ShardManifestFile::mark_complete(
+    std::size_t local_slot, std::optional<std::uint64_t> equilibrium_step) {
+  support::expect(state_ != nullptr, "ShardManifestFile: not open");
+#if SOPS_HAVE_POSIX_IO
+  State& state = *state_;
+  support::expect(local_slot < state.manifest.slots(),
+                  "ShardManifestFile::mark_complete: slot out of range");
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const std::uint64_t equilibrium =
+      equilibrium_step.has_value() ? *equilibrium_step : kNoEquilibriumStep;
+  state.manifest.equilibrium_steps[local_slot] = equilibrium;
+  state.manifest.set_complete(local_slot);
+  const std::uint64_t word = state.manifest.completed[local_slot / 64];
+  // Equilibrium entry first, completion bit second: a crash between the
+  // two leaves the bit clear and the sample is simply redone on resume.
+  write_all_at(state.fd, &equilibrium, 8,
+               equilibrium_offset(state.manifest) + local_slot * 8, state.path);
+  write_all_at(state.fd, &word, 8,
+               bitmap_offset(state.manifest) + (local_slot / 64) * 8,
+               state.path);
+#if defined(__APPLE__)
+  if (::fsync(state.fd) != 0) fail_errno(state.path, "fsync");
+#else
+  if (::fdatasync(state.fd) != 0) fail_errno(state.path, "fdatasync");
+#endif
+#else
+  (void)local_slot;
+  (void)equilibrium_step;
+  throw Error("shard manifests require POSIX I/O");
+#endif
+}
+
+}  // namespace sops::io

@@ -1,0 +1,131 @@
+// Shard manifests — the sidecar that makes a persist-mode FrameStore spill
+// resumable and mergeable.
+//
+// A shard file holds the [frame][sample][particle] payload of one slice of
+// an ensemble (sample slots [slot_begin, slot_end) of samples_total); its
+// manifest — `<shard>.manifest` next to the data file — records everything
+// needed to (a) decide whether a reopened shard matches the experiment
+// about to resume into it (dims, frame-step grid, master seed, config
+// hash), (b) skip already-finished work (a per-sample completion bitmap,
+// flipped only after the sample's bytes are durably on disk), and (c)
+// assemble N disjoint shards into one recording (slot ranges + bitmaps are
+// validated by the merge).
+//
+// The format is a fixed-layout little-endian-native binary file: an 8-byte
+// magic, eight u64 header fields, the frame-step grid (F u64s), per-sample
+// equilibrium steps (slots u64s, kNoEquilibriumStep = criterion never
+// held), and the completion bitmap (ceil(slots/64) u64 words). Fixed
+// layout is the crash-safety lever: marking a sample complete is a single
+// in-place pwrite of its equilibrium entry and bitmap word followed by an
+// fdatasync — never a rewrite of the whole file — so a crash at any moment
+// leaves a manifest that is valid and merely under-reports completions
+// (the resumed run redoes those samples; (seed, stream) determinism makes
+// the redo bitwise-identical). Files are not portable across endianness;
+// load() validates magic/version/size and throws sops::Error on anything
+// inconsistent rather than guessing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sops::io {
+
+/// Sentinel in ShardManifest::equilibrium_steps: the sample's equilibrium
+/// criterion never held during its run.
+inline constexpr std::uint64_t kNoEquilibriumStep = ~std::uint64_t{0};
+
+/// In-memory image of one shard manifest. Plain data; the file-side
+/// lifecycle (create/load/incremental completion updates) lives in
+/// ShardManifestFile.
+struct ShardManifest {
+  std::uint64_t frames = 0;         ///< F — recorded frames per sample
+  std::uint64_t samples_total = 0;  ///< m — ensemble-wide sample count
+  std::uint64_t particles = 0;      ///< n
+  std::uint64_t slot_begin = 0;     ///< first global sample slot of the shard
+  std::uint64_t slot_end = 0;       ///< one past the last slot
+  std::uint64_t master_seed = 0;    ///< the experiment's master seed
+  std::uint64_t config_hash = 0;    ///< core::experiment_config_hash value
+  /// Simulation step of each recorded frame; size frames.
+  std::vector<std::uint64_t> frame_steps;
+  /// Per-sample equilibrium step (kNoEquilibriumStep = never held); size
+  /// slots(). Indexed by local slot (global slot − slot_begin).
+  std::vector<std::uint64_t> equilibrium_steps;
+  /// Completion bitmap, one bit per local slot, size words_for(slots()).
+  std::vector<std::uint64_t> completed;
+
+  /// Samples this shard owns.
+  [[nodiscard]] std::size_t slots() const noexcept {
+    return static_cast<std::size_t>(slot_end - slot_begin);
+  }
+  [[nodiscard]] bool is_complete(std::size_t local_slot) const noexcept {
+    return (completed[local_slot / 64] >> (local_slot % 64) & 1u) != 0;
+  }
+  void set_complete(std::size_t local_slot) noexcept {
+    completed[local_slot / 64] |= std::uint64_t{1} << (local_slot % 64);
+  }
+  [[nodiscard]] std::size_t complete_count() const noexcept;
+  [[nodiscard]] bool all_complete() const noexcept {
+    return complete_count() == slots();
+  }
+
+  /// Bitmap words needed for `slots` samples.
+  [[nodiscard]] static std::size_t words_for(std::size_t slots) noexcept {
+    return (slots + 63) / 64;
+  }
+  /// On-disk size of this manifest (the merge/bench overhead number).
+  [[nodiscard]] std::size_t file_bytes() const noexcept;
+};
+
+/// Owns a manifest file across a shard run: created (or reopened) once,
+/// then updated in place as samples finish. mark_complete is thread-safe —
+/// ensemble sample chunks finish concurrently, and two slots can share one
+/// bitmap word.
+class ShardManifestFile {
+ public:
+  ShardManifestFile();
+  ~ShardManifestFile();
+  ShardManifestFile(ShardManifestFile&&) noexcept;
+  ShardManifestFile& operator=(ShardManifestFile&&) noexcept;
+  ShardManifestFile(const ShardManifestFile&) = delete;
+  ShardManifestFile& operator=(const ShardManifestFile&) = delete;
+
+  /// Writes a fresh manifest at `path` (overwriting an orphaned one — the
+  /// data file's O_EXCL is the real clobber guard) and keeps it open for
+  /// completion updates. The whole file is fsync'd before returning, so a
+  /// crash afterwards can at worst lose completion bits, never the header.
+  /// Throws sops::Error on any I/O failure.
+  [[nodiscard]] static ShardManifestFile create(const std::string& path,
+                                                ShardManifest manifest);
+
+  /// Opens an existing manifest for completion updates, validating it like
+  /// load(). Throws sops::Error on a missing, truncated, or corrupt file.
+  [[nodiscard]] static ShardManifestFile open(const std::string& path);
+
+  /// Read-only load + validation (magic, version, size arithmetic, slot
+  /// range sanity). Throws sops::Error naming what is wrong.
+  [[nodiscard]] static ShardManifest load(const std::string& path);
+
+  /// The manifest image, kept in sync with the file.
+  [[nodiscard]] const ShardManifest& manifest() const;
+
+  /// Flips the completion bit of `local_slot` (and records its equilibrium
+  /// step) in place, then fdatasyncs. The caller must have made the
+  /// sample's payload durable first (FrameStore::sync_samples) — the bit is
+  /// the commit point of the sample. Thread-safe. Throws sops::Error when
+  /// the write or sync fails: a completion that might not be on disk must
+  /// not be treated as recorded.
+  void mark_complete(std::size_t local_slot,
+                     std::optional<std::uint64_t> equilibrium_step);
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace sops::io

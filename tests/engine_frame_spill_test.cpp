@@ -6,8 +6,16 @@
 // concurrent mapped writes and the sharded flush path.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "core/analyzer.hpp"
 #include "core/experiment.hpp"
@@ -181,6 +189,68 @@ TEST(FrameSpill, ShardedFlushOnLentExecutorKeepsData) {
       }
     }
   }
+}
+
+TEST(FrameSpill, StaleSweepRemovesOnlyDeadOldSpills) {
+  // Crash leftovers: a spill named for a dead pid with an old mtime goes;
+  // anything young, live-pid, or not spill-named stays.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "sops_sweep_test_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // A pid that cannot be alive: pid_max on Linux tops out below 2^22 by
+  // default; 4 million-ish is safely dead, and the sweep double-checks
+  // with kill(pid, 0) anyway.
+  const fs::path dead_old = dir / "sops_frames_999999999_42.spill";
+  const fs::path dead_young = dir / "sops_frames_999999998_42.spill";
+  const fs::path live_old =
+      dir / ("sops_frames_" + std::to_string(::getpid()) + "_42.spill");
+  const fs::path unrelated = dir / "keep_me.dat";
+  for (const fs::path& path : {dead_old, dead_young, live_old, unrelated}) {
+    std::ofstream(path) << "x";
+  }
+  // Age the "old" files past the sweep's safety window (10 min).
+  const auto old_stamp = fs::file_time_type::clock::now() -
+                         std::chrono::hours(2);
+  fs::last_write_time(dead_old, old_stamp);
+  fs::last_write_time(live_old, old_stamp);
+
+  sops::core::sweep_stale_spill_files(dir.string());
+  EXPECT_FALSE(fs::exists(dead_old));   // dead pid + old → reclaimed
+  EXPECT_TRUE(fs::exists(dead_young));  // too young → kept
+  EXPECT_TRUE(fs::exists(live_old));    // pid alive (us) → kept
+  EXPECT_TRUE(fs::exists(unrelated));   // not a spill name → kept
+  fs::remove_all(dir);
+}
+
+TEST(FrameSpill, StaleSweepIgnoresMalformedNamesAndMissingDir) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "sops_sweep_malformed_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto old_stamp = fs::file_time_type::clock::now() -
+                         std::chrono::hours(2);
+  // Near-miss names: bad pid field, missing suffix, persist-style name.
+  const std::vector<fs::path> keep = {
+      dir / "sops_frames_notapid_1.spill",
+      dir / "sops_frames_999999999_1.spillx",
+      dir / "sops_frames_999999999.spill",
+      dir / "my_ensemble.shard",
+  };
+  for (const fs::path& path : keep) {
+    std::ofstream(path) << "x";
+    fs::last_write_time(path, old_stamp);
+  }
+  sops::core::sweep_stale_spill_files(dir.string());
+  for (const fs::path& path : keep) {
+    EXPECT_TRUE(fs::exists(path)) << path;
+  }
+  fs::remove_all(dir);
+  // A missing directory is a no-op, not an error.
+  sops::core::sweep_stale_spill_files((dir / "nope").string());
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -110,6 +111,46 @@ TEST(IntraStepInvariance, PooledDriftBitwiseMatchesSerialAndSpawn) {
       ASSERT_EQ(reference[i], pooled[i]) << "width " << width << " i " << i;
     }
   }
+}
+
+TEST(IntraStepInvariance, DriftAfterPartitionedThrowIsBitwiseUnaffected) {
+  // Engine-shaped exception safety: the sample × step fan-out
+  // (run_partitioned lending inner executors) throws in several chunks at
+  // once — the shape of a failing sync_samples aborting a shard run. The
+  // pool must come back clean, and a real drift dispatch on the *same*
+  // pool must match the serial bits exactly (a worker wedged or a shard
+  // skipped by the aborted round would show up here).
+  const auto system = random_system(600, 18.0, 3, 55);
+  const auto model = spring_model(3);
+  const PairScalingTable table(model);
+  std::vector<Vec2> reference;
+  {
+    sops::geom::CellGridBackend backend;
+    accumulate_drift(system, table, 3.0, reference, backend, 1);
+  }
+  sops::support::TaskPool pool(6);
+  EXPECT_THROW(
+      pool.run_partitioned(3, 2,
+                           [&](std::size_t k, sops::support::Executor& inner) {
+                             sops::geom::CellGridBackend backend;
+                             std::vector<Vec2> scratch;
+                             accumulate_drift(system, table, 3.0, scratch,
+                                              backend, inner);
+                             if (k != 0) {
+                               throw std::runtime_error("chunk aborted");
+                             }
+                           }),
+      std::runtime_error);
+  pool.run_partitioned(2, 3, [&](std::size_t,
+                                 sops::support::Executor& inner) {
+    sops::geom::CellGridBackend backend;
+    std::vector<Vec2> pooled;
+    accumulate_drift(system, table, 3.0, pooled, backend, inner);
+    ASSERT_EQ(reference.size(), pooled.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(reference[i], pooled[i]) << i;
+    }
+  });
 }
 
 TEST(IntraStepInvariance, WorkerStarvedPoolMatchesSerialOnManyShards) {

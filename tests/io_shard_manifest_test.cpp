@@ -1,0 +1,148 @@
+// Shard manifest codec: round-trips, incremental completion durability,
+// and rejection of truncated/foreign/corrupt files. The manifest is the
+// crash-safety commit log of a shard run, so the failure paths matter as
+// much as the happy one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "io/shard_manifest.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::io::kNoEquilibriumStep;
+using sops::io::ShardManifest;
+using sops::io::ShardManifestFile;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+ShardManifest sample_manifest() {
+  ShardManifest m;
+  m.frames = 4;
+  m.samples_total = 10;
+  m.particles = 30;
+  m.slot_begin = 3;
+  m.slot_end = 8;
+  m.master_seed = 0xfeedbeefu;
+  m.config_hash = 0x123456789abcdef0ull;
+  m.frame_steps = {0, 5, 10, 15};
+  m.equilibrium_steps.assign(m.slots(), kNoEquilibriumStep);
+  m.completed.assign(ShardManifest::words_for(m.slots()), 0);
+  return m;
+}
+
+TEST(ShardManifest, CreateLoadRoundTrip) {
+  const std::string path = temp_path("manifest_roundtrip.manifest");
+  ShardManifest original = sample_manifest();
+  original.set_complete(1);
+  original.equilibrium_steps[1] = 7;
+  { auto file = ShardManifestFile::create(path, original); }
+
+  const ShardManifest loaded = ShardManifestFile::load(path);
+  EXPECT_EQ(loaded.frames, original.frames);
+  EXPECT_EQ(loaded.samples_total, original.samples_total);
+  EXPECT_EQ(loaded.particles, original.particles);
+  EXPECT_EQ(loaded.slot_begin, original.slot_begin);
+  EXPECT_EQ(loaded.slot_end, original.slot_end);
+  EXPECT_EQ(loaded.master_seed, original.master_seed);
+  EXPECT_EQ(loaded.config_hash, original.config_hash);
+  EXPECT_EQ(loaded.frame_steps, original.frame_steps);
+  EXPECT_EQ(loaded.equilibrium_steps, original.equilibrium_steps);
+  EXPECT_EQ(loaded.completed, original.completed);
+  EXPECT_EQ(loaded.complete_count(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(ShardManifest, MarkCompletePersistsIncrementally) {
+  const std::string path = temp_path("manifest_marks.manifest");
+  {
+    auto file = ShardManifestFile::create(path, sample_manifest());
+    file.mark_complete(0, std::nullopt);
+    file.mark_complete(2, std::uint64_t{42});
+    // Loading through a *separate* handle while the writer is still open
+    // proves each mark went to the file, not just the in-memory image —
+    // exactly what a resuming process after SIGKILL would read.
+    const ShardManifest snapshot = ShardManifestFile::load(path);
+    EXPECT_TRUE(snapshot.is_complete(0));
+    EXPECT_FALSE(snapshot.is_complete(1));
+    EXPECT_TRUE(snapshot.is_complete(2));
+    EXPECT_EQ(snapshot.equilibrium_steps[0], kNoEquilibriumStep);
+    EXPECT_EQ(snapshot.equilibrium_steps[2], 42u);
+    EXPECT_EQ(snapshot.complete_count(), 2u);
+    EXPECT_FALSE(snapshot.all_complete());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ShardManifest, AllCompleteAfterEverySlot) {
+  const std::string path = temp_path("manifest_all.manifest");
+  auto file = ShardManifestFile::create(path, sample_manifest());
+  for (std::size_t s = 0; s < file.manifest().slots(); ++s) {
+    file.mark_complete(s, std::uint64_t{s});
+  }
+  EXPECT_TRUE(ShardManifestFile::load(path).all_complete());
+  std::filesystem::remove(path);
+}
+
+TEST(ShardManifest, RejectsTruncatedFile) {
+  const std::string path = temp_path("manifest_truncated.manifest");
+  { auto file = ShardManifestFile::create(path, sample_manifest()); }
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  EXPECT_THROW(ShardManifestFile::load(path), sops::Error);
+  std::filesystem::remove(path);
+}
+
+TEST(ShardManifest, RejectsForeignAndCorruptHeaders) {
+  const std::string path = temp_path("manifest_bad.manifest");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a shard manifest, long enough to read";
+  }
+  EXPECT_THROW(ShardManifestFile::load(path), sops::Error);
+
+  // Valid magic, corrupted version field.
+  { auto file = ShardManifestFile::create(path, sample_manifest()); }
+  {
+    std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+    out.seekp(8);  // first header field: version
+    const std::uint64_t bogus = 999;
+    out.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  EXPECT_THROW(ShardManifestFile::load(path), sops::Error);
+
+  // Valid magic/version, nonsense slot range (begin >= end).
+  { auto file = ShardManifestFile::create(path, sample_manifest()); }
+  {
+    std::fstream out(path, std::ios::binary | std::ios::in | std::ios::out);
+    out.seekp(8 + 4 * 8);  // header field 4: slot_begin
+    const std::uint64_t bogus = 100;
+    out.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  }
+  EXPECT_THROW(ShardManifestFile::load(path), sops::Error);
+  std::filesystem::remove(path);
+}
+
+TEST(ShardManifest, RejectsMissingFile) {
+  EXPECT_THROW(ShardManifestFile::load(temp_path("does_not_exist.manifest")),
+               sops::Error);
+  EXPECT_THROW(ShardManifestFile::open(temp_path("does_not_exist.manifest")),
+               sops::Error);
+}
+
+TEST(ShardManifest, FileBytesMatchesOnDiskSize) {
+  const std::string path = temp_path("manifest_size.manifest");
+  const ShardManifest m = sample_manifest();
+  { auto file = ShardManifestFile::create(path, m); }
+  EXPECT_EQ(std::filesystem::file_size(path), m.file_bytes());
+  std::filesystem::remove(path);
+}
+
+}  // namespace

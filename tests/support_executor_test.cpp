@@ -163,6 +163,84 @@ TEST(TaskPoolTest, RunPartitionedLendsDisjointInnerExecutors) {
   }
 }
 
+TEST(TaskPoolTest, RunPartitionedPropagatesAChunkThrow) {
+  // A sample chunk dying mid-ensemble must surface as an exception at the
+  // run_partitioned call — not deadlock the barrier, not get swallowed —
+  // and every *other* chunk must still have been attempted (their samples'
+  // completion marks are what a crash-resume later relies on).
+  TaskPool pool(6);
+  std::vector<std::atomic<int>> attempted(3);
+  EXPECT_THROW(
+      pool.run_partitioned(3, 2,
+                           [&](std::size_t k, Executor&) {
+                             attempted[k].fetch_add(1);
+                             if (k == 1) throw std::runtime_error("chunk died");
+                           }),
+      std::runtime_error);
+  for (std::size_t k = 0; k < attempted.size(); ++k) {
+    EXPECT_EQ(attempted[k].load(), 1) << "chunk " << k;
+  }
+}
+
+TEST(TaskPoolTest, RunPartitionedSurvivesEveryChunkThrowing) {
+  // Worst case: all chunks throw concurrently. Exactly one propagates
+  // (the first error wins); the pool's workers must all return to the
+  // parked state rather than die holding the exception.
+  TaskPool pool(4);
+  std::atomic<int> throws{0};
+  EXPECT_THROW(pool.run_partitioned(4, 1,
+                                    [&](std::size_t, Executor&) {
+                                      throws.fetch_add(1);
+                                      throw std::runtime_error("all died");
+                                    }),
+               std::runtime_error);
+  EXPECT_EQ(throws.load(), 4);
+}
+
+TEST(TaskPoolTest, RunPartitionedPropagatesAnInnerDispatchThrow) {
+  // The nested shape the engine actually runs: the chunk body dispatches
+  // intra-step work on its lent inner executor, and a task *inside that
+  // inner dispatch* throws. The error must cross both dispatch layers.
+  TaskPool pool(6);
+  EXPECT_THROW(
+      pool.run_partitioned(3, 2,
+                           [&](std::size_t k, Executor& inner) {
+                             auto inner_task = [&](std::size_t j) {
+                               if (k == 2 && j == 5) {
+                                 throw std::runtime_error("inner task died");
+                               }
+                             };
+                             inner.run(8, inner_task);
+                           }),
+      std::runtime_error);
+}
+
+TEST(TaskPoolTest, RunPartitionedReusableAfterMultiChunkThrow) {
+  // After a throwing fan-out the same pool must serve a clean one — the
+  // engine reuses its pool across an experiment, and a failed resume
+  // attempt must not poison the retry.
+  TaskPool pool(6);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.run_partitioned(3, 2,
+                                      [&](std::size_t k, Executor&) {
+                                        if (k != 0) {
+                                          throw std::runtime_error("boom");
+                                        }
+                                      }),
+                 std::runtime_error);
+    std::vector<std::atomic<int>> visits(3 * 12);
+    pool.run_partitioned(3, 2, [&](std::size_t k, Executor& inner) {
+      auto inner_task = [&](std::size_t j) {
+        visits[k * 12 + j].fetch_add(1);
+      };
+      inner.run(12, inner_task);
+    });
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "round " << round << " item " << i;
+    }
+  }
+}
+
 TEST(ChunkRangeTest, PartitionsExactlyAndMatchesParallelFor) {
   // chunk_range is the one definition of the equal partition; chunks must
   // tile [0, count) exactly for awkward counts.

@@ -87,12 +87,15 @@ def flatten_metrics(engine_json):
         # (e.g. padding crept into the position type).
         metrics["frame_store_bytes_per_frame"] = float(
             frame_store["bytes_per_frame"])
-    for key in ("heap_fill_rss_delta_kb", "mapped_fill_rss_delta_kb"):
+    for key in ("heap_fill_rss_delta_kb", "mapped_fill_rss_delta_kb",
+                "manifest_bytes"):
         # A delta of 0 KB is the spill path working perfectly — record it.
         if frame_store.get(key) is not None:
             # Recorded for the trajectory (the spill path's whole point is
-            # mapped << heap) but not gated: small RSS deltas jitter past
-            # any sane tolerance.
+            # mapped << heap; the manifest sidecar should stay tiny next
+            # to the payload) but not gated: the RSS deltas jitter past
+            # any sane tolerance, and manifest_bytes only moves on a
+            # deliberate format revision.
             name = f"frame_store/{key}"
             metrics[name] = float(frame_store[key])
             ungated.add(name)

@@ -15,13 +15,36 @@
 //   entropies = true
 //   output  = fig4.csv
 //
+// Distributed / crash-safe ensembles record into durable shards:
+//
+//   sops_run experiment.conf --shard k/N --out runs/shard_k.shard
+//       runs sample slots chunk k of N into a persist-mode shard file plus
+//       a `.manifest` sidecar tracking per-sample completion. Disjoint
+//       shards of one ensemble can run concurrently in separate processes.
+//   sops_run experiment.conf --shard k/N --out runs/shard_k.shard --resume
+//       reopens a matching shard (validated against the config) and skips
+//       samples already marked complete — restart after a crash or kill
+//       and the combined recording is bitwise-identical to an
+//       uninterrupted run.
+//   sops_run --merge runs/full.shard runs/shard_0.shard runs/shard_1.shard ...
+//       verifies N completed shards (same config hash/grid/seed, disjoint
+//       slot ranges covering every sample) and assembles them into one
+//       recording — itself a valid 1-shard file.
+//   sops_run experiment.conf --out runs/full.shard --resume
+//       on a fully-complete shard (e.g. a merge output) runs zero samples
+//       and goes straight to analysis — the "analyze a recording" path.
+//
 // `sops_run --smoke` runs a tiny built-in Fig. 4 configuration instead of a
 // config file — the ctest smoke entry that keeps the CLI pipeline honest.
 #include <algorithm>
+#include <cstdio>
 #include <iostream>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/config_builder.hpp"
+#include "core/shard.hpp"
 #include "core/sops.hpp"
 
 namespace {
@@ -40,18 +63,108 @@ int run_smoke() {
   return 0;
 }
 
+int run_merge(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::cerr << "usage: sops_run --merge <output.shard> <shard...>\n";
+    return 2;
+  }
+  const std::string out = args.front();
+  const std::vector<std::string> shards(args.begin() + 1, args.end());
+  const sops::core::MergeResult result = sops::core::merge_shards(shards, out);
+  std::cout << "merged " << result.shard_count << " shards ("
+            << result.samples_total << " samples, "
+            << result.payload_bytes / (1024 * 1024) << " MiB) into "
+            << result.data_path << "\n";
+  return 0;
+}
+
+// "k/N" -> (k, N); throws sops::Error on anything else.
+void parse_shard_spec(const std::string& spec, std::size_t* index,
+                      std::size_t* count) {
+  const std::size_t slash = spec.find('/');
+  std::size_t index_end = 0;
+  std::size_t count_end = 0;
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument(spec);
+    *index = std::stoul(spec.substr(0, slash), &index_end);
+    *count = std::stoul(spec.substr(slash + 1), &count_end);
+    if (index_end != slash || count_end != spec.size() - slash - 1) {
+      throw std::invalid_argument(spec);
+    }
+  } catch (const std::exception&) {
+    throw sops::Error("--shard expects k/N (e.g. 0/4), got '" + spec + "'");
+  }
+  if (*count == 0 || *index >= *count) {
+    throw sops::Error("--shard " + spec + ": index must lie in [0, count)");
+  }
+}
+
+void report_spill(const sops::core::EnsembleSeries& series,
+                  const sops::core::ExperimentConfig& experiment) {
+  using sops::core::StorageMode;
+  const bool shard = !experiment.shard.path.empty();
+  if (!shard && experiment.storage.mode == StorageMode::kHeap) return;
+  if (series.frames.storage() == StorageMode::kMapped) {
+    const std::size_t bytes = series.frames.bytes();
+    std::cout << (shard ? "shard recorded to " : "recording spilled to ")
+              << series.frames.spill_path();
+    if (bytes >= 1024 * 1024) {
+      std::cout << " (" << bytes / (1024 * 1024) << " MiB mapped)\n";
+    } else {
+      std::cout << " (" << bytes / 1024 << " KiB mapped)\n";
+    }
+  } else if (!series.frames.spill_fallback_reason().empty()) {
+    std::cerr << "warning: frame_storage fell back to heap: "
+              << series.frames.spill_fallback_reason() << "\n";
+  }
+  // An EIO on the spill device surfaces here instead of dying in an
+  // ignored msync return. Scratch spill keeps running (the page cache
+  // still holds the data); shard runs already threw if durability broke.
+  const std::string flush_error = series.frames.flush_error();
+  if (!flush_error.empty()) {
+    std::cerr << "warning: spill I/O error during the run: " << flush_error
+              << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sops;
-  if (argc < 2) {
-    std::cerr << "usage: sops_run <config-file> [output.csv]\n";
-    return 2;
+  std::vector<std::string> positional;
+  std::string shard_spec;
+  std::string shard_out;
+  bool resume = false;
+  bool merge = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--smoke") return run_smoke();
+    if (arg == "--merge") {
+      merge = true;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--shard" && i + 1 < argc) {
+      shard_spec = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      shard_out = argv[++i];
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      positional.emplace_back(arg);
+    }
   }
 
   try {
-    if (std::string_view(argv[1]) == "--smoke") return run_smoke();
-    const io::Config config = io::Config::load(argv[1]);
+    if (merge) return run_merge(positional);
+    if (positional.empty()) {
+      std::cerr << "usage: sops_run <config-file> [output.csv]\n"
+                   "       sops_run <config-file> --shard k/N --out "
+                   "<file.shard> [--resume]\n"
+                   "       sops_run --merge <output.shard> <shard...>\n";
+      return 2;
+    }
+    const io::Config config = io::Config::load(positional[0]);
 
     // Warn about unknown keys — almost always a typo in an experiment file.
     const auto& known = core::known_config_keys();
@@ -62,26 +175,41 @@ int main(int argc, char** argv) {
     }
 
     core::ConfiguredExperiment configured = core::build_experiment(config);
-    std::cout << "running " << configured.experiment.samples << " samples of "
-              << configured.experiment.simulation.types.size()
-              << " particles for " << configured.experiment.simulation.steps
-              << " steps...\n";
-
-    const core::EnsembleSeries series =
-        core::run_experiment(configured.experiment);
-    if (configured.experiment.storage.mode != core::StorageMode::kHeap) {
-      if (series.frames.storage() == core::StorageMode::kMapped) {
-        const std::size_t bytes = series.frames.bytes();
-        std::cout << "recording spilled to " << series.frames.spill_path();
-        if (bytes >= 1024 * 1024) {
-          std::cout << " (" << bytes / (1024 * 1024) << " MiB mapped)\n";
-        } else {
-          std::cout << " (" << bytes / 1024 << " KiB mapped)\n";
-        }
-      } else if (!series.frames.spill_fallback_reason().empty()) {
-        std::cerr << "warning: frame_storage fell back to heap: "
-                  << series.frames.spill_fallback_reason() << "\n";
+    core::ExperimentConfig& experiment = configured.experiment;
+    if (!shard_spec.empty() || !shard_out.empty() || resume) {
+      if (shard_out.empty()) {
+        throw Error("--shard/--resume need --out <file.shard>");
       }
+      experiment.shard.path = shard_out;
+      experiment.shard.resume = resume;
+      if (!shard_spec.empty()) {
+        parse_shard_spec(shard_spec, &experiment.shard.index,
+                         &experiment.shard.count);
+      }
+    }
+
+    std::cout << "running " << experiment.samples << " samples of "
+              << experiment.simulation.types.size() << " particles for "
+              << experiment.simulation.steps << " steps...\n";
+
+    const core::EnsembleSeries series = core::run_experiment(experiment);
+    report_spill(series, experiment);
+    if (!experiment.shard.path.empty()) {
+      const std::size_t ran = series.sample_count() - series.resumed_samples;
+      std::cout << "shard " << experiment.shard.index << "/"
+                << experiment.shard.count << ": samples ["
+                << series.slot_begin << ", "
+                << series.slot_begin + series.sample_count() << ") complete ("
+                << ran << " simulated, " << series.resumed_samples
+                << " resumed)\n";
+    }
+    if (experiment.shard.count > 1) {
+      // A shard holds one slice of the ensemble; the self-organization
+      // measure needs all of it. Merge the completed shards, then analyze
+      // the merged file via `--out merged.shard --resume`.
+      std::cout << "partial ensemble — skipping analysis (merge the shards "
+                   "first: sops_run --merge <out> <shards...>)\n";
+      return 0;
     }
     const core::AnalysisResult result =
         core::analyze_self_organization(series, configured.analysis);
@@ -109,9 +237,9 @@ int main(int argc, char** argv) {
       table.add_row(std::move(row));
     }
 
-    const std::string output = argc > 2
-                                   ? std::string(argv[2])
-                                   : config.get_string("output", "sops_run.csv");
+    const std::string output =
+        positional.size() > 1 ? positional[1]
+                              : config.get_string("output", "sops_run.csv");
     io::write_csv_file(output, table);
     std::cout << "results written to " << output << "\n"
               << "Delta-I = " << result.delta_mi() << " bits — "
