@@ -11,14 +11,20 @@
 // collectives (speedup, rebuild skip rate, per-backend re-index cost),
 // the SoA/SIMD kernel speedup (scalar reference vs vector kernels, with
 // the dispatched ISA and compiler identity for cross-machine hygiene),
-// analyzer (KSG) frames/sec, and the run's peak RSS — the engine's perf
-// trajectory, gated by tools/bench_trend.py.
+// analyzer (KSG) frames/sec — including the paper-shaped streaming row
+// (n = 1024, m = 100) against the frozen pre-streaming post-hoc baseline
+// — and the run's peak RSS — the engine's perf trajectory, gated by
+// tools/bench_trend.py.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <limits>
+#include <numbers>
+#include <numeric>
 #include <optional>
+#include <queue>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
@@ -31,6 +37,7 @@
 #include "core/sops.hpp"
 #include "io/shard_manifest.hpp"
 #include "support/executor.hpp"
+#include "support/parallel_for.hpp"
 #include "support/simd.hpp"
 
 namespace {
@@ -601,6 +608,412 @@ double measure_analyzer_frames_per_sec(std::size_t* frames_out) {
   return static_cast<double>(series.frame_count() * rounds) / seconds;
 }
 
+// ------------------------------------------------------------------------
+// Pre-streaming analyzer baseline. This reproduces, deliberately and
+// verbatim, the per-frame analysis path as it stood before the streaming
+// pipeline landed: ICP correspondences through a single type-lifted 3-D
+// k-d tree — including the seed tree's own nearest-neighbor query, whose
+// per-query heap/stack/result allocations the production tree has since
+// shed — the materialize-and-sort greedy matcher, and the brute-force KSG
+// estimator, all run post-hoc after the recording finishes. It is the
+// fixed yardstick the streaming row's speedup is measured against; do not
+// optimize it. By the estimator and alignment bitwise contracts it must
+// also produce the exact bits of the production pipeline, which the
+// streaming CHECK below asserts.
+namespace prestream {
+
+// The seed k-d tree, reduced to what the baseline ICP queries: median
+// split on the widest axis, and k-nearest via a max-heap with a
+// heap-allocated traversal stack — `nearest` pays a full k_nearest(1)
+// call per correspondence, exactly as the pre-streaming aligner did.
+class SeedKdTree {
+ public:
+  SeedKdTree(std::span<const double> points, std::size_t dim)
+      : points_(points), dim_(dim), count_(points.size() / dim) {
+    order_.resize(count_);
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    if (count_ > 0) {
+      nodes_.reserve(2 * count_ / kLeafSize + 2);
+      root_ = build(0, count_);
+    }
+  }
+
+  [[nodiscard]] geom::Neighbor nearest(std::span<const double> query) const {
+    return k_nearest(query, 1).front();
+  }
+
+  [[nodiscard]] std::vector<geom::Neighbor> k_nearest(
+      std::span<const double> query, std::size_t k) const {
+    std::vector<geom::Neighbor> result;
+    if (count_ == 0 || k == 0) return result;
+
+    std::priority_queue<HeapEntry> best;  // max-heap of current best k
+    auto worst = [&]() noexcept {
+      return best.size() < k ? std::numeric_limits<double>::infinity()
+                             : best.top().dist_sq;
+    };
+
+    std::vector<int> stack;
+    stack.push_back(root_);
+    while (!stack.empty()) {
+      const int node_id = stack.back();
+      stack.pop_back();
+      if (node_id < 0) continue;
+      const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+      if (node.is_leaf()) {
+        for (std::size_t i = node.begin; i < node.end; ++i) {
+          const std::size_t idx = order_[i];
+          const double d2 = dist_sq_to(idx, query);
+          if (d2 < worst()) {
+            best.push({d2, idx});
+            if (best.size() > k) best.pop();
+          }
+        }
+        continue;
+      }
+      const double delta = query[node.axis] - node.split;
+      const int near_child = delta < 0.0 ? node.left : node.right;
+      const int far_child = delta < 0.0 ? node.right : node.left;
+      if (delta * delta < worst()) stack.push_back(far_child);
+      stack.push_back(near_child);
+    }
+
+    result.resize(best.size());
+    for (std::size_t i = result.size(); i-- > 0;) {
+      result[i] = {best.top().index, best.top().dist_sq};
+      best.pop();
+    }
+    return result;
+  }
+
+ private:
+  struct HeapEntry {
+    double dist_sq;
+    std::size_t index;
+    bool operator<(const HeapEntry& o) const noexcept {
+      return dist_sq < o.dist_sq;
+    }
+  };
+  struct Node {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t axis = 0;
+    double split = 0.0;
+    int left = -1;
+    int right = -1;
+    [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
+  };
+
+  static constexpr std::size_t kLeafSize = 16;
+
+  [[nodiscard]] const double* point(std::size_t i) const noexcept {
+    return points_.data() + i * dim_;
+  }
+  [[nodiscard]] double dist_sq_to(std::size_t i,
+                                  std::span<const double> query) const noexcept {
+    const double* p = point(i);
+    double sum = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double diff = p[d] - query[d];
+      sum += diff * diff;
+    }
+    return sum;
+  }
+
+  int build(std::size_t begin, std::size_t end) {
+    Node node;
+    node.begin = begin;
+    node.end = end;
+    const std::size_t count = end - begin;
+    if (count <= kLeafSize) {
+      nodes_.push_back(node);
+      return static_cast<int>(nodes_.size() - 1);
+    }
+    std::size_t best_axis = 0;
+    double best_spread = -1.0;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -lo;
+      for (std::size_t i = begin; i < end; ++i) {
+        const double v = point(order_[i])[d];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (hi - lo > best_spread) {
+        best_spread = hi - lo;
+        best_axis = d;
+      }
+    }
+    if (best_spread == 0.0) {
+      nodes_.push_back(node);
+      return static_cast<int>(nodes_.size() - 1);
+    }
+    const std::size_t mid = begin + count / 2;
+    std::nth_element(order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     order_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     order_.begin() + static_cast<std::ptrdiff_t>(end),
+                     [this, best_axis](std::size_t a, std::size_t b) {
+                       return point(a)[best_axis] < point(b)[best_axis];
+                     });
+    node.axis = best_axis;
+    node.split = point(order_[mid])[best_axis];
+    const std::size_t self = nodes_.size();
+    nodes_.push_back(node);
+    const int left = build(begin, mid);
+    const int right = build(mid, end);
+    nodes_[self].left = left;
+    nodes_[self].right = right;
+    return static_cast<int>(self);
+  }
+
+  std::span<const double> points_;
+  std::size_t dim_;
+  std::size_t count_;
+  std::vector<std::size_t> order_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+// Flat 3-D array of type-lifted points: (x, y, type · lift).
+std::vector<double> lift(std::span<const geom::Vec2> points,
+                         std::span<const sim::TypeId> types, double lift_scale) {
+  std::vector<double> out;
+  out.reserve(points.size() * 3);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.push_back(points[i].x);
+    out.push_back(points[i].y);
+    out.push_back(static_cast<double>(types[i]) * lift_scale);
+  }
+  return out;
+}
+
+// One ICP descent from the given initial rotation (about the source
+// centroid): NN correspondences against the lifted target tree.
+align::IcpResult icp_descent(std::span<const geom::Vec2> source,
+                             std::span<const sim::TypeId> source_types,
+                             std::span<const geom::Vec2> target,
+                             const SeedKdTree& target_tree, double lift_scale,
+                             double initial_angle,
+                             const align::IcpOptions& options) {
+  const geom::Vec2 source_centroid = geom::centroid(source);
+  geom::RigidTransform2 current{
+      initial_angle,
+      source_centroid - geom::rotated(source_centroid, initial_angle)};
+
+  align::IcpResult result;
+  result.mean_squared_error = std::numeric_limits<double>::infinity();
+
+  std::vector<geom::Vec2> moved(source.size());
+  std::vector<geom::Vec2> matched(source.size());
+  double query[3];
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      moved[i] = current.apply(source[i]);
+    }
+
+    double mse = 0.0;
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      query[0] = moved[i].x;
+      query[1] = moved[i].y;
+      query[2] = static_cast<double>(source_types[i]) * lift_scale;
+      const geom::Neighbor nn = target_tree.nearest({query, 3});
+      matched[i] = target[nn.index];
+      mse += geom::dist_sq(moved[i], matched[i]);
+    }
+    mse /= static_cast<double>(source.size());
+
+    if (mse >= result.mean_squared_error - options.convergence_tolerance) {
+      result.mean_squared_error = std::min(mse, result.mean_squared_error);
+      break;
+    }
+    result.mean_squared_error = mse;
+    current = geom::fit_rigid(source, matched);
+  }
+  result.transform = current;
+  return result;
+}
+
+align::IcpResult align_icp(std::span<const geom::Vec2> source,
+                           std::span<const sim::TypeId> source_types,
+                           std::span<const geom::Vec2> target,
+                           std::span<const sim::TypeId> target_types,
+                           const align::IcpOptions& options) {
+  const double diameter =
+      std::max({geom::bounding_box(target).diagonal(),
+                geom::bounding_box(source).diagonal(), 1.0});
+  const double lift_scale = options.type_lift_scale * diameter;
+
+  const std::vector<double> lifted_target =
+      lift(target, target_types, lift_scale);
+  const SeedKdTree target_tree(lifted_target, 3);
+
+  align::IcpResult best;
+  best.mean_squared_error = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.rotation_restarts; ++r) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(r) /
+                         static_cast<double>(options.rotation_restarts);
+    align::IcpResult candidate = icp_descent(
+        source, source_types, target, target_tree, lift_scale, angle, options);
+    if (candidate.mean_squared_error < best.mean_squared_error) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+// All same-type pairs sorted by distance; greedily commit closest pairs.
+std::vector<std::size_t> match_by_type(std::span<const geom::Vec2> source,
+                                       std::span<const sim::TypeId> source_types,
+                                       std::span<const geom::Vec2> target,
+                                       std::span<const sim::TypeId> target_types) {
+  struct Pair {
+    double dist_sq;
+    std::uint32_t s;
+    std::uint32_t t;
+  };
+  std::vector<Pair> pairs;
+  for (std::uint32_t s = 0; s < source.size(); ++s) {
+    for (std::uint32_t t = 0; t < target.size(); ++t) {
+      if (source_types[s] != target_types[t]) continue;
+      pairs.push_back({geom::dist_sq(source[s], target[t]), s, t});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.dist_sq != b.dist_sq) return a.dist_sq < b.dist_sq;
+    if (a.s != b.s) return a.s < b.s;
+    return a.t < b.t;
+  });
+
+  const std::size_t n = source.size();
+  std::vector<std::size_t> match(n, n);
+  std::vector<char> target_used(n, 0);
+  std::size_t committed = 0;
+  for (const Pair& p : pairs) {
+    if (match[p.s] != n || target_used[p.t]) continue;
+    match[p.s] = p.t;
+    target_used[p.t] = 1;
+    if (++committed == n) break;
+  }
+  return match;
+}
+
+// Replica of align_ensemble's row loop over the frozen ICP and matcher
+// (the loop structure itself did not change; only the callees did).
+align::AlignedEnsemble align_rows(geom::FrameView configs,
+                                  const std::vector<sim::TypeId>& types) {
+  const std::size_t n = types.size();
+  const std::size_t m = configs.size();
+  align::AlignedEnsemble out;
+  out.samples = info::SampleMatrix(m, 2 * n);
+  out.blocks = info::uniform_blocks(n, 2);
+  out.block_types = types;
+  const std::vector<geom::Vec2> reference = geom::centered(configs[0]);
+  const auto write_row = [&](std::size_t s, const std::vector<geom::Vec2>& points) {
+    auto row = out.samples.row(s);
+    for (std::size_t i = 0; i < n; ++i) {
+      row[2 * i] = points[i].x;
+      row[2 * i + 1] = points[i].y;
+    }
+  };
+  write_row(0, reference);
+  support::parallel_for(1, m, [&](std::size_t s) {
+    std::vector<geom::Vec2> moved = geom::centered(configs[s]);
+    const align::IcpResult icp =
+        prestream::align_icp(moved, types, reference, types,
+                             align::IcpOptions{});
+    moved = geom::centered(icp.transform.apply(moved));
+    const std::vector<std::size_t> match =
+        prestream::match_by_type(moved, types, reference, types);
+    std::vector<geom::Vec2> permuted(n);
+    for (std::size_t i = 0; i < n; ++i) permuted[match[i]] = moved[i];
+    write_row(s, permuted);
+  });
+  return out;
+}
+
+// One frame through the frozen pipeline: align, per-type k-means
+// coarse-graining (production code — the streaming work left it alone),
+// brute-force KSG. Returns the frame's multi-information.
+double analyze_frame(geom::FrameView frame,
+                     const std::vector<sim::TypeId>& types,
+                     const core::AnalysisOptions& options,
+                     std::size_t frame_index) {
+  align::AlignedEnsemble aligned = align_rows(frame, types);
+  rng::Xoshiro256 engine = rng::make_stream(
+      options.kmeans_seed, static_cast<std::uint64_t>(frame_index));
+  aligned =
+      align::coarse_grain_ensemble(aligned, options.kmeans_per_type, engine);
+  info::KsgOptions ksg = options.ksg;
+  ksg.search = info::NeighborSearch::kBruteForce;
+  return info::multi_information_ksg(aligned.samples, aligned.blocks, ksg);
+}
+
+}  // namespace prestream
+
+// The paper-shaped analyzer row: n = 1024 particles, m = 100 samples on a
+// 6-frame recording grid — the workload the streaming pipeline targets.
+core::ExperimentConfig paper_row_experiment() {
+  sim::SimulationConfig simulation(default_model(3));
+  simulation.types = sim::evenly_distributed_types(1024, 3);
+  simulation.cutoff_radius = 3.0;
+  simulation.init_disc_radius = 48.0;
+  simulation.steps = 40;
+  simulation.record_stride = 8;
+  simulation.seed = 99;
+  core::ExperimentConfig experiment(std::move(simulation));
+  experiment.samples = 100;
+  return experiment;
+}
+
+struct StreamingRow {
+  std::size_t n = 0;
+  std::size_t samples = 0;
+  std::size_t frames = 0;
+  double streaming_frames_per_sec = 0.0;
+  double post_hoc_baseline_frames_per_sec = 0.0;
+  bool bitwise_match = false;
+};
+
+// Streaming analyzer throughput at the paper row vs the frozen baseline.
+// The streamed run is timed end to end (simulation + overlapped analysis;
+// the simulation is ~1 s here, analysis dominates). The baseline is timed
+// on a single frame with a single rep: one frame runs tens of seconds
+// through the lifted-tree ICP, which dwarfs timer jitter, and kBenchReps
+// of it would triple an already minute-scale benchmark.
+StreamingRow measure_streaming_row() {
+  const core::ExperimentConfig experiment = paper_row_experiment();
+  StreamingRow row;
+  row.n = experiment.simulation.types.size();
+  row.samples = experiment.samples;
+
+  const core::AnalysisOptions options;
+  const auto stream_start = std::chrono::steady_clock::now();
+  const core::AnalysisResult streamed =
+      core::measure_experiment_streamed(experiment, options);
+  const double stream_seconds = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    stream_start)
+                                    .count();
+  row.frames = streamed.points.size();
+  row.streaming_frames_per_sec =
+      static_cast<double>(row.frames) / stream_seconds;
+
+  const core::EnsembleSeries series = core::run_experiment(experiment);
+  const auto baseline_start = std::chrono::steady_clock::now();
+  const double baseline_mi =
+      prestream::analyze_frame(series.frames[0], series.types, options, 0);
+  const double baseline_seconds = std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() -
+                                      baseline_start)
+                                      .count();
+  row.post_hoc_baseline_frames_per_sec = 1.0 / baseline_seconds;
+  row.bitwise_match =
+      baseline_mi == streamed.points.front().multi_information;
+  return row;
+}
+
 // Current resident set of this process in KB (VmRSS via /proc/self/statm);
 // 0 when unavailable. Unlike the peak, deltas of the current RSS let one
 // process compare the footprint of two storage backings back to back.
@@ -830,15 +1243,37 @@ void emit_engine_json() {
   std::fprintf(out, "  ]},\n");
 
   // Analyzer throughput (align → KSG per recorded frame) and this run's
-  // peak resident set — both gated by tools/bench_trend.py.
+  // peak resident set — both gated by tools/bench_trend.py. The nested
+  // streaming row is the paper-shaped workload: streamed simulate+analyze
+  // frames/sec (gated) against the frozen pre-streaming post-hoc baseline
+  // (recorded, ungated — it is a fixed yardstick, not a trend).
   std::size_t analyzer_frames = 0;
   const double frames_per_sec = measure_analyzer_frames_per_sec(&analyzer_frames);
-  std::fprintf(out,
-               "  \"analyzer\": {\"n\": 24, \"samples\": 96, \"frames\": %zu, "
-               "\"frames_per_sec\": %.2f},\n",
-               analyzer_frames, frames_per_sec);
   std::printf("analyzer: %.1f KSG frames/s (n=24, m=96, %zu frames)\n",
               frames_per_sec, analyzer_frames);
+  const StreamingRow streaming = measure_streaming_row();
+  const double streaming_speedup =
+      streaming.post_hoc_baseline_frames_per_sec > 0.0
+          ? streaming.streaming_frames_per_sec /
+                streaming.post_hoc_baseline_frames_per_sec
+          : 0.0;
+  std::fprintf(out,
+               "  \"analyzer\": {\"n\": 24, \"samples\": 96, \"frames\": %zu, "
+               "\"frames_per_sec\": %.2f,\n"
+               "    \"streaming\": {\"n\": %zu, \"samples\": %zu, "
+               "\"frames\": %zu, \"streaming_frames_per_sec\": %.4f, "
+               "\"post_hoc_baseline_frames_per_sec\": %.4f, "
+               "\"speedup\": %.2f}},\n",
+               analyzer_frames, frames_per_sec, streaming.n, streaming.samples,
+               streaming.frames, streaming.streaming_frames_per_sec,
+               streaming.post_hoc_baseline_frames_per_sec, streaming_speedup);
+  std::printf("streaming analyzer n=%zu m=%zu F=%zu: %.4f frames/s streamed "
+              "end-to-end vs %.4f frames/s frozen post-hoc (%.2fx), bitwise "
+              "%s\n",
+              streaming.n, streaming.samples, streaming.frames,
+              streaming.streaming_frames_per_sec,
+              streaming.post_hoc_baseline_frames_per_sec, streaming_speedup,
+              streaming.bitwise_match ? "identical" : "DIVERGED");
 
   // Read the engine's whole-run high-water mark *before* the frame-store
   // fill below: the fill's deliberate 125 MiB heap allocation would
@@ -922,6 +1357,13 @@ void emit_engine_json() {
                   ? "[PASS]"
                   : "[FAIL]",
               verlet_speedup_at_16384, verlet_skip_rate_at_16384);
+  std::printf("CHECK %s streaming analyzer >= 3x the frozen post-hoc "
+              "baseline at n=1024, m=100 (%.2fx) with bitwise-identical "
+              "output (%s)\n",
+              streaming_speedup >= 3.0 && streaming.bitwise_match ? "[PASS]"
+                                                                  : "[FAIL]",
+              streaming_speedup,
+              streaming.bitwise_match ? "identical" : "DIVERGED");
   std::printf("CHECK %s mapped frame store keeps < 50%% of the heap "
               "recording footprint resident (%ld vs %ld KB at m=%zu)\n",
               heap_fill_kb <= 0 ? "[SKIP, no /proc/self/statm]"

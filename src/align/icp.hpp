@@ -3,10 +3,14 @@
 // To align two same-type-histogram configurations, the paper lifts each 2-D
 // particle to 3-D with its type as a z coordinate "scaled by a factor a
 // magnitude larger than the diameter of the collective": nearest-neighbor
-// correspondences then never cross types. We implement that literally: NN
-// queries run in the lifted space via a k-d tree, the rigid update is
-// restricted to the plane (a rotation never moves the z coordinate, so the
-// 2-D Procrustes fit of the xy components is the exact 3-D optimum).
+// correspondences then never cross types. We implement the lift's *effect*
+// directly: each type's targets get their own 2-D k-d tree and a particle
+// queries only its type's tree — for same-type pairs the lifted distance is
+// exactly the planar distance (the type axis contributes 0), so this is the
+// same correspondence without scanning wrong-type candidates. The rigid
+// update is restricted to the plane (a rotation never moves the z
+// coordinate, so the 2-D Procrustes fit of the xy components is the exact
+// 3-D optimum).
 //
 // ICP converges to a local optimum; because particle shapes have near-
 // symmetries (rings, discs), we restart from several initial rotations and
@@ -29,9 +33,10 @@ struct IcpOptions {
   std::size_t max_iterations = 50;
   double convergence_tolerance = 1e-9;  ///< stop when MSE improves less
   std::size_t rotation_restarts = 8;    ///< initial angles spread over [0, 2π)
-  /// Multiplier on the collective diameter for the type lift. One order of
-  /// magnitude (the paper's "a magnitude larger") guarantees cross-type
-  /// lifted distances exceed any in-plane distance.
+  /// Multiplier on the collective diameter for the type lift. Retained for
+  /// configuration compatibility; the per-type search structure enforces
+  /// type-preserving correspondences for any positive value, so the exact
+  /// scale no longer enters the computation.
   double type_lift_scale = 10.0;
 };
 

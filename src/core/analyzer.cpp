@@ -1,7 +1,9 @@
 #include "core/analyzer.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "info/neighbor_cache.hpp"
 #include "sim/parallel_policy.hpp"
 #include "support/executor.hpp"
 
@@ -30,6 +32,80 @@ std::vector<double> AnalysisResult::mi_values() const {
   return out;
 }
 
+FrameAnalysis analyze_frame(geom::FrameView frame,
+                            const std::vector<sim::TypeId>& types,
+                            std::size_t step, std::size_t frame_index,
+                            bool coarse, const AnalysisOptions& options,
+                            support::Executor& executor) {
+  // The inner stages never fork on their own (threads = 1); every loop —
+  // the alignment rows, the estimator's sample queries — dispatches on the
+  // caller's executor. Neither affects results.
+  align::EnsembleOptions ensemble_options = options.ensemble;
+  ensemble_options.threads = 1;
+  ensemble_options.executor = &executor;
+  info::KsgOptions ksg = options.ksg;
+  ksg.threads = 1;
+  ksg.executor = &executor;
+
+  align::AlignedEnsemble aligned =
+      align::align_ensemble(frame, types, ensemble_options);
+  if (coarse) {
+    // Seeded per frame so frames are independent of evaluation order.
+    rng::Xoshiro256 engine = rng::make_stream(
+        options.kmeans_seed, static_cast<std::uint64_t>(frame_index));
+    aligned =
+        align::coarse_grain_ensemble(aligned, options.kmeans_per_type, engine);
+  }
+
+  // One subspace-tree cache serves every estimator call on this frame's
+  // matrix (the estimators resolve their trees serially at entry, per the
+  // cache's single-writer contract, so sharing it across the sequential
+  // calls below is safe).
+  std::optional<info::FrameNeighborCache> cache;
+  if (options.reuse_neighbor_cache &&
+      ksg.search == info::NeighborSearch::kBlockedTree) {
+    cache.emplace(aligned.samples);
+    ksg.cache = &*cache;
+  }
+  info::FrameNeighborCache* entropy_cache = cache ? &*cache : nullptr;
+
+  FrameAnalysis out;
+  out.observer_count = aligned.observer_count();
+  TimePoint& point = out.point;
+  point.step = step;
+  point.multi_information =
+      info::multi_information_ksg(aligned.samples, aligned.blocks, ksg);
+
+  if (options.compute_entropies) {
+    // Same lent executor as the KSG queries: the entropy curves ride the
+    // persistent pool instead of running serially (or forking).
+    point.joint_entropy =
+        info::entropy_kl(aligned.samples, ksg.k, executor, entropy_cache);
+    point.marginal_entropy_sum = 0.0;
+    for (const info::Block& block : aligned.blocks) {
+      point.marginal_entropy_sum += info::entropy_kl_block(
+          aligned.samples, block, ksg.k, executor, entropy_cache);
+    }
+  }
+  if (options.compute_decomposition) {
+    sim::TypeId max_type = 0;
+    for (const sim::TypeId t : aligned.block_types) {
+      max_type = std::max(max_type, t);
+    }
+    const info::ObserverGrouping grouping = info::group_blocks_by_type(
+        aligned.block_types, static_cast<std::size_t>(max_type) + 1);
+    if (grouping.size() >= 2) {
+      point.decomposition = info::decompose_multi_information(
+          aligned.samples, aligned.blocks, grouping, ksg);
+    } else {
+      point.decomposition.total = point.multi_information;
+      point.decomposition.between_groups = 0.0;
+      point.decomposition.within_group = {point.multi_information};
+    }
+  }
+  return out;
+}
+
 AnalysisResult analyze_self_organization(const EnsembleSeries& series,
                                          const AnalysisOptions& options) {
   support::expect(series.frame_count() >= 1, "analyze: empty series");
@@ -45,14 +121,6 @@ AnalysisResult analyze_self_organization(const EnsembleSeries& series,
   AnalysisResult result;
   result.coarse_grained = coarse;
   result.points.resize(frame_count);
-
-  // The inner stages never fork on their own (threads = 1); instead each
-  // frame chunk lends its pool slice to both the alignment loop and the
-  // estimator's sample queries (see below). Neither affects results.
-  align::EnsembleOptions ensemble_options = options.ensemble;
-  ensemble_options.threads = 1;
-  info::KsgOptions ksg_options = options.ksg;
-  ksg_options.threads = 1;
 
   std::vector<std::size_t> observer_counts(frame_count, 0);
 
@@ -73,57 +141,15 @@ AnalysisResult analyze_self_organization(const EnsembleSeries& series,
   auto frame_chunk = [&](std::size_t k, support::Executor& inner_executor) {
     const support::ChunkRange chunk =
         support::chunk_range(k, frame_count, frame_workers);
-    info::KsgOptions chunk_ksg = ksg_options;
-    chunk_ksg.executor = &inner_executor;
     // The alignment loop shares the slice: a KSG-heavy split (e.g. 1 frame
     // worker × 7 estimator threads when 7 threads meet 5 frames) still
     // aligns each frame's samples in parallel.
-    align::EnsembleOptions chunk_ensemble = ensemble_options;
-    chunk_ensemble.executor = &inner_executor;
     for (std::size_t f = chunk.begin; f < chunk.end; ++f) {
-      align::AlignedEnsemble aligned =
-          align::align_ensemble(series.frames[f], series.types, chunk_ensemble);
-      if (coarse) {
-        // Seeded per frame so frames are independent of evaluation order.
-        rng::Xoshiro256 engine =
-            rng::make_stream(options.kmeans_seed, static_cast<std::uint64_t>(f));
-        aligned = align::coarse_grain_ensemble(aligned, options.kmeans_per_type,
-                                               engine);
-      }
-      observer_counts[f] = aligned.observer_count();
-
-      TimePoint& point = result.points[f];
-      point.step = series.frame_steps[f];
-      point.multi_information =
-          info::multi_information_ksg(aligned.samples, aligned.blocks, chunk_ksg);
-
-      if (options.compute_entropies) {
-        // Same lent slice as the KSG queries: the entropy curves ride the
-        // persistent pool instead of running serially (or forking).
-        point.joint_entropy =
-            info::entropy_kl(aligned.samples, chunk_ksg.k, inner_executor);
-        point.marginal_entropy_sum = 0.0;
-        for (const info::Block& block : aligned.blocks) {
-          point.marginal_entropy_sum += info::entropy_kl_block(
-              aligned.samples, block, chunk_ksg.k, inner_executor);
-        }
-      }
-      if (options.compute_decomposition) {
-        sim::TypeId max_type = 0;
-        for (const sim::TypeId t : aligned.block_types) {
-          max_type = std::max(max_type, t);
-        }
-        const info::ObserverGrouping grouping = info::group_blocks_by_type(
-            aligned.block_types, static_cast<std::size_t>(max_type) + 1);
-        if (grouping.size() >= 2) {
-          point.decomposition = info::decompose_multi_information(
-              aligned.samples, aligned.blocks, grouping, chunk_ksg);
-        } else {
-          point.decomposition.total = point.multi_information;
-          point.decomposition.between_groups = 0.0;
-          point.decomposition.within_group = {point.multi_information};
-        }
-      }
+      FrameAnalysis frame = analyze_frame(series.frames[f], series.types,
+                                          series.frame_steps[f], f, coarse,
+                                          options, inner_executor);
+      observer_counts[f] = frame.observer_count;
+      result.points[f] = std::move(frame.point);
     }
   };
   pool.run_partitioned(frame_workers, ksg_share, frame_chunk);

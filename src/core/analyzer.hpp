@@ -31,6 +31,11 @@ struct AnalysisOptions {
   bool compute_entropies = false;     ///< joint + marginal KL entropy curves
   bool compute_decomposition = false; ///< per-type Eq. 5 decomposition
   std::size_t threads = 0;            ///< across time steps (0 = auto)
+  /// Build one FrameNeighborCache per analyzed frame and share its subspace
+  /// kd-trees across that frame's estimator calls (the KSG multi-information,
+  /// the entropy curves, and the decomposition's total term). Purely a
+  /// throughput knob: every estimate is bitwise-identical either way.
+  bool reuse_neighbor_cache = true;
 };
 
 /// Measurements at one recorded step.
@@ -65,6 +70,27 @@ struct AnalysisResult {
   [[nodiscard]] std::vector<double> steps() const;
   [[nodiscard]] std::vector<double> mi_values() const;
 };
+
+/// One frame's measurement — the shared body of the post-hoc analyzer and
+/// the streaming consumer (core/streaming_analyzer.hpp).
+struct FrameAnalysis {
+  TimePoint point;
+  std::size_t observer_count = 0;
+};
+
+/// Analyzes a single recorded frame: align to shape space, optionally
+/// coarse-grain (seeded by `frame_index`, so results do not depend on
+/// evaluation order), then estimate per `options`. All inner loops dispatch
+/// on `executor`; `options.threads` is ignored here. Deterministic in
+/// (frame, types, step, frame_index, coarse, options) — the executor's
+/// width never affects any estimate. The frame view is consumed before
+/// returning, so callers may hand out views into storage they later move.
+[[nodiscard]] FrameAnalysis analyze_frame(geom::FrameView frame,
+                                          const std::vector<sim::TypeId>& types,
+                                          std::size_t step,
+                                          std::size_t frame_index, bool coarse,
+                                          const AnalysisOptions& options,
+                                          support::Executor& executor);
 
 /// Runs the full measurement pipeline on a recorded ensemble.
 ///

@@ -147,6 +147,21 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
         FrameStore(series.frame_steps.size(), m_local, n, config.storage);
   }
 
+  // The store and grid exist: let the observer set up, then hand it every
+  // sample a resumed shard already holds (their bytes are durable in the
+  // mapped file, so their frames are as readable as freshly recorded ones).
+  if (config.observer != nullptr) {
+    config.observer->on_recording_started(series);
+    if (sharded) {
+      for (std::size_t local = 0; local < m_local; ++local) {
+        if (manifest.manifest().is_complete(local)) {
+          config.observer->on_frames_recorded(0, series.frame_steps.size(),
+                                              local);
+        }
+      }
+    }
+  }
+
   // Local indices still to simulate: everything on a fresh run, the
   // cleared manifest bits on a resume. Completed samples' bytes are
   // already in the mapped shard file — skipping them is what makes resume
@@ -212,6 +227,9 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
                   const auto slot = series.frames.sample_slot(f, local);
                   for (std::size_t i = 0; i < positions.size(); ++i) {
                     slot[i] = positions[i];
+                  }
+                  if (config.observer != nullptr) {
+                    config.observer->on_frames_recorded(f, f + 1, local);
                   }
                 });
             support::expect(run.frame_steps == series.frame_steps,

@@ -31,6 +31,35 @@ struct ShardOptions {
   bool resume = false;     ///< reopen a matching shard, skip completed work
 };
 
+struct EnsembleSeries;
+
+/// Hook into the recording fan-out, so a consumer (the streaming analyzer,
+/// a progress meter) can start working on recorded frames while later
+/// samples still simulate.
+class RecordingObserver {
+ public:
+  virtual ~RecordingObserver() = default;
+
+  /// Called once, on run_experiment's calling thread, after the series'
+  /// store and recording grid exist but before any sample simulates. The
+  /// series outlives the call only as run_experiment's local — observers
+  /// that keep working after this call must copy what they need (frame
+  /// views into the store stay valid: the store's backing allocation is
+  /// stable across the series' later move to the caller). An exception
+  /// thrown here propagates out of run_experiment before any work starts.
+  virtual void on_recording_started(const EnsembleSeries& series) = 0;
+
+  /// Frames [begin_frame, end_frame) of sample `local_sample` are now
+  /// fully written into the store. Called from the sample workers — one
+  /// frame at a time as each is recorded, concurrently across samples —
+  /// and once per resumed sample with the full frame range before the
+  /// fan-out starts. Must be thread-safe and must not throw (a throw
+  /// would abort the worker fan-out).
+  virtual void on_frames_recorded(std::size_t begin_frame,
+                                  std::size_t end_frame,
+                                  std::size_t local_sample) = 0;
+};
+
 /// Specification of a full experiment: one simulation config replicated over
 /// m RNG streams. Everything is deterministic in (config, samples).
 struct ExperimentConfig {
@@ -59,6 +88,11 @@ struct ExperimentConfig {
   /// default; when on, `storage` spill settings are ignored in favor of
   /// the shard file.
   ShardOptions shard{};
+  /// Optional recording observer (not owned; must outlive the run):
+  /// notified as frames land in the store, so analysis can overlap the
+  /// remaining simulation (see core/streaming_analyzer.hpp). Never affects
+  /// the recording itself.
+  RecordingObserver* observer = nullptr;
 };
 
 /// Aggregated neighbor-list rebuild accounting of one experiment: `steps`

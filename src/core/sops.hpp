@@ -22,6 +22,7 @@
 #include "core/hierarchy.hpp"
 #include "core/config_builder.hpp"
 #include "core/presets.hpp"
+#include "core/streaming_analyzer.hpp"
 #include "geom/aabb.hpp"
 #include "geom/cell_grid.hpp"
 #include "geom/delaunay.hpp"
@@ -35,6 +36,7 @@
 #include "info/decomposition.hpp"
 #include "info/entropy.hpp"
 #include "info/kde.hpp"
+#include "info/neighbor_cache.hpp"
 #include "info/transfer_entropy.hpp"
 #include "info/ksg.hpp"
 #include "io/ascii_chart.hpp"

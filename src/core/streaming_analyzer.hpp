@@ -1,0 +1,122 @@
+// Streaming analysis: overlap the measurement pipeline with the simulation
+// that produces its input.
+//
+// The post-hoc pipeline (core/analyzer.hpp) waits for run_experiment to
+// return before touching a single frame, so the analysis wall time stacks
+// on top of the simulation's. A StreamingAnalyzer instead plugs into
+// ExperimentConfig::observer: sample workers announce each recorded frame,
+// a per-frame arrival counter detects the moment a frame's last sample has
+// landed, and a dedicated consumer thread runs the shared per-frame body
+// (analyze_frame) on complete frames while later samples still simulate.
+//
+// Because every sample records its frames in grid order, frames complete in
+// ascending frame order — the consumer's FIFO queue doubles as a
+// sequential-read schedule over the (possibly disk-backed) frame store.
+//
+// Determinism: the consumer runs the exact same analyze_frame the post-hoc
+// analyzer runs, with the same per-frame coarse-graining seed, so the
+// streamed AnalysisResult is bitwise-identical to
+// analyze_self_organization on the same recording — overlap changes when
+// the numbers are computed, never what they are.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/experiment.hpp"
+
+namespace sops::core {
+
+/// Producer/consumer analyzer. Lifecycle:
+///
+///   StreamingAnalyzer analyzer(options);
+///   config.observer = &analyzer;
+///   EnsembleSeries series = run_experiment(config);  // analysis overlaps
+///   AnalysisResult result = analyzer.finish();       // series still alive!
+///
+/// finish() must run before the series is destroyed (the consumer reads
+/// frame views into its store), and only after run_experiment returned —
+/// if the producing run throws, call abort() instead (or just destroy the
+/// analyzer). measure_experiment_streamed() wraps the whole dance.
+class StreamingAnalyzer final : public RecordingObserver {
+ public:
+  explicit StreamingAnalyzer(AnalysisOptions options = {});
+  ~StreamingAnalyzer() override;
+
+  StreamingAnalyzer(const StreamingAnalyzer&) = delete;
+  StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
+
+  /// RecordingObserver: validates the series against the options (throws
+  /// on the calling thread, before any sample simulates), captures frame
+  /// views and grid metadata, and starts the consumer thread.
+  void on_recording_started(const EnsembleSeries& series) override;
+
+  /// RecordingObserver: counts arrivals per frame; the sample that
+  /// completes a frame enqueues it for the consumer. Lock-free except for
+  /// the completing sample's enqueue.
+  void on_frames_recorded(std::size_t begin_frame, std::size_t end_frame,
+                          std::size_t local_sample) override;
+
+  /// Blocks until every frame is analyzed, joins the consumer, and
+  /// assembles the result (layout-identical to analyze_self_organization).
+  /// If the consumer hit an exception it is rethrown here, after the
+  /// consumer has stopped touching the store. Call only after the
+  /// producing run_experiment returned — an aborted producer leaves frames
+  /// that will never complete, and finish() would wait on them forever.
+  [[nodiscard]] AnalysisResult finish();
+
+  /// Stops without a result: pending frames are dropped, the consumer is
+  /// joined, a stored consumer exception is discarded. Safe to call in any
+  /// state (including before any recording started, or twice).
+  void abort() noexcept;
+
+ private:
+  void consume();
+
+  AnalysisOptions options_;
+
+  // Immutable after on_recording_started (the consumer and the workers
+  // only read them).
+  std::vector<geom::FrameView> frames_;
+  std::vector<sim::TypeId> types_;
+  std::vector<std::size_t> frame_steps_;
+  std::size_t frame_count_ = 0;
+  std::size_t samples_ = 0;
+  bool coarse_ = false;
+  bool started_ = false;
+
+  // One arrival counter per frame. The completing fetch_add (acq_rel) of a
+  // frame's last sample synchronizes with every earlier sample's release
+  // increment, so the consumer observes all of the frame's slot writes.
+  std::unique_ptr<std::atomic<std::size_t>[]> arrivals_;
+
+  // Consumer state, guarded by mutex_ (except points_/observer_counts_
+  // slots, which only the consumer writes and finish() reads post-join).
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::size_t> ready_;
+  std::size_t next_ready_ = 0;
+  std::size_t frames_done_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  std::vector<TimePoint> points_;
+  std::vector<std::size_t> observer_counts_;
+  std::thread consumer_;
+};
+
+/// The streaming counterpart of measure_experiment: runs the experiment
+/// with a StreamingAnalyzer attached and returns the (bitwise-identical)
+/// analysis. On any failure — producer or consumer — the analyzer is
+/// cleanly drained before the exception propagates.
+[[nodiscard]] AnalysisResult measure_experiment_streamed(
+    const ExperimentConfig& config, const AnalysisOptions& options = {});
+
+}  // namespace sops::core

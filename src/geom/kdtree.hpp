@@ -18,6 +18,18 @@ struct Neighbor {
   double dist_sq = 0.0;
 };
 
+/// One contiguous coordinate range of the block-max metric: the distance
+/// between two points is the max over blocks of the Euclidean norm of the
+/// block coordinates (the KSG estimators' joint metric). The blocks passed
+/// to a block-metric query must tile [0, dim) — every axis belongs to
+/// exactly one block — which is what keeps single-axis pruning valid for
+/// the composite metric: a split-axis delta² lower-bounds its block's
+/// norm², which lower-bounds the max.
+struct DimBlock {
+  std::size_t offset = 0;
+  std::size_t dim = 0;
+};
+
 /// Static k-d tree (build once, query many times) with Euclidean metric.
 class KdTree {
  public:
@@ -31,7 +43,12 @@ class KdTree {
   /// Point dimension.
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
 
+  /// Largest batch accepted by the batched count_within_blocks overload.
+  static constexpr std::size_t kMaxCountBatch = 8;
+
   /// Nearest neighbor of `query` (dimension `dim()`); precondition: non-empty.
+  /// Allocation-free; visits points in the same order as k_nearest(query, 1)
+  /// with strict-< updates, so exact ties resolve to the same index.
   [[nodiscard]] Neighbor nearest(std::span<const double> query) const;
 
   /// The k nearest neighbors of `query`, sorted by ascending distance.
@@ -48,6 +65,36 @@ class KdTree {
       std::span<const double> query, double radius,
       std::size_t skip_index = static_cast<std::size_t>(-1)) const;
 
+  /// Squared block-max distance (see DimBlock) of the k-th nearest indexed
+  /// point to `query`, ties broken by multiplicity. `blocks` must tile
+  /// [0, dim). Equals the k-th order statistic of the exhaustive squared
+  /// distance set — bitwise, not approximately. Preconditions: k >= 1 and at
+  /// least k indexed points after excluding `skip_index`.
+  [[nodiscard]] double kth_block_dist_sq(
+      std::span<const double> query, std::size_t k,
+      std::span<const DimBlock> blocks,
+      std::size_t skip_index = static_cast<std::size_t>(-1)) const;
+
+  /// Number of indexed points with block-max distance to `query` strictly
+  /// less than `radius` (compared as squared distance < radius*radius, the
+  /// comparison the KSG estimators make). `blocks` must tile [0, dim).
+  [[nodiscard]] std::size_t count_within_blocks(
+      std::span<const double> query, double radius,
+      std::span<const DimBlock> blocks,
+      std::size_t skip_index = static_cast<std::size_t>(-1)) const;
+
+  /// Batched form: `radii.size()` query points share one tree descent.
+  /// `queries` holds the points back to back (radii.size() * dim doubles);
+  /// query b counts points with block-max distance < radii[b], excluding
+  /// skips[b], into counts[b]. Each count is bitwise-identical to the
+  /// single-query overload. Batch size is capped at kMaxCountBatch; callers
+  /// batch support::kSimdWidth points per descent.
+  void count_within_blocks(std::span<const double> queries,
+                           std::span<const double> radii,
+                           std::span<const DimBlock> blocks,
+                           std::span<const std::size_t> skips,
+                           std::span<std::size_t> counts) const;
+
  private:
   struct Node {
     // Leaves hold a contiguous range of `order_`; internal nodes split on
@@ -62,18 +109,41 @@ class KdTree {
   };
 
   static constexpr std::size_t kLeafSize = 16;
+  // Upper bound on the explicit traversal stack of the allocation-free
+  // queries. Splits are at the median, so depth <= ceil(log2(count)) + 1 and
+  // the DFS stack holds at most depth + 1 entries; 128 covers any count that
+  // fits in memory.
+  static constexpr std::size_t kMaxTraversalStack = 128;
 
   [[nodiscard]] const double* point(std::size_t i) const noexcept {
     return points_.data() + i * dim_;
   }
+  // Point order_[slot], stored contiguously in leaf-scan order so hot leaf
+  // loops stream instead of gathering through the permutation. Same doubles
+  // as point(order_[slot]) — swapping one for the other never changes a
+  // query result.
+  [[nodiscard]] const double* leaf_point(std::size_t slot) const noexcept {
+    return leaf_points_.data() + slot * dim_;
+  }
+  // Coordinate d of the leaf-ordered points as one contiguous column
+  // (coordinate-major mirror of leaf_points_), so per-leaf distance loops
+  // vectorize across points.
+  [[nodiscard]] const double* leaf_column(std::size_t d) const noexcept {
+    return leaf_columns_.data() + d * count_;
+  }
   [[nodiscard]] double dist_sq_to(std::size_t i,
                                   std::span<const double> query) const noexcept;
+  template <std::size_t kDim>
+  [[nodiscard]] Neighbor nearest_fixed(const double* query) const;
+  [[nodiscard]] Neighbor nearest_generic(std::span<const double> query) const;
   int build(std::size_t begin, std::size_t end);
 
   std::span<const double> points_;
   std::size_t dim_;
   std::size_t count_;
   std::vector<std::size_t> order_;  // permutation of point indices
+  std::vector<double> leaf_points_;   // points_ permuted by order_
+  std::vector<double> leaf_columns_;  // same, coordinate-major
   std::vector<Node> nodes_;
   int root_ = -1;
 };
@@ -92,6 +162,14 @@ class BruteForceSearcher {
       std::size_t skip_index = static_cast<std::size_t>(-1)) const;
   [[nodiscard]] std::size_t count_within(
       std::span<const double> query, double radius,
+      std::size_t skip_index = static_cast<std::size_t>(-1)) const;
+  [[nodiscard]] double kth_block_dist_sq(
+      std::span<const double> query, std::size_t k,
+      std::span<const DimBlock> blocks,
+      std::size_t skip_index = static_cast<std::size_t>(-1)) const;
+  [[nodiscard]] std::size_t count_within_blocks(
+      std::span<const double> query, double radius,
+      std::span<const DimBlock> blocks,
       std::size_t skip_index = static_cast<std::size_t>(-1)) const;
 
  private:

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "info/digamma.hpp"
+#include "info/neighbor_cache.hpp"
 #include "support/parallel_for.hpp"
 
 namespace sops::info {
@@ -34,18 +35,35 @@ double kth_block_distance(const SampleMatrix& samples, const Block& block,
 // caller lends one, a transient fork/join of `threads` workers otherwise.
 double entropy_kl_block_impl(const SampleMatrix& samples, const Block& block,
                              std::size_t k, support::Executor* executor,
-                             std::size_t threads) {
+                             std::size_t threads,
+                             FrameNeighborCache* cache = nullptr) {
   const std::size_t m = samples.count();
   support::expect(k >= 1 && m >= k + 1,
                   "entropy_kl_block: need at least k+1 samples");
   support::expect(block.offset + block.dim <= samples.dim(),
                   "entropy_kl_block: block out of range");
 
+  // Cached-tree path: resolve the subspace tree serially (single-writer
+  // contract) before the parallel query phase below reads it. The k-th of
+  // the square roots equals the square root of the k-th squared distance
+  // (sqrt is monotone and correctly rounded), so the cached eps matches the
+  // exhaustive kth_block_distance bit for bit.
+  const FrameNeighborCache::SubspaceTree* tree = nullptr;
+  if (cache != nullptr) {
+    support::expect(&cache->samples() == &samples,
+                    "entropy_kl_block: cache bound to another matrix");
+    tree = &cache->tree_for({&block, 1});
+  }
+
   std::vector<double> log_eps(m, 0.0);
   const auto chunk = [&](std::size_t begin, std::size_t end) {
     std::vector<double> scratch;
     for (std::size_t s = begin; s < end; ++s) {
-      const double eps = kth_block_distance(samples, block, s, k, scratch);
+      const double eps =
+          tree != nullptr
+              ? std::sqrt(tree->tree.kth_block_dist_sq(tree->query(s), k,
+                                                       tree->metric, s))
+              : kth_block_distance(samples, block, s, k, scratch);
       // Coincident samples yield ε = 0; contribute a strongly negative
       // but finite term so degenerate ensembles do not produce NaN.
       log_eps[s] = eps > 0.0 ? std::log2(eps) : -52.0;
@@ -93,6 +111,17 @@ double entropy_kl(const SampleMatrix& samples, std::size_t k,
 double entropy_kl(const SampleMatrix& samples, std::size_t k,
                   support::Executor& executor) {
   return entropy_kl_block(samples, Block{0, samples.dim()}, k, executor);
+}
+
+double entropy_kl_block(const SampleMatrix& samples, const Block& block,
+                        std::size_t k, support::Executor& executor,
+                        FrameNeighborCache* cache) {
+  return entropy_kl_block_impl(samples, block, k, &executor, 1, cache);
+}
+
+double entropy_kl(const SampleMatrix& samples, std::size_t k,
+                  support::Executor& executor, FrameNeighborCache* cache) {
+  return entropy_kl_block(samples, Block{0, samples.dim()}, k, executor, cache);
 }
 
 namespace {

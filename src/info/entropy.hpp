@@ -55,6 +55,22 @@ namespace sops::info {
                                           std::size_t k,
                                           support::Executor& executor);
 
+class FrameNeighborCache;
+
+/// Cache-aware forms: when `cache` (a FrameNeighborCache bound to `samples`)
+/// is non-null, the k-th-neighbor distances come from the cached subspace
+/// kd-tree — shared with the KSG calls on the same frame — instead of an
+/// exhaustive scan per sample. The k-th distance is an order statistic, so
+/// the estimate is bitwise-identical either way; null `cache` is exactly the
+/// executor form above.
+[[nodiscard]] double entropy_kl(const SampleMatrix& samples, std::size_t k,
+                                support::Executor& executor,
+                                FrameNeighborCache* cache);
+[[nodiscard]] double entropy_kl_block(const SampleMatrix& samples,
+                                      const Block& block, std::size_t k,
+                                      support::Executor& executor,
+                                      FrameNeighborCache* cache);
+
 /// log₂ of the volume of the D-dimensional unit L2 ball.
 [[nodiscard]] double log2_unit_ball_volume(std::size_t dim);
 

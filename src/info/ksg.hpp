@@ -20,6 +20,19 @@ class Executor;
 
 namespace sops::info {
 
+class FrameNeighborCache;
+
+/// How the marginal neighbor counts are computed. Both paths compare the
+/// identical squared distances with the identical strict < and therefore
+/// produce bitwise-equal estimates; the choice is purely a throughput knob.
+enum class NeighborSearch {
+  /// Per-block kd-trees with batched (kSimdWidth queries per descent)
+  /// count queries — the default.
+  kBlockedTree,
+  /// The original exhaustive per-pair scan; the reference path.
+  kBruteForce,
+};
+
 /// Which ψ-argument convention to use for the marginal counts.
 enum class KsgConvention {
   /// Standard KSG-1: ψ(c_i + 1), where c_i excludes the sample itself.
@@ -42,6 +55,14 @@ struct KsgOptions {
   /// workers runs per call. Never affects the estimate: per-sample terms
   /// are reduced in a fixed order regardless of who computes them.
   support::Executor* executor = nullptr;
+  /// Neighbor-count implementation; never affects the estimate.
+  NeighborSearch search = NeighborSearch::kBlockedTree;
+  /// Optional per-frame tree cache (kBlockedTree only). Must be bound to
+  /// the same SampleMatrix the estimator is called on; marginal trees are
+  /// then built once per frame instead of once per call. The estimator
+  /// resolves every tree serially before its parallel query phase, per the
+  /// cache's single-writer contract.
+  FrameNeighborCache* cache = nullptr;
 };
 
 /// Estimates the multi-information between the observer blocks of `samples`,

@@ -1,0 +1,72 @@
+#include "info/neighbor_cache.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace sops::info {
+
+FrameNeighborCache::FrameNeighborCache(const SampleMatrix& samples)
+    : samples_(&samples) {}
+
+const FrameNeighborCache::SubspaceTree& FrameNeighborCache::tree_for(
+    std::span<const Block> blocks) {
+  support::expect(!blocks.empty(), "FrameNeighborCache: no blocks");
+  for (const Block& b : blocks) {
+    support::expect(b.dim > 0 && b.offset + b.dim <= samples_->dim(),
+                    "FrameNeighborCache: block out of range");
+  }
+
+  for (const Entry& entry : entries_) {
+    if (std::ranges::equal(entry.key, blocks)) return *entry.tree;
+  }
+
+  const std::size_t m = samples_->count();
+  std::size_t point_dim = 0;
+  for (const Block& b : blocks) point_dim += b.dim;
+
+  // Zero-copy when the blocks tile each full row in listed order — then the
+  // matrix storage already is the gathered layout.
+  bool zero_copy = true;
+  {
+    std::size_t cursor = 0;
+    for (const Block& b : blocks) {
+      if (b.offset != cursor) {
+        zero_copy = false;
+        break;
+      }
+      cursor += b.dim;
+    }
+    zero_copy = zero_copy && point_dim == samples_->dim();
+  }
+
+  std::vector<geom::DimBlock> metric;
+  metric.reserve(blocks.size());
+  std::size_t rebased_offset = 0;
+  for (const Block& b : blocks) {
+    metric.push_back({rebased_offset, b.dim});
+    rebased_offset += b.dim;
+  }
+
+  std::vector<double> storage;
+  if (!zero_copy) {
+    storage.resize(m * point_dim);
+    for (std::size_t s = 0; s < m; ++s) {
+      const std::span<const double> row = samples_->row(s);
+      double* out = storage.data() + s * point_dim;
+      for (const Block& b : blocks) {
+        std::copy(row.data() + b.offset, row.data() + b.offset + b.dim, out);
+        out += b.dim;
+      }
+    }
+  }
+
+  Entry entry;
+  entry.key.assign(blocks.begin(), blocks.end());
+  entry.tree = std::make_unique<SubspaceTree>(
+      std::move(storage), std::move(metric), point_dim, samples_->flat());
+  entries_.push_back(std::move(entry));
+  return *entries_.back().tree;
+}
+
+}  // namespace sops::info

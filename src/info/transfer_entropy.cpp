@@ -1,12 +1,16 @@
 #include "info/transfer_entropy.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numbers>
+#include <optional>
 
 #include "info/digamma.hpp"
 #include "info/ksg.hpp"
+#include "info/neighbor_cache.hpp"
 #include "support/parallel_for.hpp"
+#include "support/simd.hpp"
 
 namespace sops::info {
 namespace {
@@ -20,18 +24,91 @@ double joint_dist(const SampleMatrix& samples, std::size_t s, std::size_t j,
   return std::sqrt(d_sq);
 }
 
-// One implementation behind both dispatch forms of the conditional MI:
-// the caller's lent executor when present, a transient fork/join otherwise.
+// One implementation behind the dispatch forms of the conditional MI:
+// the caller's lent executor when present, a transient fork/join otherwise;
+// subspace kd-trees (kBlockedTree) or exhaustive scans (kBruteForce) for the
+// neighbor work — both produce identical bits (same distances, same strict-<
+// comparisons; the joint ε is the same order statistic either way).
 double conditional_mi_impl(const SampleMatrix& samples, const Block& a,
                            const Block& b, const Block& c, std::size_t k,
-                           support::Executor* executor, std::size_t threads) {
+                           support::Executor* executor, std::size_t threads,
+                           NeighborSearch search, FrameNeighborCache* cache) {
   const std::size_t m = samples.count();
   support::expect(k >= 1, "conditional MI: k must be >= 1");
   support::expect(m >= k + 1, "conditional MI: need at least k+1 samples");
   validate_blocks(std::vector<Block>{a, b, c}, samples.dim());
 
+  // Tree path: resolve the four subspace searchers serially up front (the
+  // cache is single-writer; the parallel chunks only read).
+  const bool use_trees = search == NeighborSearch::kBlockedTree;
+  std::optional<FrameNeighborCache> local_cache;
+  const FrameNeighborCache::SubspaceTree* joint_tree = nullptr;
+  const FrameNeighborCache::SubspaceTree* ac_tree = nullptr;
+  const FrameNeighborCache::SubspaceTree* bc_tree = nullptr;
+  const FrameNeighborCache::SubspaceTree* c_tree = nullptr;
+  if (use_trees) {
+    if (cache != nullptr) {
+      support::expect(&cache->samples() == &samples,
+                      "conditional MI: cache bound to another matrix");
+    } else {
+      local_cache.emplace(samples);
+      cache = &*local_cache;
+    }
+    const std::array<Block, 3> abc = {a, b, c};
+    const std::array<Block, 2> ac = {a, c};
+    const std::array<Block, 2> bc = {b, c};
+    joint_tree = &cache->tree_for(abc);
+    ac_tree = &cache->tree_for(ac);
+    bc_tree = &cache->tree_for(bc);
+    c_tree = &cache->tree_for({&c, 1});
+  }
+
   std::vector<double> per_sample(m, 0.0);
   const auto chunk = [&](std::size_t begin, std::size_t end) {
+    if (use_trees) {
+      // ε per sample via the joint tree: the k-th smallest squared
+      // block-max distance is the square of the brute path's k-th smallest
+      // distance (sqrt is monotone), so the ε doubles agree bitwise.
+      std::vector<double> eps(end - begin);
+      for (std::size_t s = begin; s < end; ++s) {
+        eps[s - begin] = std::sqrt(joint_tree->tree.kth_block_dist_sq(
+            joint_tree->query(s), k, joint_tree->metric, s));
+      }
+      // Marginal counts in the (a,c), (b,c) and (c) subspaces, strictly
+      // within ε (Frenzel–Pompe convention), batched kSimdWidth queries per
+      // descent.
+      constexpr std::size_t kBatch = support::kSimdWidth;
+      static_assert(kBatch <= geom::KdTree::kMaxCountBatch);
+      std::vector<std::size_t> n_ac(end - begin);
+      std::vector<std::size_t> n_bc(end - begin);
+      std::vector<std::size_t> n_c(end - begin);
+      std::array<std::size_t, kBatch> skips;
+      const std::array<
+          std::pair<const FrameNeighborCache::SubspaceTree*, std::size_t*>, 3>
+          passes = {{{ac_tree, n_ac.data()},
+                     {bc_tree, n_bc.data()},
+                     {c_tree, n_c.data()}}};
+      for (const auto& [subspace, counts] : passes) {
+        for (std::size_t s0 = begin; s0 < end; s0 += kBatch) {
+          const std::size_t batch = std::min(kBatch, end - s0);
+          for (std::size_t i = 0; i < batch; ++i) skips[i] = s0 + i;
+          subspace->tree.count_within_blocks(
+              subspace->points.subspan(s0 * subspace->point_dim,
+                                       batch * subspace->point_dim),
+              std::span<const double>(eps.data() + (s0 - begin), batch),
+              subspace->metric,
+              std::span<const std::size_t>(skips.data(), batch),
+              std::span<std::size_t>(counts + (s0 - begin), batch));
+        }
+      }
+      for (std::size_t s = begin; s < end; ++s) {
+        const std::size_t i = s - begin;
+        per_sample[s] = digamma_int(n_ac[i] + 1) + digamma_int(n_bc[i] + 1) -
+                        digamma_int(n_c[i] + 1);
+      }
+      return;
+    }
+
     std::vector<double> scratch;
     for (std::size_t s = begin; s < end; ++s) {
       scratch.clear();
@@ -81,14 +158,23 @@ double conditional_mutual_information_ksg(const SampleMatrix& samples,
                                           const Block& a, const Block& b,
                                           const Block& c, std::size_t k,
                                           std::size_t threads) {
-  return conditional_mi_impl(samples, a, b, c, k, nullptr, threads);
+  return conditional_mi_impl(samples, a, b, c, k, nullptr, threads,
+                             NeighborSearch::kBlockedTree, nullptr);
 }
 
 double conditional_mutual_information_ksg(const SampleMatrix& samples,
                                           const Block& a, const Block& b,
                                           const Block& c, std::size_t k,
                                           support::Executor& executor) {
-  return conditional_mi_impl(samples, a, b, c, k, &executor, 1);
+  return conditional_mi_impl(samples, a, b, c, k, &executor, 1,
+                             NeighborSearch::kBlockedTree, nullptr);
+}
+
+double conditional_mutual_information_ksg(
+    const SampleMatrix& samples, const Block& a, const Block& b,
+    const Block& c, const TransferEntropyOptions& options) {
+  return conditional_mi_impl(samples, a, b, c, options.k, options.executor,
+                             options.threads, options.search, options.cache);
 }
 
 double transfer_entropy(std::span<const double> source,
@@ -118,12 +204,11 @@ double transfer_entropy(std::span<const double> source,
   const Block future{0, dim};
   const Block src{dim, dim};
   const Block present{2 * dim, dim};
-  if (options.executor != nullptr) {
-    return conditional_mutual_information_ksg(samples, future, src, present,
-                                              options.k, *options.executor);
-  }
-  return conditional_mutual_information_ksg(samples, future, src, present,
-                                            options.k, options.threads);
+  // The embedding matrix is local to this call, so any caller-provided
+  // cache (bound to *their* matrix) must not be used here.
+  return conditional_mi_impl(samples, future, src, present, options.k,
+                             options.executor, options.threads, options.search,
+                             nullptr);
 }
 
 namespace {
@@ -211,6 +296,7 @@ double active_information_storage(std::span<const double> series,
   ksg.k = options.k;
   ksg.threads = options.threads;
   ksg.executor = options.executor;
+  ksg.search = options.search;
   return multi_information_ksg(samples, dim, ksg);
 }
 

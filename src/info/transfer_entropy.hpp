@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "geom/vec2.hpp"
+#include "info/ksg.hpp"
 #include "info/sample_matrix.hpp"
 
 namespace sops::support {
@@ -45,6 +46,14 @@ struct TransferEntropyOptions {
   /// persistent pool instead of forking workers per call. Never affects
   /// the estimate.
   support::Executor* executor = nullptr;
+  /// Neighbor-search implementation (shared with KsgOptions); never affects
+  /// the estimate.
+  NeighborSearch search = NeighborSearch::kBlockedTree;
+  /// Optional per-frame tree cache for conditional_mutual_information_ksg
+  /// (kBlockedTree only); must be bound to the matrix passed to that call.
+  /// Ignored by the estimators that build their own embedding matrices
+  /// (transfer_entropy and friends), whose subspaces exist only per call.
+  FrameNeighborCache* cache = nullptr;
 };
 
 /// KSG/Frenzel–Pompe conditional mutual information I(A ; B | C) in bits.
@@ -61,6 +70,13 @@ struct TransferEntropyOptions {
 [[nodiscard]] double conditional_mutual_information_ksg(
     const SampleMatrix& samples, const Block& a, const Block& b,
     const Block& c, std::size_t k, support::Executor& executor);
+
+/// Options form: takes k, threading, the neighbor-search knob, and an
+/// optional FrameNeighborCache bound to `samples` (subspace trees are then
+/// shared with other estimator calls on the same matrix). `lag` is unused.
+[[nodiscard]] double conditional_mutual_information_ksg(
+    const SampleMatrix& samples, const Block& a, const Block& b,
+    const Block& c, const TransferEntropyOptions& options);
 
 /// Transfer entropy (bits) between two scalar-block time series.
 ///

@@ -2,8 +2,10 @@
 // and matching properties.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numbers>
 #include <numeric>
+#include <span>
 
 #include "align/icp.hpp"
 #include "rng/samplers.hpp"
@@ -207,6 +209,66 @@ TEST(MatchByType, RecoversAppliedPermutation) {
 
   const auto match = match_by_type(a.points, a.types, b_points, a.types);
   for (std::size_t i = 0; i < perm.size(); ++i) EXPECT_EQ(match[i], perm[i]);
+}
+
+// The original greedy matcher, kept as the test oracle: materialize every
+// same-type pair, sort by (distance², source, target), commit greedily.
+// The production lazy-heap matcher must reproduce it exactly — ties and
+// all — on any input.
+std::vector<std::size_t> sorted_greedy_oracle(
+    std::span<const Vec2> source, std::span<const TypeId> source_types,
+    std::span<const Vec2> target, std::span<const TypeId> target_types) {
+  struct Pair {
+    double dist_sq;
+    std::size_t s;
+    std::size_t t;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t s = 0; s < source.size(); ++s) {
+    for (std::size_t t = 0; t < target.size(); ++t) {
+      if (source_types[s] != target_types[t]) continue;
+      pairs.push_back({sops::geom::dist_sq(source[s], target[t]), s, t});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.dist_sq != b.dist_sq) return a.dist_sq < b.dist_sq;
+    if (a.s != b.s) return a.s < b.s;
+    return a.t < b.t;
+  });
+  std::vector<std::size_t> match(source.size(), source.size());
+  std::vector<char> source_used(source.size(), 0);
+  std::vector<char> target_used(target.size(), 0);
+  for (const Pair& pair : pairs) {
+    if (source_used[pair.s] || target_used[pair.t]) continue;
+    match[pair.s] = pair.t;
+    source_used[pair.s] = 1;
+    target_used[pair.t] = 1;
+  }
+  return match;
+}
+
+TEST(MatchByType, MatchesSortedGreedyOracleOnFuzzedClouds) {
+  for (const std::uint64_t seed : {3u, 11u, 29u, 71u}) {
+    const Cloud a = make_cloud(60, 3, seed);
+    const Cloud b = make_cloud(60, 3, seed + 1000);
+    EXPECT_EQ(match_by_type(a.points, a.types, b.points, b.types),
+              sorted_greedy_oracle(a.points, a.types, b.points, b.types))
+        << "seed=" << seed;
+  }
+}
+
+TEST(MatchByType, MatchesOracleWithDuplicatePointTies) {
+  // Coincident points on both sides: many exactly-tied pair distances, so
+  // only identical (dist, s, t) tie-breaking reproduces the oracle.
+  Cloud a = make_cloud(24, 2, 7);
+  Cloud b = make_cloud(24, 2, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    a.points[i] = {1.0, -1.0};
+    b.points[i + 4] = {1.25, -1.0};
+    // Types keep the i % 2 pattern, so duplicates span both types.
+  }
+  EXPECT_EQ(match_by_type(a.points, a.types, b.points, b.types),
+            sorted_greedy_oracle(a.points, a.types, b.points, b.types));
 }
 
 TEST(MatchByType, MismatchedHistogramsThrow) {

@@ -1,0 +1,156 @@
+// Streaming analyzer tests: the producer/consumer pipeline must return the
+// exact bits of the post-hoc analyzer for every curve it computes — across
+// thread counts, frame-store backings, coarse-graining, and resumed shards
+// — and must drain cleanly when the analysis itself throws.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "core/experiment.hpp"
+#include "core/presets.hpp"
+#include "core/streaming_analyzer.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::core::AnalysisOptions;
+using sops::core::AnalysisResult;
+using sops::core::analyze_self_organization;
+using sops::core::EnsembleSeries;
+using sops::core::ExperimentConfig;
+using sops::core::measure_experiment;
+using sops::core::measure_experiment_streamed;
+using sops::core::run_experiment;
+using sops::core::StreamingAnalyzer;
+
+ExperimentConfig small_experiment(std::size_t samples = 12,
+                                  std::size_t steps = 20) {
+  sops::sim::SimulationConfig simulation =
+      sops::core::presets::fig4_three_type_collective();
+  simulation.steps = steps;
+  simulation.record_stride = steps / 2;  // three recorded frames
+  ExperimentConfig experiment(simulation);
+  experiment.samples = samples;
+  return experiment;
+}
+
+AnalysisOptions full_analysis() {
+  AnalysisOptions options;
+  options.compute_entropies = true;
+  options.compute_decomposition = true;
+  return options;
+}
+
+void expect_identical(const AnalysisResult& streamed,
+                      const AnalysisResult& post_hoc) {
+  EXPECT_EQ(streamed.observer_count, post_hoc.observer_count);
+  EXPECT_EQ(streamed.coarse_grained, post_hoc.coarse_grained);
+  ASSERT_EQ(streamed.points.size(), post_hoc.points.size());
+  for (std::size_t f = 0; f < streamed.points.size(); ++f) {
+    const auto& s = streamed.points[f];
+    const auto& p = post_hoc.points[f];
+    EXPECT_EQ(s.step, p.step);
+    EXPECT_EQ(s.multi_information, p.multi_information);
+    EXPECT_EQ(s.joint_entropy, p.joint_entropy);
+    EXPECT_EQ(s.marginal_entropy_sum, p.marginal_entropy_sum);
+    EXPECT_EQ(s.decomposition.total, p.decomposition.total);
+    EXPECT_EQ(s.decomposition.between_groups, p.decomposition.between_groups);
+    ASSERT_EQ(s.decomposition.within_group.size(),
+              p.decomposition.within_group.size());
+    for (std::size_t g = 0; g < s.decomposition.within_group.size(); ++g) {
+      EXPECT_EQ(s.decomposition.within_group[g],
+                p.decomposition.within_group[g]);
+    }
+  }
+}
+
+TEST(StreamingAnalyzer, MatchesPostHocAcrossThreadsAndStorage) {
+  const AnalysisResult reference =
+      measure_experiment(small_experiment(), full_analysis());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const auto mode : {sops::core::StorageMode::kHeap,
+                            sops::core::StorageMode::kMapped}) {
+      ExperimentConfig experiment = small_experiment();
+      experiment.threads = threads;
+      experiment.storage.mode = mode;
+      experiment.storage.spill_dir = ::testing::TempDir();
+      AnalysisOptions options = full_analysis();
+      options.threads = threads;
+      const AnalysisResult streamed =
+          measure_experiment_streamed(experiment, options);
+      expect_identical(streamed, reference);
+    }
+  }
+}
+
+TEST(StreamingAnalyzer, MatchesPostHocWhenCoarseGrained) {
+  AnalysisOptions options = full_analysis();
+  options.coarse_grain_above = 10;  // n = 50 > 10 → per-type k-means path
+  options.kmeans_per_type = 3;
+  const AnalysisResult post_hoc =
+      measure_experiment(small_experiment(), options);
+  EXPECT_TRUE(post_hoc.coarse_grained);
+  const AnalysisResult streamed =
+      measure_experiment_streamed(small_experiment(), options);
+  expect_identical(streamed, post_hoc);
+}
+
+TEST(StreamingAnalyzer, CacheKnobDoesNotChangeResults) {
+  AnalysisOptions cached = full_analysis();
+  AnalysisOptions uncached = full_analysis();
+  uncached.reuse_neighbor_cache = false;
+  expect_identical(measure_experiment_streamed(small_experiment(), cached),
+                   measure_experiment(small_experiment(), uncached));
+}
+
+TEST(StreamingAnalyzer, ResumedShardFramesFlowThroughObserver) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "streaming_resume.shard")
+          .string();
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".manifest");
+
+  ExperimentConfig experiment = small_experiment();
+  experiment.shard.path = path;
+  const AnalysisResult post_hoc =
+      analyze_self_organization(run_experiment(experiment), full_analysis());
+
+  // Re-running with --resume finds every sample complete: the analyzer is
+  // fed exclusively by the startup (0, F) notifications.
+  experiment.shard.resume = true;
+  StreamingAnalyzer analyzer(full_analysis());
+  experiment.observer = &analyzer;
+  const EnsembleSeries resumed = run_experiment(experiment);
+  EXPECT_EQ(resumed.resumed_samples, resumed.sample_count());
+  expect_identical(analyzer.finish(), post_hoc);
+
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".manifest");
+}
+
+TEST(StreamingAnalyzer, ConsumerExceptionDrainsAndSurfaces) {
+  AnalysisOptions options;
+  options.coarse_grain_above = 10;
+  options.kmeans_per_type = 0;  // coarse_grain_ensemble rejects k = 0
+  EXPECT_THROW(measure_experiment_streamed(small_experiment(), options),
+               sops::Error);
+}
+
+TEST(StreamingAnalyzer, InvalidAnalysisFailsBeforeSimulating) {
+  AnalysisOptions options;
+  options.ksg.k = 50;  // needs more samples than the tiny ensemble has
+  EXPECT_THROW(measure_experiment_streamed(small_experiment(4), options),
+               sops::Error);
+}
+
+TEST(StreamingAnalyzer, AbortWithoutFinishIsClean) {
+  StreamingAnalyzer analyzer(full_analysis());
+  ExperimentConfig experiment = small_experiment();
+  experiment.observer = &analyzer;
+  const EnsembleSeries series = run_experiment(experiment);
+  analyzer.abort();  // destructor would do the same; both must be safe
+}
+
+}  // namespace

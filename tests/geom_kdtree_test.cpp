@@ -175,6 +175,104 @@ TEST(KdTree, InvalidConstructionThrows) {
   EXPECT_THROW(KdTree(data, 0), sops::PreconditionError);
 }
 
+// The allocation-free nearest() must replicate k_nearest(query, 1) exactly —
+// same winner index on ties, same bits — on every shape, including tie-heavy
+// duplicate clouds.
+TEST_P(KdTreeVsBruteForce, NearestIsExactlyKNearestOne) {
+  const auto [count, dim] = GetParam();
+  auto data = random_points(count, dim, 53);
+  // Duplicate a few points to force exact ties.
+  for (std::size_t i = 0; i + 1 < count && i < 4; ++i) {
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(i * dim), dim,
+                data.begin() + static_cast<std::ptrdiff_t>((count - 1 - i) * dim));
+  }
+  const KdTree tree(data, dim);
+  const auto queries = random_points(30, dim, 54);
+  for (std::size_t q = 0; q < 30; ++q) {
+    const std::span<const double> query{queries.data() + q * dim, dim};
+    const Neighbor fast = tree.nearest(query);
+    const Neighbor reference = tree.k_nearest(query, 1).front();
+    EXPECT_EQ(fast.index, reference.index);
+    EXPECT_EQ(fast.dist_sq, reference.dist_sq);
+  }
+  // Self-queries on the duplicated points are all-zero ties.
+  for (std::size_t i = 0; i < std::min<std::size_t>(count, 8); ++i) {
+    const std::span<const double> query{data.data() + i * dim, dim};
+    const Neighbor fast = tree.nearest(query);
+    const Neighbor reference = tree.k_nearest(query, 1).front();
+    EXPECT_EQ(fast.index, reference.index);
+    EXPECT_EQ(fast.dist_sq, reference.dist_sq);
+  }
+}
+
+std::vector<sops::geom::DimBlock> split_blocks(std::size_t dim) {
+  if (dim == 1) return {{0, 1}};
+  const std::size_t first = dim / 2;
+  return {{0, first}, {first, dim - first}};
+}
+
+TEST_P(KdTreeVsBruteForce, KthBlockDistSqMatchesOracle) {
+  const auto [count, dim] = GetParam();
+  if (count < 4) return;  // need k-th neighbors to exist
+  const auto data = random_points(count, dim, 57);
+  const KdTree tree(data, dim);
+  const BruteForceSearcher oracle(data, dim);
+  const auto blocks = split_blocks(dim);
+
+  for (const std::size_t k : {1u, 4u}) {
+    if (count < k + 1) continue;
+    for (std::size_t s = 0; s < std::min<std::size_t>(count, 15); ++s) {
+      const std::span<const double> query{data.data() + s * dim, dim};
+      EXPECT_EQ(tree.kth_block_dist_sq(query, k, blocks, s),
+                oracle.kth_block_dist_sq(query, k, blocks, s))
+          << "k=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST_P(KdTreeVsBruteForce, CountWithinBlocksMatchesOracleAndBatch) {
+  const auto [count, dim] = GetParam();
+  const auto data = random_points(count, dim, 61);
+  const KdTree tree(data, dim);
+  const BruteForceSearcher oracle(data, dim);
+  const auto blocks = split_blocks(dim);
+
+  const std::size_t batch = std::min<std::size_t>(count, 4);
+  if (batch == 0) return;
+  std::vector<double> radii;
+  std::vector<std::size_t> skips;
+  std::vector<std::size_t> counts(batch, 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    radii.push_back(b == 0 ? 0.0 : 1.5 * static_cast<double>(b));  // incl. ε=0
+    skips.push_back(b);
+  }
+  // Batched query over rows [0, batch): one descent, per-query counts.
+  tree.count_within_blocks({data.data(), batch * dim}, radii, blocks, skips,
+                           counts);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::span<const double> query{data.data() + b * dim, dim};
+    EXPECT_EQ(counts[b], tree.count_within_blocks(query, radii[b], blocks, b))
+        << "b=" << b;
+    EXPECT_EQ(counts[b], oracle.count_within_blocks(query, radii[b], blocks, b))
+        << "b=" << b;
+  }
+}
+
+TEST(KdTree, BlockedQueriesOnDuplicateCloud) {
+  // All points identical: every pairwise blocked distance is exactly 0.
+  std::vector<double> data(40 * 4, 1.5);
+  const KdTree tree(data, 4);
+  const BruteForceSearcher oracle(data, 4);
+  const std::vector<sops::geom::DimBlock> blocks = {{0, 2}, {2, 2}};
+  const std::span<const double> query{data.data(), 4};
+  EXPECT_EQ(tree.kth_block_dist_sq(query, 4, blocks, 0),
+            oracle.kth_block_dist_sq(query, 4, blocks, 0));
+  EXPECT_EQ(tree.kth_block_dist_sq(query, 4, blocks, 0), 0.0);
+  // Strict < never counts coincident points at ε = 0.
+  EXPECT_EQ(tree.count_within_blocks(query, 0.0, blocks, 0), 0u);
+  EXPECT_EQ(tree.count_within_blocks(query, 0.5, blocks, 0), 39u);
+}
+
 TEST(KdTree, WrongQueryDimensionThrows) {
   const auto data = random_points(10, 3, 51);
   const KdTree tree(data, 3);

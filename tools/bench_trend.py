@@ -80,6 +80,20 @@ def flatten_metrics(engine_json):
     analyzer = engine_json.get("analyzer", {})
     if analyzer.get("frames_per_sec"):
         metrics["analyzer/frames_per_sec"] = analyzer["frames_per_sec"]
+    streaming = analyzer.get("streaming", {})
+    if streaming.get("streaming_frames_per_sec"):
+        # The streamed simulate+analyze rate at the paper row gates as a
+        # throughput. The frozen post-hoc baseline is a fixed yardstick
+        # (the benchmark binary recomputes the same frozen code path every
+        # run), and the speedup is a quotient of two noisy measurements —
+        # both recorded for the trajectory, neither gated.
+        metrics["analyzer/streaming_frames_per_sec"] = \
+            streaming["streaming_frames_per_sec"]
+        for key in ("post_hoc_baseline_frames_per_sec", "speedup"):
+            if streaming.get(key) is not None:
+                name = f"analyzer/streaming_{key}"
+                metrics[name] = float(streaming[key])
+                ungated.add(name)
     frame_store = engine_json.get("frame_store", {})
     if frame_store.get("bytes_per_frame"):
         # LOWER_IS_BETTER: the paper-sized per-frame payload is
