@@ -201,6 +201,28 @@ void CellGrid::append_block_candidates(std::size_t cell,
   }
 }
 
+void CellGrid::append_block_candidates_at(
+    Vec2 q, std::vector<std::uint32_t>& out) const {
+  if (cell_count_ == 0) return;
+  const CellKey center = key_of(q);
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    // Column-major dense ids keep each dx column one CSR range even when
+    // the center cell is absent from the table: probe the column's three
+    // cells and splice [min, max] as in block_spans' fallback path.
+    std::int32_t lo = kEmpty;
+    std::int32_t hi = kEmpty;
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const std::int32_t c = find_cell(center.x + dx, center.y + dy);
+      if (c == kEmpty) continue;
+      if (lo == kEmpty || c < lo) lo = c;
+      if (c > hi) hi = c;
+    }
+    if (lo == kEmpty) continue;
+    out.insert(out.end(), entries_.begin() + starts_[lo],
+               entries_.begin() + starts_[hi + 1]);
+  }
+}
+
 std::size_t CellGrid::block_spans(
     std::size_t cell,
     std::array<std::pair<std::uint32_t, std::uint32_t>, 3>& spans) const {

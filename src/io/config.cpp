@@ -137,8 +137,13 @@ std::size_t Config::get_size(const std::string& key, std::size_t fallback) const
 bool Config::get_bool(const std::string& key, bool fallback) const {
   const auto value = raw(key);
   if (!value) return fallback;
-  if (*value == "true" || *value == "1" || *value == "yes") return true;
-  if (*value == "false" || *value == "0" || *value == "no") return false;
+  if (*value == "true" || *value == "1" || *value == "yes" || *value == "on") {
+    return true;
+  }
+  if (*value == "false" || *value == "0" || *value == "no" ||
+      *value == "off") {
+    return false;
+  }
   throw Error("config: key '" + key + "' must be a boolean, got '" + *value +
               "'");
 }

@@ -29,6 +29,10 @@
 #define SOPS_KERNEL_AVX2 0
 #endif
 
+#if SOPS_KERNEL_AVX2
+#include <immintrin.h>
+#endif
+
 namespace sops::sim {
 namespace {
 
@@ -70,6 +74,14 @@ inline void scalar_block(ForceLawKind kind, double xi, double yi,
     accx[l] += dx[l] * w;
     accy[l] += dy[l] * w;
   }
+}
+
+// A PackedRow is a DenseRow whose lanes happen to be a Verlet backend's
+// row-contiguous candidate slices; the kernels are shared by converting the
+// view, so the op sequence is the dense one by construction.
+__attribute__((always_inline)) inline DenseRow as_dense(const PackedRow& row) {
+  return DenseRow{row.xi,     row.yi,        row.type_i, row.cand_x,
+                  row.cand_y, row.cand_type, row.count,  row.cutoff_sq};
 }
 
 Vec2 dense_scalar(const PairScalingTable& table, const DenseRow& row) {
@@ -168,12 +180,91 @@ void dense_chunk_scalar(const PairScalingTable& table,
   dense_chunk_loop(table, chunk, DenseScalarRow{});
 }
 
+// The chunk loop shared by every indexed_chunk variant: one kernel call per
+// shard walks the chunk's slice of the frozen ordering and runs the
+// force-inlined indexed row body for each particle — per-row arithmetic is
+// untouched, only the dispatch overhead is amortized.
+template <typename RowKernel>
+__attribute__((always_inline)) inline void indexed_chunk_loop(
+    const PairScalingTable& table, const IndexedChunk& chunk,
+    const RowKernel& row_kernel) {
+  // Two plain loops, no helper lambda: the row body must stay on the
+  // always_inline chain into the ISA-targeted wrappers (a lambda here is
+  // not `target`-compatible, so GCC outlines it — and the outlined copy
+  // codegens without the wrapper's ISA).
+  if (chunk.order == nullptr) {
+    // Identity walk: position k is particle k, so the CSR arrays stream
+    // sequentially — the fast path for backends whose rows sit in id order.
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+      const IndexedRow row{chunk.xs[i],
+                           chunk.ys[i],
+                           chunk.types[i],
+                           chunk.xs,
+                           chunk.ys,
+                           chunk.types,
+                           chunk.indices + chunk.offsets[i],
+                           chunk.offsets[i + 1] - chunk.offsets[i],
+                           chunk.cutoff_sq};
+      chunk.out[i] = row_kernel(table, row);
+    }
+  } else {
+    for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+      const std::size_t i = chunk.order[k];
+      const IndexedRow row{chunk.xs[i],
+                           chunk.ys[i],
+                           chunk.types[i],
+                           chunk.xs,
+                           chunk.ys,
+                           chunk.types,
+                           chunk.indices + chunk.offsets[i],
+                           chunk.offsets[i + 1] - chunk.offsets[i],
+                           chunk.cutoff_sq};
+      chunk.out[i] = row_kernel(table, row);
+    }
+  }
+}
+
+struct IndexedScalarRow {
+  Vec2 operator()(const PairScalingTable& table, const IndexedRow& row) const;
+};
+
+void indexed_chunk_scalar(const PairScalingTable& table,
+                          const IndexedChunk& chunk) {
+  indexed_chunk_loop(table, chunk, IndexedScalarRow{});
+}
+
 double drift_norm_scalar(const Vec2* drift, std::size_t n) {
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     total += std::sqrt(drift[i].x * drift[i].x + drift[i].y * drift[i].y);
   }
   return total;
+}
+
+Vec2 packed_scalar(const PairScalingTable& table, const PackedRow& row) {
+  return dense_scalar(table, as_dense(row));
+}
+
+// The reference compress: branchless — every candidate writes its survivor
+// slot, the write cursor only advances past live ones. The predicate is
+// scalar_block's live mask verbatim (minus the tail test, which the row
+// count supplies), and comparison arithmetic is exact, so every ISA keeps
+// the identical survivor sequence.
+std::size_t filter_scalar(const FilterRow& row) {
+  std::size_t kept = 0;
+  for (std::size_t c = 0; c < row.count; ++c) {
+    const std::size_t j = row.candidates[c];
+    const double cx = row.xs[j];
+    const double cy = row.ys[j];
+    const double dx = row.xi - cx;
+    const double dy = row.yi - cy;
+    const double d2 = dx * dx + dy * dy;
+    row.out_x[kept] = cx;
+    row.out_y[kept] = cy;
+    row.out_type[kept] = row.types[j];
+    kept += (d2 < row.cutoff_sq && d2 != 0.0) ? 1 : 0;
+  }
+  return kept;
 }
 
 Vec2 indexed_scalar(const PairScalingTable& table, const IndexedRow& row) {
@@ -208,6 +299,11 @@ Vec2 indexed_scalar(const PairScalingTable& table, const IndexedRow& row) {
   }
   return {((accx[0] + accx[1]) + accx[2]) + accx[3],
           ((accy[0] + accy[1]) + accy[2]) + accy[3]};
+}
+
+Vec2 IndexedScalarRow::operator()(const PairScalingTable& table,
+                                  const IndexedRow& row) const {
+  return indexed_scalar(table, row);
 }
 
 #if defined(SOPS_HAVE_VECTOR_EXT)
@@ -383,7 +479,7 @@ __attribute__((always_inline)) inline Vec2 indexed_vector_body(
           ((accy[0] + accy[1]) + accy[2]) + accy[3]};
 }
 
-// The force-inlined row functor for the chunk loop: inlining operator()
+// The force-inlined row functors for the chunk loops: inlining operator()
 // (rather than a lambda, whose operator() would not force-inline) is what
 // guarantees the row math code-generates under the wrapper's target ISA.
 struct DenseVectorRow {
@@ -393,8 +489,20 @@ struct DenseVectorRow {
   }
 };
 
+struct IndexedVectorRow {
+  __attribute__((always_inline)) Vec2 operator()(const PairScalingTable& table,
+                                                 const IndexedRow& row) const {
+    return indexed_vector_body(table, row);
+  }
+};
+
 Vec2 dense_vector_generic(const PairScalingTable& table, const DenseRow& row) {
   return dense_vector_body(table, row);
+}
+
+Vec2 packed_vector_generic(const PairScalingTable& table,
+                           const PackedRow& row) {
+  return dense_vector_body(table, as_dense(row));
 }
 
 Vec2 indexed_vector_generic(const PairScalingTable& table,
@@ -405,6 +513,11 @@ Vec2 indexed_vector_generic(const PairScalingTable& table,
 void dense_chunk_generic(const PairScalingTable& table,
                          const DenseChunk& chunk) {
   dense_chunk_loop(table, chunk, DenseVectorRow{});
+}
+
+void indexed_chunk_generic(const PairScalingTable& table,
+                           const IndexedChunk& chunk) {
+  indexed_chunk_loop(table, chunk, IndexedVectorRow{});
 }
 
 // Per-element norms in 4-lane batches, summed strictly in index order —
@@ -439,8 +552,16 @@ __attribute__((target("avx2"))) Vec2 dense_vector_avx2(
   return dense_vector_body(table, row);
 }
 
+__attribute__((target("avx2"))) Vec2 packed_vector_avx2(
+    const PairScalingTable& table, const PackedRow& row) {
+  return dense_vector_body(table, as_dense(row));
+}
+
 __attribute__((target("avx2"))) Vec2 indexed_vector_avx2(
     const PairScalingTable& table, const IndexedRow& row) {
+  // Per-lane load/insert chains, not hardware gathers: vgatherdpd was
+  // measured ~35% slower on this path's short rows (the gather micro-op
+  // sequence loses to four scalar loads the OoO core overlaps freely).
   return indexed_vector_body(table, row);
 }
 
@@ -449,9 +570,117 @@ __attribute__((target("avx2"))) void dense_chunk_avx2(
   dense_chunk_loop(table, chunk, DenseVectorRow{});
 }
 
+__attribute__((target("avx2"))) void indexed_chunk_avx2(
+    const PairScalingTable& table, const IndexedChunk& chunk) {
+  indexed_chunk_loop(table, chunk, IndexedVectorRow{});
+}
+
 __attribute__((target("avx2"))) double drift_norm_avx2(const Vec2* drift,
                                                        std::size_t n) {
   return drift_norm_body(drift, n);
+}
+
+// Left-pack tables indexed by a 4-bit survivor mask. kCompressD[m] is a
+// permutevar8x32 control moving the set lanes' double halves (32-bit lanes
+// 2l, 2l+1) to the front; kCompressB[m] does the same for the four 32-bit
+// type tags via a byte shuffle. Slack lanes past the survivors hold lane 0
+// — the store clobbers them, which is why FilterRow demands
+// count + kSimdWidth of output room.
+alignas(32) constexpr std::uint32_t kCompressD[16][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},  // 0b0000
+    {0, 1, 0, 0, 0, 0, 0, 0},  // 0b0001
+    {2, 3, 0, 0, 0, 0, 0, 0},  // 0b0010
+    {0, 1, 2, 3, 0, 0, 0, 0},  // 0b0011
+    {4, 5, 0, 0, 0, 0, 0, 0},  // 0b0100
+    {0, 1, 4, 5, 0, 0, 0, 0},  // 0b0101
+    {2, 3, 4, 5, 0, 0, 0, 0},  // 0b0110
+    {0, 1, 2, 3, 4, 5, 0, 0},  // 0b0111
+    {6, 7, 0, 0, 0, 0, 0, 0},  // 0b1000
+    {0, 1, 6, 7, 0, 0, 0, 0},  // 0b1001
+    {2, 3, 6, 7, 0, 0, 0, 0},  // 0b1010
+    {0, 1, 2, 3, 6, 7, 0, 0},  // 0b1011
+    {4, 5, 6, 7, 0, 0, 0, 0},  // 0b1100
+    {0, 1, 4, 5, 6, 7, 0, 0},  // 0b1101
+    {2, 3, 4, 5, 6, 7, 0, 0},  // 0b1110
+    {0, 1, 2, 3, 4, 5, 6, 7},  // 0b1111
+};
+alignas(16) constexpr std::uint8_t kCompressB[16][16] = {
+    {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},          // 0b0000
+    {0, 1, 2, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},          // 0b0001
+    {4, 5, 6, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},          // 0b0010
+    {0, 1, 2, 3, 4, 5, 6, 7, 0, 0, 0, 0, 0, 0, 0, 0},          // 0b0011
+    {8, 9, 10, 11, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},        // 0b0100
+    {0, 1, 2, 3, 8, 9, 10, 11, 0, 0, 0, 0, 0, 0, 0, 0},        // 0b0101
+    {4, 5, 6, 7, 8, 9, 10, 11, 0, 0, 0, 0, 0, 0, 0, 0},        // 0b0110
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0, 0, 0, 0},        // 0b0111
+    {12, 13, 14, 15, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},      // 0b1000
+    {0, 1, 2, 3, 12, 13, 14, 15, 0, 0, 0, 0, 0, 0, 0, 0},      // 0b1001
+    {4, 5, 6, 7, 12, 13, 14, 15, 0, 0, 0, 0, 0, 0, 0, 0},      // 0b1010
+    {0, 1, 2, 3, 4, 5, 6, 7, 12, 13, 14, 15, 0, 0, 0, 0},      // 0b1011
+    {8, 9, 10, 11, 12, 13, 14, 15, 0, 0, 0, 0, 0, 0, 0, 0},    // 0b1100
+    {0, 1, 2, 3, 8, 9, 10, 11, 12, 13, 14, 15, 0, 0, 0, 0},    // 0b1101
+    {4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0, 0, 0, 0},    // 0b1110
+    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},    // 0b1111
+};
+
+// _CMP_LT_OQ and _CMP_NEQ_UQ reproduce C++ `<` / `!=` NaN semantics
+// exactly, and sub/mul/add never contract (no -mfma anywhere in the
+// build), so the movemask equals the scalar predicate bit-for-bit and the
+// compressed stores emit filter_scalar's survivor sequence.
+__attribute__((target("avx2"))) std::size_t filter_avx2(const FilterRow& row) {
+  const __m256d xiv = _mm256_set1_pd(row.xi);
+  const __m256d yiv = _mm256_set1_pd(row.yi);
+  const __m256d cutv = _mm256_set1_pd(row.cutoff_sq);
+  const __m256d zero = _mm256_setzero_pd();
+  // All-lanes-on masked gathers: the unmasked intrinsics route through
+  // _mm256_undefined_pd(), which GCC flags under -Wmaybe-uninitialized.
+  const __m256d gather_all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  std::size_t kept = 0;
+  std::size_t c = 0;
+  for (; c + kSimdWidth <= row.count; c += kSimdWidth) {
+    const __m128i idx =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row.candidates + c));
+    const __m256d cxv =
+        _mm256_mask_i32gather_pd(zero, row.xs, idx, gather_all, 8);
+    const __m256d cyv =
+        _mm256_mask_i32gather_pd(zero, row.ys, idx, gather_all, 8);
+    const __m256d dxv = _mm256_sub_pd(xiv, cxv);
+    const __m256d dyv = _mm256_sub_pd(yiv, cyv);
+    const __m256d d2v =
+        _mm256_add_pd(_mm256_mul_pd(dxv, dxv), _mm256_mul_pd(dyv, dyv));
+    const __m256d live = _mm256_and_pd(_mm256_cmp_pd(d2v, cutv, _CMP_LT_OQ),
+                                       _mm256_cmp_pd(d2v, zero, _CMP_NEQ_UQ));
+    const int m = _mm256_movemask_pd(live);
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(kCompressD[m]));
+    _mm256_storeu_pd(row.out_x + kept,
+                     _mm256_castsi256_pd(_mm256_permutevar8x32_epi32(
+                         _mm256_castpd_si256(cxv), perm)));
+    _mm256_storeu_pd(row.out_y + kept,
+                     _mm256_castsi256_pd(_mm256_permutevar8x32_epi32(
+                         _mm256_castpd_si256(cyv), perm)));
+    const __m128i tags = _mm_mask_i32gather_epi32(
+        _mm_setzero_si128(), reinterpret_cast<const int*>(row.types), idx,
+        _mm_set1_epi32(-1), 4);
+    const __m128i ctrl =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(kCompressB[m]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(row.out_type + kept),
+                     _mm_shuffle_epi8(tags, ctrl));
+    kept += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(m)));
+  }
+  for (; c < row.count; ++c) {
+    const std::size_t j = row.candidates[c];
+    const double cx = row.xs[j];
+    const double cy = row.ys[j];
+    const double dx = row.xi - cx;
+    const double dy = row.yi - cy;
+    const double d2 = dx * dx + dy * dy;
+    row.out_x[kept] = cx;
+    row.out_y[kept] = cy;
+    row.out_type[kept] = row.types[j];
+    kept += (d2 < row.cutoff_sq && d2 != 0.0) ? 1 : 0;
+  }
+  return kept;
 }
 
 #endif  // SOPS_KERNEL_AVX2
@@ -461,20 +690,28 @@ __attribute__((target("avx2"))) double drift_norm_avx2(const Vec2* drift,
 }  // namespace
 
 const DriftKernels& scalar_drift_kernels() noexcept {
-  static const DriftKernels kScalar{dense_scalar, indexed_scalar,
-                                    dense_chunk_scalar, drift_norm_scalar};
+  static const DriftKernels kScalar{
+      dense_scalar,       packed_scalar,        filter_scalar,
+      indexed_scalar,     dense_chunk_scalar,   indexed_chunk_scalar,
+      drift_norm_scalar};
   return kScalar;
 }
 
 const DriftKernels& select_drift_kernels() noexcept {
 #if defined(SOPS_HAVE_VECTOR_EXT)
-  static const DriftKernels kGeneric{dense_vector_generic,
-                                     indexed_vector_generic,
-                                     dense_chunk_generic, drift_norm_generic};
+  // The generic tier keeps the scalar filter: compress has no portable
+  // vector form, and the selection being exact arithmetic means there is no
+  // bitwise contract to re-prove — only the AVX2 tier swaps in intrinsics.
+  static const DriftKernels kGeneric{
+      dense_vector_generic,   packed_vector_generic, filter_scalar,
+      indexed_vector_generic, dense_chunk_generic,   indexed_chunk_generic,
+      drift_norm_generic};
   if (!support::simd_enabled()) return scalar_drift_kernels();
 #if SOPS_KERNEL_AVX2
-  static const DriftKernels kAvx2{dense_vector_avx2, indexed_vector_avx2,
-                                  dense_chunk_avx2, drift_norm_avx2};
+  static const DriftKernels kAvx2{
+      dense_vector_avx2,   packed_vector_avx2, filter_avx2,
+      indexed_vector_avx2, dense_chunk_avx2,   indexed_chunk_avx2,
+      drift_norm_avx2};
   if (support::cpu_dispatch_avx2()) return kAvx2;
 #endif
   return kGeneric;

@@ -58,6 +58,50 @@ struct DenseRow {
   double cutoff_sq;  ///< may be +inf (unbounded r_c)
 };
 
+/// A particle against a packed candidate row: the Verlet accumulate path
+/// filters each candidate row down to its in-cutoff survivors (FilterRow
+/// below) into per-shard scratch lanes, then streams those lanes through
+/// this shape. Same fields and — by construction — the exact op sequence of
+/// DenseRow; it is a distinct shape so the Verlet dispatch (and its
+/// packed-vs-indexed parity coverage) is explicit. Bitwise-identical to
+/// IndexedRow whenever the packed lanes hold every candidate's gathered
+/// values, which the parity fuzzer asserts.
+struct PackedRow {
+  double xi;
+  double yi;
+  TypeId type_i;
+  const double* cand_x;
+  const double* cand_y;
+  const TypeId* cand_type;
+  std::size_t count;
+  double cutoff_sq;  ///< may be +inf (unbounded r_c)
+};
+
+/// A candidate index row to be compressed to its live survivors: gather
+/// each candidate's current coordinates from the global lanes, keep those
+/// with 0 < ‖Δz‖² < cutoff_sq, and write their coordinates/types
+/// contiguously into `out_*`. The survivor predicate is exactly the dense
+/// kernels' live-lane mask, so dropped candidates are ones that would have
+/// contributed +0.0 — filtering changes which pairs reach the accumulator,
+/// never the force arithmetic. Selection is exact comparison arithmetic, so
+/// every ISA produces the same survivor sequence. Returns the survivor
+/// count. `out_*` must have room for count + support::kSimdWidth entries:
+/// the vector variants store whole compressed blocks, so up to one block of
+/// slack past the final survivor is clobbered.
+struct FilterRow {
+  double xi;
+  double yi;
+  const double* xs;
+  const double* ys;
+  const TypeId* types;
+  const std::uint32_t* candidates;
+  std::size_t count;
+  double cutoff_sq;  ///< may be +inf (unbounded r_c)
+  double* out_x;
+  double* out_y;
+  TypeId* out_type;
+};
+
 /// A particle against an index row into the global coordinate/type lanes.
 struct IndexedRow {
   double xi;
@@ -92,13 +136,41 @@ struct DenseChunk {
   double cutoff_sq;
 };
 
+/// A contiguous run of particle positions over a CSR candidate list — one
+/// shard chunk of the Verlet drift path — processed in a single kernel
+/// call. Verlet rows are short (a dozen candidates at typical densities),
+/// so the per-row dispatch overhead (indirect call, scaling-table pointer
+/// setup, accumulator spill) rivals the row math itself; the chunk entry
+/// pays it once per shard. Per-row arithmetic is exactly IndexedRow's — the
+/// chunk entry changes scheduling, never the sequence — so chunked and
+/// per-row accumulation are bitwise-identical, and since every out[i] is an
+/// independent per-particle gather, so is any walk order.
+struct IndexedChunk {
+  const double* xs;             ///< global coordinate lanes
+  const double* ys;
+  const TypeId* types;
+  const std::uint32_t* order;   ///< position k → particle; null = identity
+                                ///< (the id-order walk streams the CSR
+                                ///< arrays sequentially — prefer it)
+  const std::size_t* offsets;   ///< per-particle CSR row offsets
+  const std::uint32_t* indices; ///< CSR candidates, row-contiguous
+  std::size_t begin;            ///< first walk position of the chunk
+  std::size_t end;              ///< one past the last position
+  geom::Vec2* out;              ///< drift output, indexed by particle id
+  double cutoff_sq;
+};
+
 /// The kernel set accumulate_drift dispatches through. Plain function
 /// pointers: the AVX2 variants live behind a CPUID check, and no vector
 /// type ever crosses this ABI boundary.
 struct DriftKernels {
   geom::Vec2 (*dense)(const PairScalingTable& table, const DenseRow& row);
+  geom::Vec2 (*packed)(const PairScalingTable& table, const PackedRow& row);
+  std::size_t (*filter)(const FilterRow& row);
   geom::Vec2 (*indexed)(const PairScalingTable& table, const IndexedRow& row);
   void (*dense_chunk)(const PairScalingTable& table, const DenseChunk& chunk);
+  void (*indexed_chunk)(const PairScalingTable& table,
+                        const IndexedChunk& chunk);
   /// Σ‖drift_i‖ with the summation strictly in index order — only the
   /// independent per-element norms are batched, so every variant returns
   /// the scalar loop's exact bits.

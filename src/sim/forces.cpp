@@ -7,6 +7,7 @@
 #include "geom/verlet_list.hpp"
 #include "sim/drift_kernel.hpp"
 #include "support/parallel_for.hpp"
+#include "support/simd.hpp"
 
 namespace sops::sim {
 namespace {
@@ -227,23 +228,112 @@ void accumulate_drift(const ParticleSystem& system, const PairScalingTable& tabl
     accumulate_sharded(backend, executor, drift_of, out);
     return;
   }
-  if (const auto* verlet =
-          dynamic_cast<const geom::VerletListBackend*>(&backend)) {
-    // The pair-list kernel: cached candidate rows (within r_c + skin at
-    // build time) with the true cut-off applied per pair by the kernel mask
-    // at the *current* positions. On quiet steps this is the whole neighbor
-    // cost — flat CSR reads, no hash probes, no cell walk. Row order is
-    // frozen at build time, so between rebuilds the sum is bitwise-stable.
-    const auto drift_of = [&](std::size_t i) {
-      const std::span<const std::uint32_t> cand = verlet->candidate_row(i);
-      const IndexedRow row{system.x[i],      system.y[i],
-                           system.types[i],  system.x.data(),
-                           system.y.data(),  system.types.data(),
-                           cand.data(),      cand.size(),
-                           cutoff_sq};
-      return kernels.indexed(table, row);
-    };
-    accumulate_sharded(backend, executor, drift_of, out);
+  if (auto* verlet = dynamic_cast<geom::VerletListBackend*>(&backend)) {
+    // The cached pair-list path: each shard's slice of particle-id order
+    // goes to ONE chunked kernel call streaming the raw CSR arrays —
+    // Verlet rows are short, so amortizing the per-row dispatch across the
+    // shard is what makes quiet steps beat the grid. The chunk body inlines
+    // the indexed row kernel per particle (identical op sequence, bitwise),
+    // gathering candidates' *current* coordinates from the cache-resident
+    // global lanes; out-of-cutoff and coincident candidates zero out under
+    // the live-lane mask. Rows are per-particle gathers, so the sharded
+    // pass is width-invariant and, between rebuilds, bitwise-stable.
+    //
+    // On partial-rebuild steps the raw CSR rows are stale for the (capped)
+    // runaway set, so a serial postfix patches them: each partial member's
+    // row is re-evaluated from its overlay (candidate_row resolves to the
+    // fresh re-enumeration) and each extra member gets its additive extra
+    // row, both via the filter → packed kernel pair — the survivor
+    // selection is exact-comparison arithmetic, hence ISA-invariant, and
+    // the postfix is serial and ordered, hence width-invariant.
+    const std::span<const std::uint32_t> bounds =
+        backend.shard_bounds(executor.width());
+    const std::span<const std::size_t> offsets = verlet->csr_offsets();
+    const std::span<const std::uint32_t> indices = verlet->csr_indices();
+    // Eval-path selection by force law: the double-Gaussian's per-candidate
+    // exp dominates its row cost, so compacting survivors first (filter →
+    // packed lanes) pays for itself several times over — roughly half the
+    // cached candidates sit outside the cut-off on quiet steps, and the
+    // masked indexed kernel would spend full exp lanes on them. The spring
+    // law is the opposite: its row math is a handful of cheap ops, the
+    // compaction pass costs more than the dead lanes it removes, and the
+    // chunked masked kernel wins. Both paths are width-invariant (every
+    // out[i] depends on row i alone) and each is bitwise-stable across
+    // rebuilds and ISAs; they differ in lane grouping, so they are two
+    // *summation orders* of the same row — parity between them is exercised
+    // (to tolerance) by the engine parity fuzz, and each law always takes
+    // the same path, keeping per-law trajectories deterministic.
+    const bool compact_first = table.kind() == ForceLawKind::kDoubleGaussian;
+    const std::size_t lane_room = verlet->max_row_count() + support::kSimdWidth;
+    const std::size_t shard_count = bounds.empty() ? 0 : bounds.size() - 1;
+    verlet->ensure_filter_shards(std::max<std::size_t>(shard_count, 1));
+    for (std::size_t k = 0; k < std::max<std::size_t>(shard_count, 1); ++k) {
+      geom::GatherScratch& s = verlet->filter_scratch(k);
+      if (s.x.size() < lane_room) {
+        s.x.resize(lane_room);
+        s.y.resize(lane_room);
+        s.tag.resize(lane_room);
+      }
+    }
+    support::parallel_for_shards(
+        executor, bounds,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          if (!compact_first) {
+            const IndexedChunk chunk{system.x.data(),     system.y.data(),
+                                     system.types.data(), nullptr,
+                                     offsets.data(),      indices.data(),
+                                     begin,               end,
+                                     out.data(),          cutoff_sq};
+            kernels.indexed_chunk(table, chunk);
+            return;
+          }
+          geom::GatherScratch& s = verlet->filter_scratch(shard);
+          for (std::size_t i = begin; i < end; ++i) {
+            const FilterRow frow{system.x[i],
+                                 system.y[i],
+                                 system.x.data(),
+                                 system.y.data(),
+                                 system.types.data(),
+                                 indices.data() + offsets[i],
+                                 offsets[i + 1] - offsets[i],
+                                 cutoff_sq,
+                                 s.x.data(),
+                                 s.y.data(),
+                                 s.tag.data()};
+            const std::size_t kept = kernels.filter(frow);
+            const PackedRow row{system.x[i], system.y[i], system.types[i],
+                                s.x.data(),  s.y.data(),  s.tag.data(),
+                                kept,        cutoff_sq};
+            out[i] = kernels.packed(table, row);
+          }
+        });
+    const std::span<const std::uint32_t> partials = verlet->partial_members();
+    const std::span<const std::uint32_t> extras = verlet->extra_members();
+    if (!partials.empty() || !extras.empty()) {
+      geom::GatherScratch& s = verlet->filter_scratch(0);
+      const auto row_drift = [&](std::size_t i,
+                                 std::span<const std::uint32_t> cand) {
+        const FilterRow frow{system.x[i],          system.y[i],
+                             system.x.data(),      system.y.data(),
+                             system.types.data(),  cand.data(),
+                             cand.size(),          cutoff_sq,
+                             s.x.data(),           s.y.data(),
+                             s.tag.data()};
+        const std::size_t kept = kernels.filter(frow);
+        const PackedRow row{system.x[i], system.y[i], system.types[i],
+                            s.x.data(),  s.y.data(),  s.tag.data(),
+                            kept,        cutoff_sq};
+        return kernels.packed(table, row);
+      };
+      for (const std::uint32_t i : partials) {
+        out[i] = row_drift(i, verlet->candidate_row(i));
+      }
+      for (const std::uint32_t i : extras) {
+        const geom::Vec2 e = row_drift(i, verlet->extra_candidates(i));
+        out[i].x += e.x;
+        out[i].y += e.y;
+      }
+    }
     return;
   }
   if (const auto* delaunay =

@@ -25,6 +25,7 @@
 #include "geom/neighbor_backend.hpp"
 #include "geom/verlet_list.hpp"
 #include "rng/samplers.hpp"
+#include "sim/drift_kernel.hpp"
 #include "sim/forces.hpp"
 #include "sim/integrator.hpp"
 #include "support/simd.hpp"
@@ -344,6 +345,120 @@ TEST(SimdParity, SpringNearZeroSeparationBitwise) {
     for (const Vec2 d : drift) {
       EXPECT_TRUE(std::isfinite(d.x) && std::isfinite(d.y));
     }
+  }
+}
+
+TEST(SimdParity, PackedVsIndexedRowKernels) {
+  // The packed (compact-first) and indexed (masked) kernels are two
+  // summation orders of the same row. Two claims, per SIMD policy:
+  //  - all-kept rows (cut-off beyond every candidate, no coincidences) have
+  //    identical lane grouping, so the results are bitwise-equal;
+  //  - filtered rows only regroup survivors into earlier lanes, so the
+  //    results agree to 1e-12 but not necessarily bitwise.
+  // The filter's survivor selection is exact-comparison arithmetic, so the
+  // kept count must match the masked kernel's live lanes for every ISA.
+  for (std::uint64_t c = 0; c < kCases; ++c) {
+    const FuzzCase fuzz = draw_case(c);
+    const PairScalingTable table(fuzz.model);
+    const ParticleSystem& system = fuzz.system;
+    const std::size_t n = system.size();
+    std::vector<std::uint32_t> all;
+    for (std::size_t j = 0; j < n; ++j) all.push_back(static_cast<std::uint32_t>(j));
+    std::vector<double> fx(n + 8);
+    std::vector<double> fy(n + 8);
+    std::vector<sops::sim::TypeId> ft(n + 8);
+    for (const auto policy : {sops::support::SimdPolicy::kScalar,
+                              sops::support::SimdPolicy::kSimd}) {
+      const SimdPolicyGuard guard(policy);
+      const sops::sim::DriftKernels& kernels = sops::sim::select_drift_kernels();
+      for (std::size_t i = 0; i < n; ++i) {
+        // Candidate row: everyone but i (self would hit the d² == 0 mask
+        // and is not in any backend's row either).
+        std::vector<std::uint32_t> row_idx;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != i && sops::geom::dist_sq(system.position(i),
+                                            system.position(j)) > 0.0) {
+            row_idx.push_back(static_cast<std::uint32_t>(j));
+          }
+        }
+        for (const double cutoff_sq :
+             {fuzz.cutoff * fuzz.cutoff, 1e12 /* all kept */}) {
+          const sops::sim::IndexedRow ir{
+              system.x[i],        system.y[i],         system.types[i],
+              system.x.data(),    system.y.data(),     system.types.data(),
+              row_idx.data(),     row_idx.size(),      cutoff_sq};
+          const Vec2 via_indexed = kernels.indexed(table, ir);
+          const sops::sim::FilterRow fr{
+              system.x[i],        system.y[i],         system.x.data(),
+              system.y.data(),    system.types.data(), row_idx.data(),
+              row_idx.size(),     cutoff_sq,           fx.data(),
+              fy.data(),          ft.data()};
+          const std::size_t kept = kernels.filter(fr);
+          const sops::sim::PackedRow pr{system.x[i], system.y[i],
+                                        system.types[i], fx.data(), fy.data(),
+                                        ft.data(),       kept,      cutoff_sq};
+          const Vec2 via_packed = kernels.packed(table, pr);
+          if (cutoff_sq == 1e12) {
+            ASSERT_EQ(kept, row_idx.size()) << "case " << c << " i " << i;
+            ASSERT_EQ(via_packed, via_indexed)
+                << "all-kept case " << c << " i " << i;
+          } else {
+            ASSERT_NEAR(via_packed.x, via_indexed.x, 1e-12)
+                << "case " << c << " i " << i;
+            ASSERT_NEAR(via_packed.y, via_indexed.y, 1e-12)
+                << "case " << c << " i " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParity, AdaptivePartialVerletTrajectoriesBitwise) {
+  // The adaptive-skin + partial-rebuild configuration along real
+  // trajectories, forced-scalar vs forced-SIMD: rebuild timing, runaway
+  // selection, and the partial/extra overlay structure depend only on
+  // positions and exact comparisons, so the two policies must walk the
+  // identical trajectory bitwise — through full rebuilds, partial passes,
+  // and the postfix overlay evaluation alike. Both force-law families ride
+  // the sweep, so the compact-first (double-Gaussian) and chunked-indexed
+  // (spring) quiet paths are both pinned.
+  for (std::uint64_t c = 0; c < kCases; c += 7) {
+    const FuzzCase fuzz = draw_case(c);
+    const PairScalingTable table(fuzz.model);
+    const auto run = [&](sops::support::SimdPolicy policy) {
+      const SimdPolicyGuard guard(policy);
+      ParticleSystem system = fuzz.system;
+      sops::geom::VerletListBackend backend;
+      sops::geom::VerletListBackend::AdaptiveSkin adapt;
+      adapt.enabled = true;
+      adapt.target_interval = 8.0;  // small: trips adaptation quickly
+      backend.set_adaptive_skin(adapt);
+      backend.set_partial_rebuild(true);
+      sops::sim::IntegratorParams params;
+      params.dt = 0.08;
+      sops::rng::Xoshiro256 engine(0xADA7 + c);
+      std::vector<Vec2> drift;
+      std::vector<Vec2> history;
+      for (int step = 0; step < 25; ++step) {
+        accumulate_drift(system, table, fuzz.cutoff, drift, backend,
+                         std::size_t{1});
+        history.insert(history.end(), drift.begin(), drift.end());
+        sops::sim::apply_euler_maruyama_update(system, drift, params, engine);
+      }
+      return std::pair{history, backend.stats()};
+    };
+    const auto [scalar_drift, scalar_stats] =
+        run(sops::support::SimdPolicy::kScalar);
+    const auto [simd_drift, simd_stats] = run(sops::support::SimdPolicy::kSimd);
+    ASSERT_EQ(scalar_drift.size(), simd_drift.size());
+    for (std::size_t k = 0; k < scalar_drift.size(); ++k) {
+      ASSERT_EQ(scalar_drift[k], simd_drift[k]) << "case " << c << " k " << k;
+    }
+    // Identical trajectories must gate identically.
+    EXPECT_EQ(scalar_stats.builds, simd_stats.builds) << "case " << c;
+    EXPECT_EQ(scalar_stats.partial_builds, simd_stats.partial_builds)
+        << "case " << c;
   }
 }
 

@@ -4,6 +4,7 @@ regressions.
 
 Usage:
     bench_trend.py <BENCH_engine.json> <BENCH_trend.json> [--label LABEL]
+                   [--remeasure-cmd CMD] [--remeasure-runs N]
 
 Reads the engine benchmark output, flattens its series into named metrics,
 appends one entry to the trend file (creating it if absent), and exits
@@ -18,12 +19,24 @@ dispatched to) are appended but not gated against each other — neither
 steps/sec nor RSS is comparable across hardware, a run whose kernels fell
 back from avx2 to the generic vector path is measuring different machine
 code, and a false alarm would train people to ignore the gate.
+
+With --remeasure-cmd, a first-pass regression is treated as *suspected*
+rather than final: the command (which must rewrite the engine JSON, e.g.
+`./bench_perf_micro --engine-json-only`) is re-run --remeasure-runs times
+(default 4, for >= 5 samples including the original), and each suspect is
+re-judged on the median of its samples with a MAD-widened tolerance —
+max(10%, 3 * 1.4826 * MAD / |median|), i.e. three robust standard
+deviations of the run-to-run spread. Only suspects that survive the
+robust re-check flag the entry `regressed`; the median replaces the
+first-pass value in the recorded entry so a lucky or unlucky single run
+never becomes the next baseline's yardstick.
 """
 
 import argparse
 import datetime
 import json
 import platform
+import statistics
 import subprocess
 import sys
 
@@ -65,6 +78,22 @@ def flatten_metrics(engine_json):
         # LOWER_IS_BETTER via prefix: full re-index cost per backend.
         metrics[f"rebuild_us/cell_grid/n={n}"] = row["cell_grid_rebuild_us"]
         metrics[f"rebuild_us/verlet/n={n}"] = row["verlet_rebuild_us"]
+        # Adaptive-skin + partial-rebuild sweep (rows predating the opt-in
+        # lack these fields). Throughput and skip rate gate as
+        # higher-is-better; the converged shell width and partial-pass rate
+        # are controller diagnostics with no regression direction — the
+        # right shell depends on the motion regime, and fewer partial
+        # passes can mean either a wider shell (good) or more full
+        # rebuilds (bad). The gated rows already catch both outcomes.
+        if "adaptive_steps_per_sec" in row:
+            metrics[f"verlet/adaptive_steps_per_sec/n={n}"] = \
+                row["adaptive_steps_per_sec"]
+            metrics[f"verlet/adaptive_skip_rate/n={n}"] = \
+                row["adaptive_skip_rate"]
+            for key in ("adaptive_skin", "adaptive_partials_per_step"):
+                name = f"verlet/{key}/n={n}"
+                metrics[name] = row[key]
+                ungated.add(name)
     for row in engine_json.get("simd", {}).get("results", []):
         n = row["n"]
         # Both kernel families gate as throughputs; the speedup ratio is
@@ -118,10 +147,61 @@ def flatten_metrics(engine_json):
     return metrics, ungated
 
 
-def is_regression(name, change):
+def is_regression(name, change, tolerance=REGRESSION_TOLERANCE):
     if name in LOWER_IS_BETTER or name.startswith(LOWER_IS_BETTER_PREFIXES):
-        return change > REGRESSION_TOLERANCE
-    return change < -REGRESSION_TOLERANCE
+        return change > tolerance
+    return change < -tolerance
+
+
+def remeasure_suspects(suspects, metrics, baseline, args):
+    """Robust second opinion on first-pass regressions.
+
+    Re-runs the benchmark command, pools each suspect's samples (original
+    plus re-runs), and re-judges the *median* against the baseline with a
+    tolerance widened to three robust standard deviations of the observed
+    spread (MAD * 1.4826). Returns the confirmed regressions; medians are
+    written back into `metrics` so the recorded entry reflects the robust
+    value, not one noisy draw. A failing re-run keeps the first-pass
+    verdict for the remaining suspects — a broken bench must not look like
+    a recovery.
+    """
+    samples = {name: [metrics[name]] for name in suspects}
+    for i in range(args.remeasure_runs):
+        print(f"trend: suspected regression; re-measuring "
+              f"({i + 1}/{args.remeasure_runs}): {args.remeasure_cmd}")
+        sys.stdout.flush()
+        try:
+            subprocess.run(args.remeasure_cmd, shell=True, check=True)
+            with open(args.engine_json) as f:
+                remeasured, _ = flatten_metrics(json.load(f))
+        except (OSError, subprocess.CalledProcessError,
+                json.JSONDecodeError) as error:
+            print(f"trend: re-measure run failed ({error}); keeping "
+                  f"first-pass verdict", file=sys.stderr)
+            return suspects
+        for name in samples:
+            if name in remeasured:
+                samples[name].append(remeasured[name])
+    confirmed = []
+    for name in suspects:
+        values = samples[name]
+        median = statistics.median(values)
+        mad = statistics.median(abs(v - median) for v in values)
+        tolerance = REGRESSION_TOLERANCE
+        if median:
+            tolerance = max(tolerance, 3 * 1.4826 * mad / abs(median))
+        base = baseline["metrics"][name]
+        change = (median - base) / base
+        metrics[name] = median
+        regressed = is_regression(name, change, tolerance)
+        status = "REGRESSION (confirmed)" if regressed else \
+            "ok (noise: within the re-measured spread)"
+        print(f"trend: {name}: median of {len(values)} runs {median:.1f} "
+              f"vs {base:.1f} ({change:+.1%}, tolerance {tolerance:.1%}) "
+              f"{status}")
+        if regressed:
+            confirmed.append(name)
+    return confirmed
 
 
 def cpu_identity():
@@ -164,6 +244,13 @@ def main():
     parser.add_argument("trend_json")
     parser.add_argument("--label", default=None,
                         help="entry label (default: git short hash)")
+    parser.add_argument("--remeasure-cmd", default=None,
+                        help="shell command that rewrites the engine JSON; "
+                             "run on suspected regressions to re-judge them "
+                             "on a median with a MAD-widened tolerance")
+    parser.add_argument("--remeasure-runs", type=int, default=4,
+                        help="extra benchmark runs per suspected regression "
+                             "(default 4: 5 samples with the original)")
     args = parser.parse_args()
 
     with open(args.engine_json) as f:
@@ -235,6 +322,9 @@ def main():
                   f"({change:+.1%}) {status}")
             if regressed:
                 regressions.append(name)
+    if regressions and args.remeasure_cmd:
+        regressions = remeasure_suspects(regressions, metrics, baseline,
+                                         args)
 
     # Record the run even when gating fails: the trajectory should show the
     # regression, not hide it — but flag it so it never becomes a baseline.

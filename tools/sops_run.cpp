@@ -133,6 +133,26 @@ void report_spill(const sops::core::EnsembleSeries& series,
   }
 }
 
+// The Verlet opt-in's accounting, printed whenever `neighbor = verlet`:
+// what the skip rate bought, where the adaptive shell settled, and how many
+// full rebuilds the partial passes replaced.
+void report_verlet(const sops::core::EnsembleSeries& series,
+                   const sops::core::ExperimentConfig& experiment) {
+  if (experiment.simulation.neighbor_mode != sops::sim::NeighborMode::kVerletSkin) {
+    return;
+  }
+  const sops::core::NeighborRebuildStats& stats = series.rebuild_stats;
+  if (stats.steps == 0) return;  // fully resumed shard: nothing simulated
+  std::printf("verlet: skip rate %.3f (%zu full rebuilds / %zu steps), "
+              "%zu partial passes (%zu rows)\n",
+              stats.skip_rate(), stats.rebuilds, stats.steps,
+              stats.partial_rebuilds, stats.partial_rows);
+  std::printf("verlet: skin %.3g -> %.3g (adapt %s, partial %s)\n",
+              experiment.simulation.verlet_skin, stats.final_skin,
+              experiment.simulation.verlet_skin_adapt ? "on" : "off",
+              experiment.simulation.verlet_partial_rebuild ? "on" : "off");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +235,7 @@ int main(int argc, char** argv) {
     const auto run_start = std::chrono::steady_clock::now();
     const core::EnsembleSeries series = core::run_experiment(experiment);
     report_spill(series, experiment);
+    report_verlet(series, experiment);
     if (!experiment.shard.path.empty()) {
       const std::size_t ran = series.sample_count() - series.resumed_samples;
       std::cout << "shard " << experiment.shard.index << "/"
