@@ -13,12 +13,15 @@
 // the dispatched ISA and compiler identity for cross-machine hygiene),
 // analyzer (KSG) frames/sec — including the paper-shaped streaming row
 // (n = 1024, m = 100) against the frozen pre-streaming post-hoc baseline
-// — and the run's peak RSS — the engine's perf trajectory, gated by
-// tools/bench_trend.py.
+// — the job-service overhead row (JobManager vs direct run_experiment,
+// submit → first-streamed-sample latency) — and the run's peak RSS — the
+// engine's perf trajectory, gated by tools/bench_trend.py.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <limits>
 #include <numbers>
@@ -1062,6 +1065,69 @@ StreamingRow measure_streaming_row() {
   return row;
 }
 
+// Job-layer cost at a small paper-shaped workload: the identical
+// experiment run through a one-slot JobManager (the batch CLI's
+// configuration since the service refactor) vs a direct run_experiment
+// call, plus the submit → first-streamed-sample latency — the time a
+// daemon watcher waits before the first kSampleCsv frame has bytes to
+// carry. The manager is scheduling only, so the overhead ratio should
+// hover at 1.0x; both numbers are recorded ungated (sub-second walls on
+// shared runners jitter past any honest tolerance) to make a creeping
+// scheduler cost visible in the trend.
+struct ServiceBenchRow {
+  double direct_seconds = 0.0;
+  double manager_seconds = 0.0;
+  double submit_to_first_sample_ms = 0.0;
+};
+
+ServiceBenchRow measure_service_row() {
+  sim::SimulationConfig simulation(default_model(3));
+  simulation.types = sim::evenly_distributed_types(256, 3);
+  simulation.cutoff_radius = 3.0;
+  simulation.init_disc_radius = 24.0;
+  simulation.steps = 40;
+  simulation.record_stride = 8;
+  simulation.seed = 3;
+  core::ExperimentConfig experiment(std::move(simulation));
+  experiment.samples = 32;
+
+  ServiceBenchRow row;
+  const auto direct_start = std::chrono::steady_clock::now();
+  const core::EnsembleSeries direct = core::run_experiment(experiment);
+  row.direct_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - direct_start)
+                           .count();
+  benchmark::DoNotOptimize(direct.frames.sample(0, 0).data());
+
+  core::JobLimits limits;
+  limits.job_slots = 1;
+  core::JobManager manager(limits);
+  std::atomic<std::int64_t> first_sample_ns{-1};
+  const auto submit_start = std::chrono::steady_clock::now();
+  core::JobOptions options;
+  options.analysis = core::JobAnalysis::kNone;
+  options.events.on_sample_done = [&](const core::JobSampleEvent&) {
+    std::int64_t expected = -1;
+    const std::int64_t elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - submit_start)
+            .count();
+    first_sample_ns.compare_exchange_strong(expected, elapsed);
+  };
+  const std::uint64_t id =
+      manager.submit(core::ConfiguredExperiment{experiment, {}}, options);
+  const core::JobOutcome outcome = manager.wait(id);
+  row.manager_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - submit_start)
+                            .count();
+  benchmark::DoNotOptimize(outcome.series.frames.sample(0, 0).data());
+  row.submit_to_first_sample_ms =
+      first_sample_ns.load() >= 0
+          ? static_cast<double>(first_sample_ns.load()) / 1e6
+          : 0.0;
+  return row;
+}
+
 // Current resident set of this process in KB (VmRSS via /proc/self/statm);
 // 0 when unavailable. Unlike the peak, deltas of the current RSS let one
 // process compare the footprint of two storage backings back to back.
@@ -1388,6 +1454,24 @@ void emit_engine_json() {
               "heap %ld KB vs mapped %ld KB, manifest %zu bytes\n",
               fs_samples, fs_particles, fs_frames, fs_bytes_per_frame,
               heap_fill_kb, mapped_fill_kb, fs_manifest_bytes);
+
+  // Job-service overhead (see measure_service_row): recorded, ungated.
+  const ServiceBenchRow service = measure_service_row();
+  const double service_overhead =
+      service.direct_seconds > 0.0
+          ? service.manager_seconds / service.direct_seconds
+          : 0.0;
+  std::fprintf(out,
+               "  \"service\": {\"n\": 256, \"samples\": 32, "
+               "\"direct_seconds\": %.4f, \"manager_seconds\": %.4f, "
+               "\"overhead_ratio\": %.3f, "
+               "\"submit_to_first_sample_ms\": %.3f},\n",
+               service.direct_seconds, service.manager_seconds,
+               service_overhead, service.submit_to_first_sample_ms);
+  std::printf("service n=256 m=32: direct %.3f s, manager %.3f s (%.2fx), "
+              "submit->first sample %.2f ms\n",
+              service.direct_seconds, service.manager_seconds,
+              service_overhead, service.submit_to_first_sample_ms);
 
   std::fprintf(out, "  \"peak_rss_kb\": %ld,\n", engine_peak_rss_kb);
   std::fprintf(out, "  \"hardware_threads\": %u\n}\n",

@@ -180,26 +180,42 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
     // sample workers receive a fixed intra-step share, so parallelism
     // cannot nest beyond sample_threads × step_threads ≤ threads live
     // workers. Sized to the *pending* count — a nearly-complete resume
-    // should not spin up workers with nothing to run.
+    // should not spin up workers with nothing to run. With a shared-pool
+    // slice the budget is the slice's width (narrowed further by
+    // config.threads if set): the experiment's whole fan-out must fit the
+    // workers its job was lent.
+    std::size_t thread_budget = config.threads;
+    if (config.pool != nullptr) {
+      thread_budget = thread_budget == 0
+                          ? config.pool->width()
+                          : std::min(thread_budget, config.pool->width());
+    }
     const sim::ThreadBudget budget = sim::resolve_parallel_policy(
-        config.parallel, n, pending.size(), config.threads);
+        config.parallel, n, pending.size(), thread_budget);
     const std::size_t sample_workers = budget.sample_threads;
     const std::size_t step_share = budget.step_threads;
 
-    // One pool for the whole experiment, sized to the full budget.
-    // run_partitioned lends sample chunk k a disjoint helper slice for its
-    // per-step drift dispatches while the sample fan-out runs on the rest,
-    // so nested dispatches never contend for a worker and the live-thread
-    // count never exceeds the budget. One workspace per sample chunk,
-    // reused across the chunk's whole run of samples: the neighbor backend
-    // and drift buffer warm up on the first sample and every later sample
-    // steps allocation-free.
+    // One pool slice for the whole experiment, sized to the full budget:
+    // the caller's own pool normally, the lent shared-pool slice under a
+    // JobManager. run_partitioned lends sample chunk k a disjoint helper
+    // sub-slice for its per-step drift dispatches while the sample fan-out
+    // runs on the rest, so nested dispatches never contend for a worker
+    // and the live-thread count never exceeds the budget. One workspace
+    // per sample chunk, reused across the chunk's whole run of samples:
+    // the neighbor backend and drift buffer warm up on the first sample
+    // and every later sample steps allocation-free.
     // Per-chunk rebuild accounting, merged after the fan-out: every worker
     // owns its slot, so no synchronization is needed.
     std::vector<NeighborRebuildStats> chunk_stats(sample_workers);
 
-    support::TaskPool pool(sample_workers * step_share);
-    pool.run_partitioned(
+    std::optional<support::TaskPool> own_pool;
+    if (config.pool == nullptr) {
+      own_pool.emplace(sample_workers * step_share);
+    }
+    const support::PoolSlice slice = config.pool != nullptr
+                                         ? *config.pool
+                                         : support::slice_all(*own_pool);
+    slice.run_partitioned(
         sample_workers, step_share,
         [&](std::size_t k, support::Executor& step_executor) {
           const support::ChunkRange chunk =
@@ -211,7 +227,12 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
           // the workspace actually uses.
           sample_config.parallel_policy = sim::ParallelPolicy::kWithinStep;
           sample_config.threads = step_share;
+          sample_config.cancel = config.cancel;
           for (std::size_t p = chunk.begin; p < chunk.end; ++p) {
+            // The sample-boundary poll point; the per-step poll inside
+            // run_simulation_streamed bounds the in-sample latency.
+            support::CancelToken::check(config.cancel,
+                                        "run_experiment: cancelled");
             const std::size_t local = pending[p];
             sample_config.stream = slots.begin + local;
             const sim::StreamedRun run = sim::run_simulation_streamed(
@@ -262,6 +283,12 @@ EnsembleSeries run_experiment(const ExperimentConfig& config) {
               // step executor — idle between samples — to keep the flush
               // off the sample fan-out. No-op on heap backing.
               series.frames.flush_samples(local, local + 1, &step_executor);
+            }
+            if (config.observer != nullptr) {
+              // After the durability step (sync + manifest bit for shards,
+              // flush for scratch spill): the sample the observer is told
+              // about is exactly as final as the store claims.
+              config.observer->on_sample_recorded(local);
             }
           }
           // The workspace is chunk-local, so the Verlet backend's lifetime

@@ -10,6 +10,10 @@
 #include "core/frame_store.hpp"
 #include "sim/simulation.hpp"
 
+namespace sops::support {
+class PoolSlice;
+}  // namespace sops::support
+
 namespace sops::core {
 
 /// Opt-in durable sharding of an experiment (CLI: `sops_run --shard k/N
@@ -58,6 +62,19 @@ class RecordingObserver {
   virtual void on_frames_recorded(std::size_t begin_frame,
                                   std::size_t end_frame,
                                   std::size_t local_sample) = 0;
+
+  /// Sample `local_sample` is fully finished: every frame recorded, its
+  /// equilibrium step stored in the series, and — for spilled or durable
+  /// recordings — its extents flushed (scratch) or synced and marked
+  /// complete in the manifest (shard). This is the per-sample result
+  /// boundary the job layer streams on: the sample's slots in the store
+  /// are final and safe to read concurrently with later samples. Called
+  /// from the sample workers; must be thread-safe and must not throw.
+  /// Not replayed for resumed samples (their completing run announced
+  /// them); default no-op so frame-level observers are unaffected.
+  virtual void on_sample_recorded(std::size_t local_sample) {
+    (void)local_sample;
+  }
 };
 
 /// Specification of a full experiment: one simulation config replicated over
@@ -93,6 +110,23 @@ struct ExperimentConfig {
   /// remaining simulation (see core/streaming_analyzer.hpp). Never affects
   /// the recording itself.
   RecordingObserver* observer = nullptr;
+  /// Cooperative cancellation (not owned; may be null). Polled at every
+  /// sample boundary and once per simulation step inside each sample:
+  /// a raised token makes run_experiment throw sops::CancelledError after
+  /// the in-flight step, unwinding through the normal cleanup path — a
+  /// scratch spill file is unlinked, a durable shard keeps a valid
+  /// manifest listing exactly the samples whose bytes were synced, and
+  /// the pool (own or lent) is released.
+  const support::CancelToken* cancel = nullptr;
+  /// Execution slice of a shared machine-wide TaskPool (not owned; may be
+  /// null). When set, the sample × step fan-out runs entirely inside this
+  /// slice — the caller's thread plus the slice's workers — instead of a
+  /// pool created for the run, so several experiments can run concurrently
+  /// on one pool under per-job budgets (see core::JobManager). The thread
+  /// budget resolves against the slice's width; `threads` may narrow it
+  /// further but never widens it. Purely a scheduling choice: recordings
+  /// are bitwise-identical with and without a shared pool.
+  const support::PoolSlice* pool = nullptr;
 };
 
 /// Aggregated neighbor-list rebuild accounting of one experiment: `steps`

@@ -21,6 +21,7 @@
 #include "core/frame_store.hpp"
 #include "core/hierarchy.hpp"
 #include "core/config_builder.hpp"
+#include "core/job_manager.hpp"
 #include "core/presets.hpp"
 #include "core/streaming_analyzer.hpp"
 #include "geom/aabb.hpp"
@@ -42,6 +43,7 @@
 #include "io/ascii_chart.hpp"
 #include "io/config.hpp"
 #include "io/csv.hpp"
+#include "io/frame_protocol.hpp"
 #include "io/svg.hpp"
 #include "rng/engine.hpp"
 #include "rng/samplers.hpp"

@@ -1,13 +1,15 @@
 #include "core/streaming_analyzer.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "support/executor.hpp"
 
 namespace sops::core {
 
-StreamingAnalyzer::StreamingAnalyzer(AnalysisOptions options)
-    : options_(std::move(options)) {}
+StreamingAnalyzer::StreamingAnalyzer(AnalysisOptions options,
+                                     const support::CancelToken* cancel)
+    : options_(std::move(options)), cancel_(cancel) {}
 
 StreamingAnalyzer::~StreamingAnalyzer() { abort(); }
 
@@ -81,10 +83,29 @@ void StreamingAnalyzer::consume() {
       std::size_t f = 0;
       {
         std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return stop_ || next_ready_ < ready_.size(); });
+        const auto frame_ready = [&] {
+          return stop_ || next_ready_ < ready_.size();
+        };
+        if (cancel_ == nullptr) {
+          cv_.wait(lock, frame_ready);
+        } else {
+          // Nothing notifies the condition variable when a token is
+          // raised (request() is signal-safe, so it cannot lock), so a
+          // cancellation-aware consumer polls on a short timeout while
+          // idle.
+          while (!frame_ready()) {
+            support::CancelToken::check(cancel_,
+                                        "streaming analysis cancelled");
+            cv_.wait_for(lock, std::chrono::milliseconds(50), frame_ready);
+          }
+        }
         if (stop_) return;
         f = ready_[next_ready_++];
       }
+      // Between-frames poll point: a cancelled drain stops after the
+      // in-flight frame, and the CancelledError surfaces out of finish()
+      // via the consumer's normal error path.
+      support::CancelToken::check(cancel_, "streaming analysis cancelled");
       FrameAnalysis frame = analyze_frame(frames_[f], types_, frame_steps_[f],
                                           f, coarse_, options_, executor);
       observer_counts_[f] = frame.observer_count;

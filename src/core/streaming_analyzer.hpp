@@ -47,7 +47,15 @@ namespace sops::core {
 /// analyzer). measure_experiment_streamed() wraps the whole dance.
 class StreamingAnalyzer final : public RecordingObserver {
  public:
-  explicit StreamingAnalyzer(AnalysisOptions options = {});
+  /// `cancel` (not owned; may be null) makes the consumer cancellation-
+  /// aware: it polls the token between frames (and while idle, on a short
+  /// wait timeout), and a raised token surfaces as sops::CancelledError
+  /// out of finish() once the consumer drained — the job layer's "cancel
+  /// during the analysis tail" path. A cancelled *producer* throws out of
+  /// run_experiment before finish() is reached; call abort() there, as on
+  /// any producer failure.
+  explicit StreamingAnalyzer(AnalysisOptions options = {},
+                             const support::CancelToken* cancel = nullptr);
   ~StreamingAnalyzer() override;
 
   StreamingAnalyzer(const StreamingAnalyzer&) = delete;
@@ -81,6 +89,7 @@ class StreamingAnalyzer final : public RecordingObserver {
   void consume();
 
   AnalysisOptions options_;
+  const support::CancelToken* cancel_ = nullptr;
 
   // Immutable after on_recording_started (the consumer and the workers
   // only read them).

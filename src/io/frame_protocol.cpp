@@ -1,0 +1,159 @@
+#include "io/frame_protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace sops::io {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t wrote = ::write(fd, cursor, size);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("frame_protocol: write failed");
+    }
+    cursor += wrote;
+    size -= static_cast<std::size_t>(wrote);
+  }
+}
+
+/// Reads exactly `size` bytes. Returns false on EOF before the first byte;
+/// EOF mid-read throws (a truncated frame is corruption, not shutdown).
+bool read_all(int fd, void* data, std::size_t size) {
+  char* cursor = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t read = ::read(fd, cursor + got, size - got);
+    if (read < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("frame_protocol: read failed");
+    }
+    if (read == 0) {
+      if (got == 0) return false;
+      throw Error("frame_protocol: peer closed mid-frame");
+    }
+    got += static_cast<std::size_t>(read);
+  }
+  return true;
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(address.sun_path)) {
+    throw Error("frame_protocol: socket path too long (max " +
+                std::to_string(sizeof(address.sun_path) - 1) +
+                " bytes): " + path);
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kSubmit: return "submit";
+    case FrameType::kStatus: return "status";
+    case FrameType::kCancel: return "cancel";
+    case FrameType::kWatch: return "watch";
+    case FrameType::kSubmitted: return "submitted";
+    case FrameType::kStatusReport: return "status_report";
+    case FrameType::kError: return "error";
+    case FrameType::kJobEvent: return "job_event";
+    case FrameType::kSampleCsv: return "sample_csv";
+    case FrameType::kCurveCsv: return "curve_csv";
+    case FrameType::kJobDone: return "job_done";
+  }
+  return "unknown";
+}
+
+void write_frame(int fd, FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw Error("frame_protocol: payload of " +
+                std::to_string(payload.size()) + " bytes exceeds the frame cap");
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[5] = {
+      static_cast<unsigned char>(length & 0xff),
+      static_cast<unsigned char>((length >> 8) & 0xff),
+      static_cast<unsigned char>((length >> 16) & 0xff),
+      static_cast<unsigned char>((length >> 24) & 0xff),
+      static_cast<unsigned char>(type),
+  };
+  write_all(fd, header, sizeof header);
+  if (!payload.empty()) write_all(fd, payload.data(), payload.size());
+}
+
+std::optional<Frame> read_frame(int fd) {
+  unsigned char header[5];
+  if (!read_all(fd, header, sizeof header)) return std::nullopt;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(header[0]) |
+      (static_cast<std::uint32_t>(header[1]) << 8) |
+      (static_cast<std::uint32_t>(header[2]) << 16) |
+      (static_cast<std::uint32_t>(header[3]) << 24);
+  if (length > kMaxFramePayload) {
+    throw Error("frame_protocol: frame length " + std::to_string(length) +
+                " exceeds the cap — corrupt stream?");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[4]);
+  frame.payload.resize(length);
+  if (length > 0 && !read_all(fd, frame.payload.data(), length)) {
+    throw Error("frame_protocol: peer closed mid-frame");
+  }
+  return frame;
+}
+
+int listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un address = unix_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("frame_protocol: socket() failed");
+  // A stale socket file from a dead daemon blocks bind(); removing it is
+  // safe because a live daemon would still hold the listening fd.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("frame_protocol: bind(" + path + ") failed");
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    errno = saved;
+    throw_errno("frame_protocol: listen(" + path + ") failed");
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const sockaddr_un address = unix_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("frame_protocol: socket() failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof address) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("frame_protocol: connect(" + path + ") failed");
+  }
+  return fd;
+}
+
+}  // namespace sops::io

@@ -1,0 +1,85 @@
+// The wire protocol between the `sopsd` experiment daemon and its clients.
+//
+// Local-only by design: a SOCK_STREAM AF_UNIX socket (filesystem
+// permissions are the access control) carrying length-prefixed frames —
+//
+//   [4-byte little-endian payload length][1-byte frame type][payload]
+//
+// — the smallest framing that survives a byte stream. Payloads are text:
+// a submit carries the same key=value config file `sops_run` reads, ids
+// travel as ASCII decimals, statuses as the one-line JSON
+// core::job_status_json emits, and streamed results as the exact CSV bytes
+// the batch path writes (core::sample_recording_csv / write_csv on
+// analysis_csv_table) — which is what makes "streamed output equals batch
+// output" a byte comparison instead of a parsing argument.
+//
+// Client → server frame types, and their replies:
+//
+//   kSubmit  config text            → kSubmitted (id) | kError
+//   kStatus  id, or empty for all   → kStatusReport (JSON lines) | kError
+//   kCancel  id                     → kStatusReport | kError
+//   kWatch   id                     → a stream: kJobEvent on every state
+//            change, kSampleCsv per finished sample, kCurveCsv once the
+//            analysis is in, terminated by kJobDone (terminal status) —
+//            then the server closes the connection.
+//
+// One request per connection (kWatch holds it open for the stream); clients
+// reconnect per command. Framing errors and oversized lengths throw
+// sops::Error — a local protocol mismatch is a bug, not a condition to
+// limp through.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sops::io {
+
+enum class FrameType : std::uint8_t {
+  // client → server
+  kSubmit = 1,
+  kStatus = 2,
+  kCancel = 3,
+  kWatch = 4,
+  // server → client
+  kSubmitted = 10,
+  kStatusReport = 11,
+  kError = 12,
+  kJobEvent = 13,
+  kSampleCsv = 14,
+  kCurveCsv = 15,
+  kJobDone = 16,
+};
+
+[[nodiscard]] const char* to_string(FrameType type) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Upper bound a reader accepts for one payload. Generous next to any real
+/// frame (the largest are whole-sample CSV dumps), tight enough that a
+/// corrupted length prefix fails loudly instead of allocating garbage.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{256} << 20;
+
+/// Writes one frame, handling short writes and EINTR. Throws sops::Error
+/// on any I/O failure (including a peer that hung up mid-frame).
+void write_frame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one frame. Returns nullopt on clean EOF at a frame boundary;
+/// throws sops::Error on truncated frames, I/O errors, or a length prefix
+/// beyond kMaxFramePayload.
+[[nodiscard]] std::optional<Frame> read_frame(int fd);
+
+/// Creates, binds, and listens on an AF_UNIX stream socket at `path`
+/// (unlinking a stale socket file first). Returns the listening fd; throws
+/// sops::Error with the errno text on failure.
+[[nodiscard]] int listen_unix(const std::string& path, int backlog = 8);
+
+/// Connects to the AF_UNIX stream socket at `path`. Returns the connected
+/// fd; throws sops::Error (e.g. when no daemon is listening).
+[[nodiscard]] int connect_unix(const std::string& path);
+
+}  // namespace sops::io

@@ -58,4 +58,22 @@ ThreadBudget resolve_parallel_policy(ParallelPolicy policy, std::size_t n,
   return hybrid(m, threads);
 }
 
+std::size_t resolve_job_threads(std::size_t job_slot, std::size_t job_slots,
+                                std::size_t machine_threads) noexcept {
+  if (machine_threads == 0) machine_threads = support::default_thread_count();
+  job_slots = std::max<std::size_t>(job_slots, 1);
+  if (job_slot >= job_slots) job_slot = job_slots - 1;
+  const support::ChunkRange share =
+      support::chunk_range(job_slot, machine_threads, job_slots);
+  return std::max<std::size_t>(share.end - share.begin, 1);
+}
+
+ThreadBudget resolve_job_policy(ParallelPolicy policy, std::size_t n,
+                                std::size_t m, std::size_t job_slot,
+                                std::size_t job_slots,
+                                std::size_t machine_threads) noexcept {
+  return resolve_parallel_policy(
+      policy, n, m, resolve_job_threads(job_slot, job_slots, machine_threads));
+}
+
 }  // namespace sops::sim

@@ -48,4 +48,24 @@ struct ThreadBudget {
                                                    std::size_t n, std::size_t m,
                                                    std::size_t threads) noexcept;
 
+/// The jobs axis of the generalized split (jobs × samples × steps): of a
+/// machine-wide budget of `machine_threads` (0 = hardware concurrency)
+/// shared by `job_slots` concurrently admitted jobs, slot `job_slot` owns
+/// the chunk_range share of the budget, floored at 1 so a starved slot
+/// still runs serially. The share is what resolve_parallel_policy then
+/// splits into samples × steps — so the whole budget is still allocated
+/// exactly once per job, before any fan-out, and concurrent jobs' shares
+/// tile the machine the way one job's sample chunks tile its share.
+[[nodiscard]] std::size_t resolve_job_threads(std::size_t job_slot,
+                                              std::size_t job_slots,
+                                              std::size_t machine_threads) noexcept;
+
+/// resolve_parallel_policy applied to a job slot's share: the one-call
+/// form of the jobs × samples × steps split.
+[[nodiscard]] ThreadBudget resolve_job_policy(ParallelPolicy policy,
+                                              std::size_t n, std::size_t m,
+                                              std::size_t job_slot,
+                                              std::size_t job_slots,
+                                              std::size_t machine_threads) noexcept;
+
 }  // namespace sops::sim

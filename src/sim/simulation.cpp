@@ -65,6 +65,10 @@ StreamedRun run_simulation_streamed(const SimulationConfig& config,
   // onto parked workers, not a fork/join.
   support::Executor& step_executor = workspace.step_executor();
   for (std::size_t t = 0;; ++t) {
+    // The per-step poll point: a cancelled run stops before the next
+    // drift evaluation, so cancellation latency is one step, not one
+    // sample.
+    support::CancelToken::check(config.cancel, "simulation cancelled");
     accumulate_drift(system, workspace.scaling_table(), config.cutoff_radius,
                      drift, backend, step_executor);
 

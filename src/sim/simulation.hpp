@@ -20,6 +20,7 @@
 #include "sim/integrator.hpp"
 #include "sim/parallel_policy.hpp"
 #include "sim/workspace.hpp"
+#include "support/cancel.hpp"
 
 namespace sops::sim {
 
@@ -81,6 +82,14 @@ struct SimulationConfig {
   /// bitwise-identical to serial for any thread count.
   std::size_t threads = 1;
   ParallelPolicy parallel_policy = ParallelPolicy::kAuto;
+
+  /// Cooperative cancellation (not owned; may be null). Polled once per
+  /// step: a raised token makes the run throw sops::CancelledError at the
+  /// top of its next step, before any further drift work — the unwound
+  /// stack releases the workspace and any recording sink exactly as a
+  /// failure would. Until the throw, everything the run produced is
+  /// bitwise-identical to the uncancelled run's prefix.
+  const support::CancelToken* cancel = nullptr;
 };
 
 /// Recorded run. `frames[f]` is the configuration at step `frame_steps[f]`;

@@ -1,0 +1,70 @@
+// Cooperative cancellation for long-running work.
+//
+// A CancelToken is a lock-free flag a controller raises and workers poll at
+// natural boundaries (a simulation step, a sample, a queued analysis
+// frame). Raising it never interrupts anything by force — the polling site
+// throws CancelledError at its next check, stacks unwind through the normal
+// exception path, and every RAII cleanup (scratch-spill unlink, manifest
+// sync-on-destroy, pool slot return) runs exactly as it would on success.
+//
+// Tokens chain: a token constructed with a parent reports `requested()`
+// when either its own flag or any ancestor's is raised. The job layer uses
+// one root token per JobManager (raised on shutdown or by a signal handler)
+// with one child token per job (raised by an individual cancel request), so
+// "cancel this job" and "cancel everything" share a single polling site.
+//
+// `request()` is a relaxed-to-release atomic store with no locks — safe to
+// call from a POSIX signal handler, which is exactly how sops_run and sopsd
+// translate SIGINT/SIGTERM into a clean drain.
+#pragma once
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace sops {
+
+/// Thrown by a cancellation poll point once its token was raised. Derives
+/// from Error so generic handlers still clean up, while job drivers can
+/// distinguish "cancelled on request" from a real failure.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+namespace support {
+
+/// A raise-once cooperative cancellation flag, optionally chained to a
+/// parent token. Not copyable or movable: poll sites hold plain pointers
+/// and the token must outlive every worker that polls it.
+class CancelToken {
+ public:
+  CancelToken() noexcept = default;
+  explicit CancelToken(const CancelToken* parent) noexcept : parent_(parent) {}
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Raises the flag. Async-signal-safe (one atomic store, no locks) and
+  /// idempotent.
+  void request() noexcept { requested_.store(true, std::memory_order_release); }
+
+  /// True once this token — or any ancestor it chains to — was raised.
+  [[nodiscard]] bool requested() const noexcept {
+    if (requested_.load(std::memory_order_acquire)) return true;
+    return parent_ != nullptr && parent_->requested();
+  }
+
+  /// Poll point: throws CancelledError(`what`) once the token was raised.
+  /// `token` may be null (the common "cancellation not wired" case), which
+  /// makes call sites a single unconditional line.
+  static void check(const CancelToken* token, const char* what) {
+    if (token != nullptr && token->requested()) throw CancelledError(what);
+  }
+
+ private:
+  std::atomic<bool> requested_{false};
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace support
+}  // namespace sops

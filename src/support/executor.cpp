@@ -108,7 +108,7 @@ std::size_t TaskPool::worker_count_for(std::size_t width) noexcept {
 }
 
 TaskPool::TaskPool(std::size_t width)
-    : all_(*this, 0, worker_count_for(width)) {
+    : all_(this, 0, worker_count_for(width)) {
   const std::size_t workers = worker_count_for(width);
   slots_.reserve(workers);
   try {
@@ -155,9 +155,32 @@ void TaskPool::shutdown() noexcept {
 
 PoolExecutor TaskPool::lend(std::size_t first_worker,
                             std::size_t workers) noexcept {
-  if (first_worker >= slots_.size()) return PoolExecutor(*this, 0, 0);
+  if (first_worker >= slots_.size()) return PoolExecutor(this, 0, 0);
   workers = std::min(workers, slots_.size() - first_worker);
-  return PoolExecutor(*this, first_worker, workers);
+  return PoolExecutor(this, first_worker, workers);
+}
+
+// ---------------------------------------------------------------- PoolSlice
+
+PoolExecutor PoolSlice::lend(std::size_t first_worker,
+                             std::size_t workers) const noexcept {
+  if (pool_ == nullptr || first_worker >= workers_) {
+    return PoolExecutor(pool_, 0, 0);
+  }
+  workers = std::min(workers, workers_ - first_worker);
+  return pool_->lend(first_ + first_worker, workers);
+}
+
+PoolSlice slice_of(TaskPool& pool, std::size_t first_worker,
+                   std::size_t workers) noexcept {
+  const std::size_t total = pool.worker_count();
+  if (first_worker >= total) return PoolSlice(&pool, 0, 0);
+  return PoolSlice(&pool, first_worker,
+                   std::min(workers, total - first_worker));
+}
+
+PoolSlice slice_all(TaskPool& pool) noexcept {
+  return PoolSlice(&pool, 0, pool.worker_count());
 }
 
 void PoolExecutor::run(std::size_t task_count, TaskRef task) {

@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <memory>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace sops::support {
@@ -144,8 +145,11 @@ class PoolExecutor final : public Executor {
 
  private:
   friend class TaskPool;
-  PoolExecutor(TaskPool& pool, std::size_t first, std::size_t workers) noexcept
-      : pool_(&pool), first_(first), workers_(workers) {}
+  friend class PoolSlice;
+  // `pool` may be null only when `workers == 0` (a caller-only view runs
+  // every batch inline and never touches the pool).
+  PoolExecutor(TaskPool* pool, std::size_t first, std::size_t workers) noexcept
+      : pool_(pool), first_(first), workers_(workers) {}
 
   TaskPool* pool_;
   std::size_t first_;
@@ -187,31 +191,16 @@ class TaskPool {
   [[nodiscard]] PoolExecutor lend(std::size_t first_worker,
                                   std::size_t workers) noexcept;
 
-  /// The disjoint-lending pattern in one place: dispatches `outer` tasks,
-  /// handing task k an executor over its own helper slice of
-  /// `inner_width - 1` workers for nested dispatches, while the outer
-  /// fan-out runs on the remaining workers. Slices are provably disjoint —
-  /// helpers occupy [k·(w−1), (k+1)·(w−1)), outer runners the tail, and
-  /// (outer−1) + outer·(inner_width−1) = outer·inner_width − 1 workers are
-  /// used in total — so size the pool to outer · inner_width and nested
-  /// dispatch can neither deadlock nor oversubscribe. `body` is invoked as
-  /// body(k, inner_executor).
+  /// The disjoint-lending pattern over the whole pool (see
+  /// PoolSlice::run_partitioned — this is the slice-of-everything case the
+  /// single-experiment drivers use).
   template <typename Body>
   void run_partitioned(std::size_t outer, std::size_t inner_width,
-                       Body&& body) {
-    if (outer == 0) return;
-    if (inner_width == 0) inner_width = 1;
-    PoolExecutor outer_executor =
-        lend(outer * (inner_width - 1), outer - 1);
-    auto outer_task = [&](std::size_t k) {
-      PoolExecutor inner = lend(k * (inner_width - 1), inner_width - 1);
-      body(k, inner);
-    };
-    outer_executor.run(outer, outer_task);
-  }
+                       Body&& body);
 
  private:
   friend class PoolExecutor;
+  friend class PoolSlice;
   struct Slot;
 
   static std::size_t worker_count_for(std::size_t width) noexcept;
@@ -220,5 +209,91 @@ class TaskPool {
   std::vector<std::unique_ptr<Slot>> slots_;
   PoolExecutor all_;
 };
+
+/// A contiguous, caller-owned budget of one TaskPool's workers — the unit
+/// a machine-wide pool is carved into when several jobs share it. A slice
+/// over workers [first, first + workers) has width workers + 1 (the
+/// dispatching thread is always a runner), lends sub-slices by
+/// slice-relative worker index, and runs the same outer × inner
+/// partitioned fan-out TaskPool::run_partitioned offers — entirely inside
+/// its own workers. Slices with disjoint worker ranges are independent:
+/// distinct job driver threads may dispatch on them concurrently without
+/// contending for a runner, which is what turns one per-process pool into
+/// a shared machine-wide one. Cheap to copy; valid while the pool lives.
+/// The slice carries no reservation of its own — whoever carves slices
+/// (core::JobManager) is responsible for handing out disjoint ranges and
+/// taking them back when a job completes.
+class PoolSlice {
+ public:
+  /// Caller-only slice of no pool: width 1, every dispatch runs inline.
+  PoolSlice() noexcept = default;
+
+  /// Runner count: the dispatching thread plus the slice's workers.
+  [[nodiscard]] std::size_t width() const noexcept { return workers_ + 1; }
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_; }
+  /// First pool worker of the slice (meaningless when worker_count() == 0).
+  [[nodiscard]] std::size_t first_worker() const noexcept { return first_; }
+
+  /// Executor over the caller plus slice workers
+  /// [first_worker, first_worker + workers), *slice-relative* and clamped
+  /// to the slice — the same contract as TaskPool::lend, scoped so a job
+  /// can never reach into a sibling job's workers by arithmetic slip.
+  [[nodiscard]] PoolExecutor lend(std::size_t first_worker,
+                                  std::size_t workers) const noexcept;
+
+  /// Executor over the whole slice.
+  [[nodiscard]] PoolExecutor executor() const noexcept {
+    return lend(0, workers_);
+  }
+
+  /// TaskPool::run_partitioned confined to this slice: dispatches `outer`
+  /// tasks, handing task k an executor over its own helper sub-slice of
+  /// `inner_width - 1` workers for nested dispatches, while the outer
+  /// fan-out runs on the remaining workers. Helpers occupy
+  /// [k·(w−1), (k+1)·(w−1)), outer runners the tail, and
+  /// (outer−1) + outer·(inner_width−1) = outer·inner_width − 1 workers are
+  /// used in total — so a slice of width outer · inner_width can neither
+  /// deadlock nor oversubscribe, and concurrent jobs on disjoint slices
+  /// compose the same guarantee machine-wide. `body` is invoked as
+  /// body(k, inner_executor).
+  template <typename Body>
+  void run_partitioned(std::size_t outer, std::size_t inner_width,
+                       Body&& body) const {
+    if (outer == 0) return;
+    if (inner_width == 0) inner_width = 1;
+    PoolExecutor outer_executor = lend(outer * (inner_width - 1), outer - 1);
+    auto outer_task = [&](std::size_t k) {
+      PoolExecutor inner = lend(k * (inner_width - 1), inner_width - 1);
+      body(k, inner);
+    };
+    outer_executor.run(outer, outer_task);
+  }
+
+ private:
+  friend class TaskPool;
+  friend PoolSlice slice_of(TaskPool& pool, std::size_t first_worker,
+                            std::size_t workers) noexcept;
+  friend PoolSlice slice_all(TaskPool& pool) noexcept;
+  PoolSlice(TaskPool* pool, std::size_t first, std::size_t workers) noexcept
+      : pool_(pool), first_(first), workers_(workers) {}
+
+  TaskPool* pool_ = nullptr;
+  std::size_t first_ = 0;
+  std::size_t workers_ = 0;
+};
+
+/// Slice over pool workers [first_worker, first_worker + workers), clamped
+/// to the pool's workers.
+[[nodiscard]] PoolSlice slice_of(TaskPool& pool, std::size_t first_worker,
+                                 std::size_t workers) noexcept;
+/// Slice over the whole pool.
+[[nodiscard]] PoolSlice slice_all(TaskPool& pool) noexcept;
+
+template <typename Body>
+void TaskPool::run_partitioned(std::size_t outer, std::size_t inner_width,
+                               Body&& body) {
+  slice_all(*this).run_partitioned(outer, inner_width,
+                                   std::forward<Body>(body));
+}
 
 }  // namespace sops::support

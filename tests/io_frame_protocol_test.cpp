@@ -1,0 +1,196 @@
+// Wire-level tests for the sopsd frame protocol: length-prefixed frames
+// over local sockets. The framing layer must round-trip arbitrary payloads
+// byte-exactly, distinguish a clean hang-up (EOF at a frame boundary →
+// nullopt) from a torn one (EOF mid-frame → named error), and refuse
+// absurd length prefixes instead of allocating them.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "io/frame_protocol.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using sops::Error;
+using sops::io::Frame;
+using sops::io::FrameType;
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      ADD_FAILURE() << "socketpair failed";
+      return;
+    }
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void close_a() {
+    ::close(a);
+    a = -1;
+  }
+};
+
+std::string temp_socket_path(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(IoFrameProtocol, RoundTripsPayloadBytes) {
+  SocketPair pair;
+  const std::string payload = "samples = 12\nsteps = 20\n";
+  sops::io::write_frame(pair.a, FrameType::kSubmit, payload);
+  const auto frame = sops::io::read_frame(pair.b);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kSubmit);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(IoFrameProtocol, RoundTripsEmptyAndBinaryPayloads) {
+  SocketPair pair;
+  sops::io::write_frame(pair.a, FrameType::kStatus, "");
+  std::string binary(1024, '\0');
+  for (std::size_t i = 0; i < binary.size(); ++i) {
+    binary[i] = static_cast<char>(i * 31);  // includes NULs and high bytes
+  }
+  sops::io::write_frame(pair.a, FrameType::kSampleCsv, binary);
+
+  const auto empty = sops::io::read_frame(pair.b);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->type, FrameType::kStatus);
+  EXPECT_TRUE(empty->payload.empty());
+
+  const auto blob = sops::io::read_frame(pair.b);
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(blob->payload, binary);
+}
+
+TEST(IoFrameProtocol, LargePayloadSurvivesPartialWrites) {
+  // 4 MiB forces the writer through many short socket writes; a reader
+  // thread drains concurrently so neither side deadlocks on buffers.
+  SocketPair pair;
+  std::string large(4u << 20, 'x');
+  for (std::size_t i = 0; i < large.size(); i += 4097) {
+    large[i] = static_cast<char>('a' + (i % 26));
+  }
+  std::optional<Frame> received;
+  std::thread reader([&] { received = sops::io::read_frame(pair.b); });
+  sops::io::write_frame(pair.a, FrameType::kCurveCsv, large);
+  reader.join();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->type, FrameType::kCurveCsv);
+  EXPECT_TRUE(received->payload == large);
+}
+
+TEST(IoFrameProtocol, CleanEofAtBoundaryIsNullopt) {
+  SocketPair pair;
+  pair.close_a();  // peer hangs up without sending anything
+  const auto frame = sops::io::read_frame(pair.b);
+  EXPECT_FALSE(frame.has_value());
+}
+
+TEST(IoFrameProtocol, EofMidFrameThrows) {
+  SocketPair pair;
+  // A header promising 100 payload bytes, then hang up after 3.
+  const unsigned char header[5] = {100, 0, 0, 0,
+                                   static_cast<unsigned char>(FrameType::kSubmit)};
+  ASSERT_EQ(::send(pair.a, header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
+  ASSERT_EQ(::send(pair.a, "abc", 3, 0), 3);
+  pair.close_a();
+  EXPECT_THROW((void)sops::io::read_frame(pair.b), Error);
+}
+
+TEST(IoFrameProtocol, TruncatedHeaderThrows) {
+  SocketPair pair;
+  const unsigned char partial[2] = {1, 0};
+  ASSERT_EQ(::send(pair.a, partial, sizeof partial, 0), 2);
+  pair.close_a();
+  EXPECT_THROW((void)sops::io::read_frame(pair.b), Error);
+}
+
+TEST(IoFrameProtocol, OversizedLengthPrefixRejectedBeforeAllocating) {
+  SocketPair pair;
+  // 0xFFFFFFFF-byte payload claim — must be rejected by the cap check, not
+  // attempted.
+  const unsigned char header[5] = {0xff, 0xff, 0xff, 0xff,
+                                   static_cast<unsigned char>(FrameType::kWatch)};
+  ASSERT_EQ(::send(pair.a, header, sizeof header, 0),
+            static_cast<ssize_t>(sizeof header));
+  EXPECT_THROW((void)sops::io::read_frame(pair.b), Error);
+}
+
+TEST(IoFrameProtocol, ListenConnectRoundTrip) {
+  const std::string path = temp_socket_path("frame_proto_test.sock");
+  const int listener = sops::io::listen_unix(path);
+  ASSERT_GE(listener, 0);
+
+  std::thread server([&] {
+    const int client = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(client, 0);
+    const auto request = sops::io::read_frame(client);
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->type, FrameType::kStatus);
+    sops::io::write_frame(client, FrameType::kStatusReport,
+                          "{\"id\":1}\n" + request->payload);
+    ::close(client);
+  });
+
+  const int fd = sops::io::connect_unix(path);
+  ASSERT_GE(fd, 0);
+  sops::io::write_frame(fd, FrameType::kStatus, "42");
+  const auto reply = sops::io::read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kStatusReport);
+  EXPECT_EQ(reply->payload, "{\"id\":1}\n42");
+  // Server closed after one exchange: next read is a clean EOF.
+  EXPECT_FALSE(sops::io::read_frame(fd).has_value());
+  ::close(fd);
+
+  server.join();
+  ::close(listener);
+  std::filesystem::remove(path);
+}
+
+TEST(IoFrameProtocol, ListenReplacesStaleSocketFile) {
+  const std::string path = temp_socket_path("frame_proto_stale.sock");
+  const int first = sops::io::listen_unix(path);
+  ASSERT_GE(first, 0);
+  ::close(first);
+  // The file is still on disk; a restarted daemon must be able to rebind.
+  const int second = sops::io::listen_unix(path);
+  ASSERT_GE(second, 0);
+  ::close(second);
+  std::filesystem::remove(path);
+}
+
+TEST(IoFrameProtocol, RejectsOverlongSocketPath) {
+  const std::string path(200, 'p');  // exceeds sun_path on every platform
+  EXPECT_THROW((void)sops::io::listen_unix(path), Error);
+  EXPECT_THROW((void)sops::io::connect_unix(path), Error);
+}
+
+TEST(IoFrameProtocol, ConnectToMissingSocketThrows) {
+  EXPECT_THROW(
+      (void)sops::io::connect_unix(temp_socket_path("no_such_daemon.sock")),
+      Error);
+}
+
+TEST(IoFrameProtocol, FrameTypeNamesAreStable) {
+  EXPECT_STREQ(sops::io::to_string(FrameType::kSubmit), "submit");
+  EXPECT_STREQ(sops::io::to_string(FrameType::kJobDone), "job_done");
+}
+
+}  // namespace

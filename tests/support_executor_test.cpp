@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/cancel.hpp"
 #include "support/executor.hpp"
 #include "support/parallel_for.hpp"
 
@@ -327,6 +328,141 @@ TEST(ParallelForExecutor, ExplicitPartitionCapsWorkersAtExecutorWidth) {
       });
   for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
   EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(PoolSliceTest, DefaultSliceIsCallerOnlyAndInline) {
+  sops::support::PoolSlice slice;
+  EXPECT_EQ(slice.width(), 1u);
+  EXPECT_EQ(slice.worker_count(), 0u);
+  std::vector<std::size_t> order;
+  std::thread::id runner;
+  auto task = [&](std::size_t k) {
+    order.push_back(k);
+    runner = std::this_thread::get_id();
+  };
+  slice.executor().run(4, task);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(PoolSliceTest, SliceOfClampsAndSliceAllCoversThePool) {
+  TaskPool pool(5);  // workers 0..3
+  EXPECT_EQ(sops::support::slice_all(pool).width(), 5u);
+  EXPECT_EQ(sops::support::slice_of(pool, 1, 2).width(), 3u);
+  EXPECT_EQ(sops::support::slice_of(pool, 3, 9).width(), 2u);  // clamped
+  EXPECT_EQ(sops::support::slice_of(pool, 9, 2).width(), 1u);  // out of range
+}
+
+TEST(PoolSliceTest, LendIsSliceRelativeAndCannotEscapeTheSlice) {
+  // A job must not be able to reach a sibling's workers by arithmetic slip:
+  // lend() indexes relative to the slice and clamps to its extent.
+  TaskPool pool(7);  // workers 0..5
+  const sops::support::PoolSlice slice = sops::support::slice_of(pool, 2, 3);
+  EXPECT_EQ(slice.first_worker(), 2u);
+  EXPECT_EQ(slice.width(), 4u);
+  EXPECT_EQ(slice.lend(0, 3).width(), 4u);
+  EXPECT_EQ(slice.lend(1, 99).width(), 3u);  // clamped to workers 3..4
+  EXPECT_EQ(slice.lend(5, 1).width(), 1u);   // past the slice → caller-only
+}
+
+TEST(PoolSliceTest, DisjointSlicesDispatchConcurrentlyFromTwoDrivers) {
+  // The machine-wide sharing pattern: two driver threads, each owning a
+  // disjoint slice of one pool, dispatch simultaneously. Both must make
+  // progress without borrowing the other's workers — the pool serves the
+  // two fan-outs as independently as two pools would.
+  TaskPool pool(5);  // workers 0..3: slice A = [0,2), slice B = [2,4)
+  const sops::support::PoolSlice slice_a = sops::support::slice_of(pool, 0, 2);
+  const sops::support::PoolSlice slice_b = sops::support::slice_of(pool, 2, 2);
+  constexpr std::size_t kItems = 64;
+  constexpr int kRounds = 200;
+  std::vector<std::atomic<int>> visits_a(kItems);
+  std::vector<std::atomic<int>> visits_b(kItems);
+  auto drive = [&](const sops::support::PoolSlice& slice,
+                   std::vector<std::atomic<int>>& visits) {
+    auto task = [&](std::size_t k) { visits[k].fetch_add(1); };
+    for (int round = 0; round < kRounds; ++round) {
+      PoolExecutor executor = slice.executor();
+      executor.run(kItems, task);
+    }
+  };
+  std::thread driver_b([&] { drive(slice_b, visits_b); });
+  drive(slice_a, visits_a);
+  driver_b.join();
+  for (std::size_t k = 0; k < kItems; ++k) {
+    EXPECT_EQ(visits_a[k].load(), kRounds) << k;
+    EXPECT_EQ(visits_b[k].load(), kRounds) << k;
+  }
+}
+
+TEST(PoolSliceTest, RunPartitionedStaysInsideTheSlice) {
+  // outer × inner on a slice: 2 outer chunks × inner width 2 needs a slice
+  // of width 4. Run it on a slice carved out of a wider pool, concurrently
+  // with a sibling doing the same on the remaining workers.
+  TaskPool pool(9);  // workers 0..7: two width-4 slices
+  const sops::support::PoolSlice slice_a = sops::support::slice_of(pool, 0, 4);
+  const sops::support::PoolSlice slice_b = sops::support::slice_of(pool, 4, 4);
+  auto drive = [](const sops::support::PoolSlice& slice,
+                  std::vector<std::atomic<int>>& visits) {
+    slice.run_partitioned(2, 2, [&](std::size_t k, Executor& inner) {
+      EXPECT_EQ(inner.width(), 2u);
+      auto inner_task = [&](std::size_t j) { visits[k * 16 + j].fetch_add(1); };
+      for (int repeat = 0; repeat < 25; ++repeat) inner.run(16, inner_task);
+    });
+  };
+  std::vector<std::atomic<int>> visits_a(32);
+  std::vector<std::atomic<int>> visits_b(32);
+  std::thread driver_b([&] { drive(slice_b, visits_b); });
+  drive(slice_a, visits_a);
+  driver_b.join();
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(visits_a[i].load(), 25) << i;
+    EXPECT_EQ(visits_b[i].load(), 25) << i;
+  }
+}
+
+TEST(CancelTokenTest, CheckThrowsOnceRequestedAndToleratesNull) {
+  sops::support::CancelToken token;
+  EXPECT_FALSE(token.requested());
+  sops::support::CancelToken::check(nullptr, "never");  // null = not wired
+  sops::support::CancelToken::check(&token, "not yet");
+  token.request();
+  token.request();  // idempotent
+  EXPECT_TRUE(token.requested());
+  EXPECT_THROW(sops::support::CancelToken::check(&token, "stop"),
+               sops::CancelledError);
+  // CancelledError must remain catchable as the generic error type, so
+  // existing cleanup handlers see it.
+  EXPECT_THROW(sops::support::CancelToken::check(&token, "stop"), sops::Error);
+}
+
+TEST(CancelTokenTest, ChildReportsParentRaise) {
+  // The job layer's shape: one root (shutdown) token, one child per job.
+  sops::support::CancelToken root;
+  sops::support::CancelToken job_a(&root);
+  sops::support::CancelToken job_b(&root);
+  job_a.request();  // cancel one job
+  EXPECT_TRUE(job_a.requested());
+  EXPECT_FALSE(job_b.requested());
+  EXPECT_FALSE(root.requested());
+  root.request();  // shutdown cancels everything
+  EXPECT_TRUE(job_b.requested());
+}
+
+TEST(CancelTokenTest, RequestFromAnotherThreadIsSeenByPollers) {
+  sops::support::CancelToken token;
+  std::atomic<bool> poller_started{false};
+  std::atomic<int> polls{0};
+  std::thread poller([&] {
+    poller_started.store(true);
+    while (!token.requested()) {
+      polls.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+  while (!poller_started.load()) std::this_thread::yield();
+  token.request();
+  poller.join();  // terminates only if the raise became visible
+  EXPECT_TRUE(token.requested());
 }
 
 TEST(ParallelForExecutor, PoolAndLegacyChunkingAgree) {

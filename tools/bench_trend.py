@@ -142,6 +142,18 @@ def flatten_metrics(engine_json):
             name = f"frame_store/{key}"
             metrics[name] = float(frame_store[key])
             ungated.add(name)
+    service = engine_json.get("service", {})
+    for key in ("manager_seconds", "overhead_ratio",
+                "submit_to_first_sample_ms"):
+        # The job layer is scheduling only, so these should sit at ~direct
+        # wall, ~1.0x, and a few ms. Recorded so a creeping scheduler cost
+        # shows in the trajectory; not gated — sub-second walls and their
+        # quotient jitter past any tolerance that would still catch a real
+        # regression.
+        if service.get(key) is not None:
+            name = f"service/{key}"
+            metrics[name] = float(service[key])
+            ungated.add(name)
     if engine_json.get("peak_rss_kb"):
         metrics["peak_rss_kb"] = float(engine_json["peak_rss_kb"])
     return metrics, ungated

@@ -1,8 +1,9 @@
-// sops_run — configuration-driven experiment runner.
+// sops_run — configuration-driven experiment runner and sopsd client.
 //
-// Runs a full measure-self-organization pipeline from a key=value config
-// file (see core/config_builder.hpp for the key reference), prints the I(t)
-// curve, and writes the per-step results as CSV.
+// Batch mode runs a full measure-self-organization pipeline from a
+// key=value config file (see core/config_builder.hpp for the key
+// reference), prints the I(t) curve, and writes the per-step results as
+// CSV:
 //
 //   sops_run experiment.conf [output.csv]
 //
@@ -14,6 +15,13 @@
 //   stride  = 25
 //   entropies = true
 //   output  = fig4.csv
+//
+// Batch runs execute through the same core::JobManager the sopsd daemon
+// uses — one job slot spanning the whole machine — so batch and service
+// execution are literally the same code path, Ctrl-C drains cleanly
+// (cooperative cancellation: spill files unlinked, shard manifests left
+// valid), and a spill-flush I/O error fails the run with a named error
+// instead of reporting success over a recording that never reached disk.
 //
 // Distributed / crash-safe ensembles record into durable shards:
 //
@@ -39,21 +47,66 @@
 // reported wall time covers the combined simulate+analyze pipeline. The
 // results are bitwise-identical to the post-hoc path.
 //
+// Against a running `sopsd` daemon (see tools/sopsd.cpp), the client
+// subcommands speak the unix-socket frame protocol:
+//
+//   sops_run submit <config-file>      [--socket <path>]
+//   sops_run status [<job-id>]         [--socket <path>]
+//   sops_run cancel <job-id>           [--socket <path>]
+//   sops_run watch  <job-id>           [--socket <path>] [--save <dir>]
+//
+// `watch` streams the job live: one status line per state change, one
+// frame per finished sample, and the analysis curve at the end. With
+// `--save <dir>` the streamed bytes are written out as
+// `sample_<k>.csv` / `curve.csv` — byte-identical to what a batch run of
+// the same config would produce, which the integration tests assert.
+//
 // `sops_run --smoke` runs a tiny built-in Fig. 4 configuration instead of a
 // config file — the ctest smoke entry that keeps the CLI pipeline honest.
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/config_builder.hpp"
+#include "core/job_manager.hpp"
 #include "core/shard.hpp"
 #include "core/sops.hpp"
+#include "io/frame_protocol.hpp"
 
 namespace {
+
+constexpr const char* kDefaultSocket = "sopsd.sock";
+
+// SIGINT/SIGTERM → the batch JobManager's shutdown token. request() is
+// async-signal-safe; the run unwinds at its next poll point through the
+// normal cleanup path (spill unlink, manifest sync, pool teardown).
+std::atomic<sops::support::CancelToken*> g_cancel_token{nullptr};
+
+void handle_signal(int /*signum*/) {
+  sops::support::CancelToken* token =
+      g_cancel_token.load(std::memory_order_acquire);
+  if (token != nullptr) token->request();
+}
+
+void install_signal_handlers() {
+  struct sigaction action{};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 int run_smoke() {
   using namespace sops;
@@ -123,14 +176,6 @@ void report_spill(const sops::core::EnsembleSeries& series,
     std::cerr << "warning: frame_storage fell back to heap: "
               << series.frames.spill_fallback_reason() << "\n";
   }
-  // An EIO on the spill device surfaces here instead of dying in an
-  // ignored msync return. Scratch spill keeps running (the page cache
-  // still holds the data); shard runs already threw if durability broke.
-  const std::string flush_error = series.frames.flush_error();
-  if (!flush_error.empty()) {
-    std::cerr << "warning: spill I/O error during the run: " << flush_error
-              << "\n";
-  }
 }
 
 // The Verlet opt-in's accounting, printed whenever `neighbor = verlet`:
@@ -153,10 +198,192 @@ void report_verlet(const sops::core::EnsembleSeries& series,
               experiment.simulation.verlet_partial_rebuild ? "on" : "off");
 }
 
+// ---------------------------------------------------------------------------
+// Daemon client subcommands.
+
+/// Closes the protocol fd on every exit path.
+struct ClientConnection {
+  explicit ClientConnection(const std::string& socket_path)
+      : fd(sops::io::connect_unix(socket_path)) {}
+  ~ClientConnection() { ::close(fd); }
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+  const int fd;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw sops::Error("cannot read config file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << contents) || !out.flush()) {
+    throw sops::Error("cannot write " + path);
+  }
+}
+
+int cmd_submit(const std::string& socket_path, const std::string& config_path) {
+  const ClientConnection connection(socket_path);
+  sops::io::write_frame(connection.fd, sops::io::FrameType::kSubmit,
+                        read_file(config_path));
+  const auto reply = sops::io::read_frame(connection.fd);
+  if (!reply.has_value()) throw sops::Error("daemon closed the connection");
+  if (reply->type == sops::io::FrameType::kSubmitted) {
+    std::cout << "submitted job " << reply->payload << "\n";
+    return 0;
+  }
+  std::cerr << "error: " << reply->payload << "\n";
+  return 1;
+}
+
+int cmd_status(const std::string& socket_path, const std::string& id) {
+  const ClientConnection connection(socket_path);
+  sops::io::write_frame(connection.fd, sops::io::FrameType::kStatus, id);
+  const auto reply = sops::io::read_frame(connection.fd);
+  if (!reply.has_value()) throw sops::Error("daemon closed the connection");
+  if (reply->type == sops::io::FrameType::kStatusReport) {
+    std::cout << reply->payload;
+    if (!reply->payload.empty() && reply->payload.back() != '\n') {
+      std::cout << "\n";
+    }
+    return 0;
+  }
+  std::cerr << "error: " << reply->payload << "\n";
+  return 1;
+}
+
+int cmd_cancel(const std::string& socket_path, const std::string& id) {
+  const ClientConnection connection(socket_path);
+  sops::io::write_frame(connection.fd, sops::io::FrameType::kCancel, id);
+  const auto reply = sops::io::read_frame(connection.fd);
+  if (!reply.has_value()) throw sops::Error("daemon closed the connection");
+  if (reply->type == sops::io::FrameType::kStatusReport) {
+    std::cout << reply->payload << "\n";
+    return 0;
+  }
+  std::cerr << "error: " << reply->payload << "\n";
+  return 1;
+}
+
+int cmd_watch(const std::string& socket_path, const std::string& id,
+              const std::string& save_dir) {
+  const ClientConnection connection(socket_path);
+  sops::io::write_frame(connection.fd, sops::io::FrameType::kWatch, id);
+  for (;;) {
+    const auto frame = sops::io::read_frame(connection.fd);
+    if (!frame.has_value()) {
+      std::cerr << "error: daemon closed the stream before job_done\n";
+      return 1;
+    }
+    switch (frame->type) {
+      case sops::io::FrameType::kJobEvent:
+        std::cout << frame->payload << "\n";
+        break;
+      case sops::io::FrameType::kSampleCsv: {
+        // First line is "job=N sample=K done=D total=T"; the rest is the
+        // sample's CSV, byte-identical to the batch serialization.
+        const std::size_t newline = frame->payload.find('\n');
+        const std::string meta = frame->payload.substr(0, newline);
+        std::cout << meta << "\n";
+        if (!save_dir.empty()) {
+          const std::size_t key = meta.find("sample=");
+          std::size_t sample = 0;
+          if (key != std::string::npos) {
+            sample = std::stoul(meta.substr(key + 7));
+          }
+          write_file(save_dir + "/sample_" + std::to_string(sample) + ".csv",
+                     frame->payload.substr(newline + 1));
+        }
+        break;
+      }
+      case sops::io::FrameType::kCurveCsv:
+        std::cout << "analysis curve: " << frame->payload.size() << " bytes\n";
+        if (!save_dir.empty()) {
+          write_file(save_dir + "/curve.csv", frame->payload);
+        }
+        break;
+      case sops::io::FrameType::kJobDone: {
+        std::cout << frame->payload << "\n";
+        const bool done =
+            frame->payload.find("\"state\":\"done\"") != std::string::npos;
+        return done ? 0 : 3;
+      }
+      case sops::io::FrameType::kError:
+        std::cerr << "error: " << frame->payload << "\n";
+        return 1;
+      default:
+        std::cerr << "error: unexpected frame "
+                  << sops::io::to_string(frame->type) << "\n";
+        return 1;
+    }
+  }
+}
+
+int run_client(const std::string& command, std::vector<std::string> args) {
+  std::string socket_path = kDefaultSocket;
+  std::string save_dir;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--socket" && i + 1 < args.size()) {
+      socket_path = args[++i];
+    } else if (args[i] == "--save" && i + 1 < args.size()) {
+      save_dir = args[++i];
+    } else if (!args[i].empty() && args[i].front() == '-') {
+      std::cerr << "unknown option '" << args[i] << "'\n";
+      return 2;
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (command == "submit") {
+    if (positional.size() != 1) {
+      std::cerr << "usage: sops_run submit <config-file> [--socket <path>]\n";
+      return 2;
+    }
+    return cmd_submit(socket_path, positional[0]);
+  }
+  if (command == "status") {
+    return cmd_status(socket_path, positional.empty() ? "" : positional[0]);
+  }
+  if (command == "cancel") {
+    if (positional.size() != 1) {
+      std::cerr << "usage: sops_run cancel <job-id> [--socket <path>]\n";
+      return 2;
+    }
+    return cmd_cancel(socket_path, positional[0]);
+  }
+  // watch
+  if (positional.size() != 1) {
+    std::cerr << "usage: sops_run watch <job-id> [--socket <path>] "
+                 "[--save <dir>]\n";
+    return 2;
+  }
+  return cmd_watch(socket_path, positional[0], save_dir);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sops;
+
+  if (argc > 1) {
+    const std::string_view first(argv[1]);
+    if (first == "submit" || first == "status" || first == "cancel" ||
+        first == "watch") {
+      try {
+        return run_client(std::string(first),
+                          std::vector<std::string>(argv + 2, argv + argc));
+      } catch (const sops::Error& error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+      }
+    }
+  }
+
   std::vector<std::string> positional;
   std::string shard_spec;
   std::string shard_out;
@@ -190,7 +417,9 @@ int main(int argc, char** argv) {
       std::cerr << "usage: sops_run <config-file> [output.csv] [--stream]\n"
                    "       sops_run <config-file> --shard k/N --out "
                    "<file.shard> [--resume]\n"
-                   "       sops_run --merge <output.shard> <shard...>\n";
+                   "       sops_run --merge <output.shard> <shard...>\n"
+                   "       sops_run submit|status|cancel|watch ... "
+                   "[--socket <path>]\n";
       return 2;
     }
     const io::Config config = io::Config::load(positional[0]);
@@ -221,19 +450,53 @@ int main(int argc, char** argv) {
       throw Error("--stream analyzes the full ensemble; run the shards "
                   "without it and stream the merged recording instead");
     }
+    const bool partial_shard = experiment.shard.count > 1;
 
     std::cout << "running " << experiment.samples << " samples of "
               << experiment.simulation.types.size() << " particles for "
               << experiment.simulation.steps << " steps"
               << (stream ? " (analysis streaming alongside)" : "") << "...\n";
 
-    // With --stream the analyzer rides the recording as an observer; its
-    // destructor drains the consumer if anything below throws.
-    core::StreamingAnalyzer streaming_analyzer(configured.analysis);
-    if (stream) experiment.observer = &streaming_analyzer;
+    // Batch mode is a one-slot JobManager: the same admission/cancellation/
+    // flush-error semantics as the daemon, with the whole machine as the
+    // job's slice. SIGINT/SIGTERM raise the manager's shutdown token.
+    core::JobLimits limits;
+    limits.job_slots = 1;
+    limits.machine_threads = experiment.threads;
+    core::JobManager manager(limits);
+    g_cancel_token.store(&manager.shutdown_token(), std::memory_order_release);
+    install_signal_handlers();
+
+    core::JobOptions job_options;
+    job_options.analysis = partial_shard ? core::JobAnalysis::kNone
+                           : stream      ? core::JobAnalysis::kStreamed
+                                         : core::JobAnalysis::kPostHoc;
+    // The moment the job's simulation hands over to analysis — the batch
+    // report splits its timing there.
+    std::atomic<std::chrono::steady_clock::time_point::rep> analysis_start_rep{0};
+    job_options.events.on_state_change = [&](const core::JobStatus& status) {
+      if (status.state == core::JobState::kStreaming) {
+        analysis_start_rep.store(
+            std::chrono::steady_clock::now().time_since_epoch().count(),
+            std::memory_order_relaxed);
+      }
+    };
 
     const auto run_start = std::chrono::steady_clock::now();
-    const core::EnsembleSeries series = core::run_experiment(experiment);
+    const std::uint64_t job = manager.submit(configured, job_options);
+    core::JobOutcome outcome;
+    try {
+      outcome = manager.wait(job);
+    } catch (const CancelledError& cancelled) {
+      g_cancel_token.store(nullptr, std::memory_order_release);
+      std::cerr << "cancelled: " << cancelled.what()
+                << " (partial state cleaned up; durable shards keep their "
+                   "completed samples)\n";
+      return 130;
+    }
+    g_cancel_token.store(nullptr, std::memory_order_release);
+    const core::EnsembleSeries& series = outcome.series;
+
     report_spill(series, experiment);
     report_verlet(series, experiment);
     if (!experiment.shard.path.empty()) {
@@ -245,7 +508,7 @@ int main(int argc, char** argv) {
                 << ran << " simulated, " << series.resumed_samples
                 << " resumed)\n";
     }
-    if (experiment.shard.count > 1) {
+    if (partial_shard) {
       // A shard holds one slice of the ensemble; the self-organization
       // measure needs all of it. Merge the completed shards, then analyze
       // the merged file via `--out merged.shard --resume`.
@@ -253,17 +516,17 @@ int main(int argc, char** argv) {
                    "first: sops_run --merge <out> <shards...>)\n";
       return 0;
     }
-    const auto analysis_start = std::chrono::steady_clock::now();
-    const core::AnalysisResult result =
-        stream ? streaming_analyzer.finish()
-               : core::analyze_self_organization(series, configured.analysis);
+    const core::AnalysisResult& result = *outcome.analysis;
     const auto analysis_end = std::chrono::steady_clock::now();
     // Post-hoc: the analysis wall time proper. Streamed: the whole
     // simulate+analyze pipeline, since the two phases overlap.
+    const auto analysis_start =
+        stream ? run_start
+               : std::chrono::steady_clock::time_point(
+                     std::chrono::steady_clock::duration(
+                         analysis_start_rep.load(std::memory_order_relaxed)));
     const double analysis_seconds =
-        std::chrono::duration<double>(analysis_end -
-                                      (stream ? run_start : analysis_start))
-            .count();
+        std::chrono::duration<double>(analysis_end - analysis_start).count();
     const double frames_per_sec =
         analysis_seconds > 0.0
             ? static_cast<double>(result.points.size()) / analysis_seconds
@@ -278,23 +541,8 @@ int main(int argc, char** argv) {
     chart_options.y_label = "multi-information (bits)";
     std::cout << io::render_chart(chart, chart_options) << "\n";
 
-    io::CsvTable table;
-    table.header = {"t", "multi_information_bits"};
-    const bool with_entropies = configured.analysis.compute_entropies;
-    if (with_entropies) {
-      table.header.push_back("joint_entropy_bits");
-      table.header.push_back("marginal_entropy_sum_bits");
-    }
-    for (const auto& point : result.points) {
-      std::vector<double> row{static_cast<double>(point.step),
-                              point.multi_information};
-      if (with_entropies) {
-        row.push_back(point.joint_entropy);
-        row.push_back(point.marginal_entropy_sum);
-      }
-      table.add_row(std::move(row));
-    }
-
+    const io::CsvTable table = core::analysis_csv_table(
+        result, configured.analysis.compute_entropies);
     const std::string output =
         positional.size() > 1 ? positional[1]
                               : config.get_string("output", "sops_run.csv");
